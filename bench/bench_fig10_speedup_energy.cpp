@@ -1,0 +1,62 @@
+// Reproduces paper Fig. 10: GauRast rasterization speedup and energy-
+// efficiency improvement over the CUDA implementation on the Jetson Orin NX,
+// for both the original 3DGS algorithm and the efficiency-optimized
+// (Mini-Splatting) pipeline. Paper averages: 23x / 24x (original) and
+// 20x / 22x (optimized).
+
+#include "bench_util.hpp"
+#include "common/chart.hpp"
+#include "gpu/config.hpp"
+
+namespace {
+
+void run_variant(const char* title,
+                 const std::vector<gaurast::scene::SceneProfile>& profiles,
+                 double paper_speedup, double paper_energy) {
+  using namespace gaurast;
+  using namespace gaurast::bench;
+  print_banner(std::cout, title);
+
+  const gpu::CudaCostModel cuda(gpu::orin_nx_10w());
+  TablePrinter table({"Scene", "Speedup", "Energy gain", "GauRast power",
+                      "GauRast energy", "Baseline energy"});
+  std::vector<double> speedups, energy_gains;
+  for (const auto& profile : profiles) {
+    const double base_ms = cuda.raster_ms(profile);
+    const double base_mj = cuda.raster_energy_mj(profile);
+    const core::ProfileSimResult hw = simulate_gaurast(profile);
+    const double speedup = base_ms / hw.runtime_ms();
+    const double energy_gain = base_mj / hw.energy_soc.total_mj();
+    speedups.push_back(speedup);
+    energy_gains.push_back(energy_gain);
+    table.add_row({profile.name, format_ratio(speedup),
+                   format_ratio(energy_gain),
+                   format_fixed(hw.power_w_soc(), 2) + " W",
+                   format_energy_mj(hw.energy_soc.total_mj()),
+                   format_energy_mj(base_mj)});
+  }
+  table.print(std::cout);
+  BarChart chart("Rasterization speedup per scene (cf. paper Fig. 10)", "x");
+  {
+    std::size_t i = 0;
+    for (const auto& profile : profiles) chart.add_bar(profile.name, speedups[i++]);
+  }
+  std::cout << '\n';
+  chart.print(std::cout);
+  std::cout << "Average: speedup " << format_ratio(average(speedups))
+            << " (paper ~" << format_ratio(paper_speedup) << "), energy gain "
+            << format_ratio(average(energy_gains)) << " (paper ~"
+            << format_ratio(paper_energy) << ")\n";
+}
+
+}  // namespace
+
+int main() {
+  run_variant(
+      "Fig. 10 (top) — Rasterization speedup & energy, original 3DGS",
+      gaurast::scene::nerf360_profiles(), 23.0, 24.0);
+  run_variant(
+      "Fig. 10 (bottom) — Rasterization speedup & energy, Mini-Splatting",
+      gaurast::scene::nerf360_mini_profiles(), 20.0, 22.0);
+  return 0;
+}

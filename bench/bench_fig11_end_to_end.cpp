@@ -1,0 +1,60 @@
+// Reproduces paper Fig. 11: end-to-end FPS with and without GauRast under
+// CUDA-collaborative scheduling, for both pipelines. Paper: 6x end-to-end
+// speedup / ~24 FPS (original), 4x / ~46 FPS (Mini-Splatting).
+
+#include "bench_util.hpp"
+#include "common/chart.hpp"
+#include "core/scheduler.hpp"
+#include "gpu/config.hpp"
+
+namespace {
+
+void run_variant(const char* title,
+                 const std::vector<gaurast::scene::SceneProfile>& profiles,
+                 double paper_speedup, double paper_fps) {
+  using namespace gaurast;
+  using namespace gaurast::bench;
+  print_banner(std::cout, title);
+
+  const gpu::CudaCostModel cuda(gpu::orin_nx_10w());
+  TablePrinter table({"Scene", "FPS w/o GauRast", "FPS w/ GauRast",
+                      "E2E speedup", "Stage1-2", "GauRast raster"});
+  std::vector<double> fps_with, fps_without, speedups;
+  for (const auto& profile : profiles) {
+    const gpu::StageTimes times = cuda.frame_times(profile);
+    const core::ProfileSimResult hw = simulate_gaurast(profile);
+    const core::EndToEndResult e2e =
+        core::schedule_frame(times, hw.runtime_ms());
+    fps_without.push_back(e2e.cuda_only_fps());
+    fps_with.push_back(e2e.pipelined_fps());
+    speedups.push_back(e2e.end_to_end_speedup());
+    table.add_row({profile.name, format_fixed(e2e.cuda_only_fps(), 1),
+                   format_fixed(e2e.pipelined_fps(), 1),
+                   format_ratio(e2e.end_to_end_speedup()),
+                   format_time_ms(e2e.stage12_ms),
+                   format_time_ms(e2e.gaurast_raster_ms)});
+  }
+  table.print(std::cout);
+  BarChart chart("End-to-end FPS with GauRast (cf. paper Fig. 11)", "FPS");
+  {
+    std::size_t i = 0;
+    for (const auto& profile : profiles) chart.add_bar(profile.name, fps_with[i++]);
+  }
+  std::cout << '\n';
+  chart.print(std::cout);
+  std::cout << "Average: " << format_fixed(average(fps_without), 1)
+            << " FPS -> " << format_fixed(average(fps_with), 1)
+            << " FPS, speedup " << format_ratio(average(speedups))
+            << "  (paper: ~" << format_ratio(paper_speedup) << " to ~"
+            << format_fixed(paper_fps, 0) << " FPS)\n";
+}
+
+}  // namespace
+
+int main() {
+  run_variant("Fig. 11 (left) — End-to-end FPS, original 3DGS",
+              gaurast::scene::nerf360_profiles(), 6.0, 24.0);
+  run_variant("Fig. 11 (right) — End-to-end FPS, Mini-Splatting",
+              gaurast::scene::nerf360_mini_profiles(), 4.0, 46.0);
+  return 0;
+}

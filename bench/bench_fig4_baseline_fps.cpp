@@ -1,0 +1,39 @@
+// Reproduces paper Fig. 4: end-to-end throughput (FPS) of the original 3DGS
+// pipeline on the Jetson Orin NX (10 W) across the seven NeRF-360 scenes.
+// The paper reports 2-5 FPS; the CUDA cost model regenerates the series.
+
+#include <algorithm>
+
+#include "bench_util.hpp"
+#include "common/chart.hpp"
+#include "gpu/config.hpp"
+
+int main() {
+  using namespace gaurast;
+  print_banner(std::cout, "Fig. 4 — Baseline 3DGS throughput on Jetson Orin NX (10W)");
+
+  const gpu::CudaCostModel model(gpu::orin_nx_10w());
+  TablePrinter table({"Scene", "Preprocess", "Sort", "Raster", "Frame", "FPS"});
+  std::vector<double> fps_series;
+  for (const auto& profile : scene::nerf360_profiles()) {
+    const gpu::StageTimes t = model.frame_times(profile);
+    fps_series.push_back(t.fps());
+    table.add_row({profile.name, format_time_ms(t.preprocess_ms),
+                   format_time_ms(t.sort_ms), format_time_ms(t.raster_ms),
+                   format_time_ms(t.total_ms()), format_fixed(t.fps(), 2)});
+  }
+  table.print(std::cout);
+  BarChart chart("Throughput per scene (cf. paper Fig. 4)", "FPS");
+  {
+    std::size_t i = 0;
+    for (const auto& profile : scene::nerf360_profiles()) {
+      chart.add_bar(profile.name, fps_series[i++]);
+    }
+  }
+  std::cout << '\n';
+  chart.print(std::cout);
+  std::cout << "\nModel FPS range: " << format_fixed(*std::min_element(fps_series.begin(), fps_series.end()), 1)
+            << " - " << format_fixed(*std::max_element(fps_series.begin(), fps_series.end()), 1)
+            << "  (paper: 2-5 FPS across all seven scenes)\n";
+  return 0;
+}

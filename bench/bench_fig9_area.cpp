@@ -1,0 +1,66 @@
+// Reproduces paper Fig. 9: layout and area breakdown of the enhanced
+// rasterizer prototype (16 PEs, 28 nm), plus the SoC-integration figures
+// from Sec. V-A (enhanced logic ~0.2% of the Orin NX SoC) and the typical
+// module power from the PrimePower analysis (~1.7 W).
+
+#include "bench_util.hpp"
+#include "core/area.hpp"
+#include "gpu/config.hpp"
+
+int main() {
+  using namespace gaurast;
+  using namespace gaurast::bench;
+  print_banner(std::cout, "Fig. 9 — Layout & area breakdown (16-PE module, 28nm)");
+
+  const core::RasterizerConfig proto = core::RasterizerConfig::prototype16();
+  const core::AreaModel area(proto);
+  const core::ModuleArea m = area.module_area();
+
+  TablePrinter table({"Component", "Area", "Share", "Paper"});
+  table.add_row({"PE block (16 PEs + staging)",
+                 format_fixed(m.pe_block_um2 * 1e-6, 3) + " mm2",
+                 format_percent(m.pe_block_share()), "89.2%"});
+  table.add_row({"Tile buffers",
+                 format_fixed(m.tile_buffers_um2 * 1e-6, 3) + " mm2",
+                 format_percent(m.tile_buffers_share()), "10.1%"});
+  table.add_row({"Controller",
+                 format_fixed(m.controller_um2 * 1e-6, 4) + " mm2",
+                 format_percent(m.controller_share()), "0.1%"});
+  table.add_row({"Module total", format_fixed(m.total_mm2(), 3) + " mm2", "100%",
+                 "1.57mm x 1.55mm (2.43 mm2)"});
+  table.print(std::cout);
+
+  std::cout << "\nLayout: " << format_fixed(m.layout_width_mm(), 2) << " mm x "
+            << format_fixed(m.layout_height_mm(), 2) << " mm\n";
+
+  print_banner(std::cout, "Fig. 9 (right) — Breakdown of one PE");
+  TablePrinter pe_table({"Logic", "Area (um2)", "Share", "Paper"});
+  pe_table.add_row(
+      {"Shared + triangle (pre-existing)",
+       format_fixed(m.pe.shared_um2 + m.pe.triangle_um2, 0),
+       format_percent(1.0 - m.pe.enhanced_share()), "79%"});
+  pe_table.add_row({"Gaussian enhancement (2 add, 1 mul, 1 exp)",
+                    format_fixed(m.pe.gaussian_um2, 0),
+                    format_percent(m.pe.enhanced_share()), "21%"});
+  pe_table.print(std::cout);
+
+  print_banner(std::cout, "Sec. V-A — SoC integration & power");
+  const gpu::GpuConfig host = gpu::orin_nx_10w();
+  for (const char* label : {"scaled300", "scaled240"}) {
+    const core::RasterizerConfig cfg =
+        std::string(label) == "scaled300" ? core::RasterizerConfig::scaled300()
+                                          : core::RasterizerConfig::scaled240();
+    const core::AreaModel scaled(cfg);
+    std::cout << label << ": enhanced area "
+              << format_fixed(scaled.enhanced_mm2(), 2) << " mm2 @28nm, "
+              << format_fixed(scaled.enhanced_soc_mm2(), 2)
+              << " mm2 at SoC node = "
+              << format_percent(scaled.soc_fraction(host), 2)
+              << " of the Orin NX die (paper: ~0.2%)\n";
+  }
+  const core::EnergyModel energy(proto);
+  std::cout << "Typical 16-PE module power: "
+            << format_fixed(energy.typical_module_power_w(), 2)
+            << " W (paper: 1.7 W)\n";
+  return 0;
+}

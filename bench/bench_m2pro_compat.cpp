@@ -1,0 +1,35 @@
+// Reproduces paper Sec. V-D: compatibility with non-NVIDIA GPUs. The paper
+// runs OpenSplat on an Apple M2 Pro (2.6x the Orin NX FP32 rate) and reports
+// an 11.2x GauRast rasterization speedup on the `bicycle` scene, showing the
+// enhancement applies to any GPU with a triangle rasterizer.
+
+#include "bench_util.hpp"
+#include "gpu/config.hpp"
+
+int main() {
+  using namespace gaurast;
+  using namespace gaurast::bench;
+  print_banner(std::cout, "Sec. V-D — Portability: Apple M2 Pro + OpenSplat");
+
+  const gpu::GpuConfig m2 = gpu::m2_pro();
+  const gpu::CudaCostModel software(m2);
+  const scene::SceneProfile bicycle =
+      scene::profile_by_name("bicycle", scene::PipelineVariant::kOriginal);
+
+  const double sw_ms = software.raster_ms(bicycle);
+  const core::ProfileSimResult hw = simulate_gaurast(bicycle);
+  const double speedup = sw_ms / hw.runtime_ms();
+
+  TablePrinter table({"Quantity", "Model", "Paper"});
+  table.add_row({"Host FP32 rate vs Orin NX",
+                 format_ratio(m2.fma_rate_gfma / gpu::orin_nx_10w().fma_rate_gfma),
+                 "2.6x"});
+  table.add_row({"OpenSplat raster (bicycle)", format_time_ms(sw_ms), "-"});
+  table.add_row({"GauRast raster (bicycle)", format_time_ms(hw.runtime_ms()), "-"});
+  table.add_row({"Rasterization speedup", format_ratio(speedup), "11.2x"});
+  table.print(std::cout);
+  std::cout << "\nGauRast attaches to any GPU with a triangle rasterizer; the\n"
+               "speedup shrinks with host FP32 capability but remains >10x on\n"
+               "a laptop-class part.\n";
+  return 0;
+}

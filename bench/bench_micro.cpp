@@ -1,0 +1,126 @@
+// Google-benchmark microbenchmarks of the substrate implementations:
+// PE datapath throughput, software rasterization, radix sort, preprocessing
+// and the detailed cycle simulator. These gauge the *simulator's* host-side
+// performance, not modeled hardware numbers.
+
+#include <benchmark/benchmark.h>
+
+#include "core/detailed_sim.hpp"
+#include "core/hw_rasterizer.hpp"
+#include "core/pe.hpp"
+#include "mesh/primitives.hpp"
+#include "mesh/raster.hpp"
+#include "pipeline/renderer.hpp"
+#include "scene/generator.hpp"
+
+namespace {
+
+using namespace gaurast;
+
+scene::GaussianScene& probe_scene() {
+  static scene::GaussianScene s = [] {
+    scene::GeneratorParams params;
+    params.gaussian_count = 20000;
+    return scene::generate_scene(params);
+  }();
+  return s;
+}
+
+scene::Camera probe_camera() {
+  scene::GeneratorParams params;
+  return scene::default_camera(params, 320, 240);
+}
+
+void BM_PeGaussianPair(benchmark::State& state) {
+  pipeline::Splat2D splat;
+  splat.mean = {10.0f, 10.0f};
+  splat.conic = {0.05f, 0.01f, 0.07f};
+  splat.opacity = 0.8f;
+  splat.color = {0.5f, 0.4f, 0.3f};
+  const pipeline::BlendParams params;
+  sim::CounterSet counters;
+  pipeline::PixelBlendState blend;
+  for (auto _ : state) {
+    blend = pipeline::PixelBlendState{};
+    const auto r = core::pe_gaussian_pair(splat, {11.0f, 9.0f}, blend, params,
+                                          core::Precision::kFp32, counters);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_PeGaussianPair);
+
+void BM_Preprocess(benchmark::State& state) {
+  const auto cam = probe_camera();
+  for (auto _ : state) {
+    auto splats = pipeline::preprocess(probe_scene(), cam);
+    benchmark::DoNotOptimize(splats);
+  }
+}
+BENCHMARK(BM_Preprocess);
+
+void BM_SortSplats(benchmark::State& state) {
+  const auto cam = probe_camera();
+  const auto splats = pipeline::preprocess(probe_scene(), cam);
+  pipeline::TileGrid grid;
+  grid.width = cam.width();
+  grid.height = cam.height();
+  for (auto _ : state) {
+    auto work = pipeline::sort_splats(splats, grid);
+    benchmark::DoNotOptimize(work);
+  }
+}
+BENCHMARK(BM_SortSplats);
+
+void BM_SoftwareRasterize(benchmark::State& state) {
+  const auto cam = probe_camera();
+  const pipeline::GaussianRenderer renderer;
+  const auto frame = renderer.prepare(probe_scene(), cam);
+  for (auto _ : state) {
+    auto img = pipeline::rasterize(frame.splats, frame.workload,
+                                   renderer.config().blend);
+    benchmark::DoNotOptimize(img);
+  }
+}
+BENCHMARK(BM_SoftwareRasterize);
+
+void BM_HardwareModelRasterize(benchmark::State& state) {
+  const auto cam = probe_camera();
+  const pipeline::GaussianRenderer renderer;
+  const auto frame = renderer.prepare(probe_scene(), cam);
+  const core::HardwareRasterizer hw(core::RasterizerConfig::prototype16());
+  for (auto _ : state) {
+    auto r = hw.rasterize_gaussians(frame.splats, frame.workload,
+                                    renderer.config().blend);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_HardwareModelRasterize);
+
+void BM_TriangleReference(benchmark::State& state) {
+  const auto cam = probe_camera();
+  const mesh::TriangleMesh sphere = mesh::make_sphere(32, 48);
+  for (auto _ : state) {
+    auto out = mesh::render_mesh(sphere, cam);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_TriangleReference);
+
+void BM_DetailedSim(benchmark::State& state) {
+  std::vector<core::TileLoad> tiles;
+  for (int i = 0; i < 64; ++i) {
+    tiles.push_back(core::TileLoad{
+        static_cast<std::uint64_t>(2000 + 37 * i),
+        static_cast<std::uint64_t>(4096 + 13 * i)});
+  }
+  const auto cfg = core::RasterizerConfig::prototype16();
+  for (auto _ : state) {
+    auto r = core::run_detailed_module_sim(tiles, cfg);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_DetailedSim);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+// Reproduces paper Table I: comparison of rendering methodologies (triangle
+// mesh vs NeRF vs 3D Gaussian) on a GPU. Qualitative in the paper; here we
+// back the qualitative rows with modeled frame times on the Orin NX.
+
+#include "bench_util.hpp"
+#include "gpu/config.hpp"
+
+int main() {
+  using namespace gaurast;
+  using namespace gaurast::bench;
+  print_banner(std::cout, "Table I — Rendering methodology comparison (Orin NX, 10W)");
+
+  const gpu::CudaCostModel model(gpu::orin_nx_10w());
+  const scene::SceneProfile bicycle =
+      scene::profile_by_name("bicycle", scene::PipelineVariant::kOriginal);
+  const auto pixels = bicycle.pixel_count();
+
+  // A game-grade mesh of the same scene: ~1M triangles, 2x overdraw.
+  const double mesh_ms = model.triangle_render_ms(1'000'000, pixels, 2.0);
+  // Vanilla NeRF: 192 samples/ray through an 8x256 MLP.
+  const double nerf_ms = model.nerf_render_ms(pixels);
+  // 3DGS: full pipeline from the calibrated profile.
+  const double gs_ms = model.frame_times(bicycle).total_ms();
+
+  TablePrinter table({"Method", "Scene reconstruction", "Quality",
+                      "Frame time (model)", "FPS", "Paper speed class"});
+  table.add_row({"Triangle mesh", "manual", "manually decided",
+                 format_time_ms(mesh_ms), format_fixed(1000.0 / mesh_ms, 0),
+                 "Fast"});
+  table.add_row({"NeRF", "automatic", "high", format_time_ms(nerf_ms),
+                 format_fixed(1000.0 / nerf_ms, 3), "Slow"});
+  table.add_row({"3D Gaussian", "automatic", "very high",
+                 format_time_ms(gs_ms), format_fixed(1000.0 / gs_ms, 1),
+                 "Medium"});
+  table.print(std::cout);
+  std::cout << "\nOrdering matches the paper: mesh >> 3DGS >> NeRF in speed,\n"
+               "with 3DGS the only automatic + very-high-quality option.\n";
+  return 0;
+}

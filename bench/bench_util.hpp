@@ -1,0 +1,65 @@
+// Shared helpers for the experiment harnesses.
+//
+// Every bench binary regenerates one paper artifact (table or figure) and
+// prints the paper's published value next to the model's output so the
+// reproduction can be audited row by row (EXPERIMENTS.md records the same).
+#pragma once
+
+#include <iostream>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/profile_sim.hpp"
+#include "gpu/cost_model.hpp"
+#include "scene/profile.hpp"
+
+namespace gaurast::bench {
+
+/// The scaled GauRast deployment used for all headline numbers (the paper's
+/// stated 300-PE aggregate across 15 modules at 1 GHz).
+inline core::RasterizerConfig headline_config() {
+  return core::RasterizerConfig::scaled300();
+}
+
+/// GauRast Step-3 runtime (ms) for a full-scale profile.
+inline core::ProfileSimResult simulate_gaurast(
+    const scene::SceneProfile& profile,
+    const core::RasterizerConfig& config = headline_config()) {
+  const core::ProfileSimulator sim(config);
+  return sim.simulate(profile);
+}
+
+/// Geometric-mean-free arithmetic average, as the paper reports.
+inline double average(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+/// Paper Table III baselines (ms) for the original pipeline, for
+/// side-by-side display.
+inline double paper_tab3_baseline_ms(const std::string& scene) {
+  if (scene == "bicycle") return 321;
+  if (scene == "stump") return 149;
+  if (scene == "garden") return 232;
+  if (scene == "room") return 236;
+  if (scene == "counter") return 216;
+  if (scene == "kitchen") return 269;
+  if (scene == "bonsai") return 147;
+  return 0;
+}
+
+inline double paper_tab3_gaurast_ms(const std::string& scene) {
+  if (scene == "bicycle") return 15.0;
+  if (scene == "stump") return 6.0;
+  if (scene == "garden") return 9.6;
+  if (scene == "room") return 10.5;
+  if (scene == "counter") return 9.8;
+  if (scene == "kitchen") return 12.2;
+  if (scene == "bonsai") return 5.5;
+  return 0;
+}
+
+}  // namespace gaurast::bench

@@ -1,0 +1,88 @@
+// Hybrid rendering: the defining property of GauRast is that ONE rasterizer
+// serves both primitive types (paper Sec. IV: "preserving the original
+// capabilities for standard triangle mesh rendering"). This example renders
+// (a) a triangle-mesh scene and (b) a Gaussian scene through the same
+// HardwareRasterizer instance, verifies both against their software
+// references, and renders a composite: Gaussian background + mesh overlay,
+// as a robotics HUD would.
+//
+//   ./hybrid_rendering [--width 480] [--height 360] [--out hybrid]
+
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/hw_rasterizer.hpp"
+#include "mesh/primitives.hpp"
+#include "pipeline/renderer.hpp"
+#include "scene/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gaurast;
+  CliParser cli("Hybrid triangle + Gaussian rendering on one rasterizer");
+  cli.add_flag("width", "480", "image width");
+  cli.add_flag("height", "360", "image height");
+  cli.add_flag("out", "hybrid", "output PPM prefix");
+  if (!cli.parse(argc, argv)) return 0;
+  const int w = cli.get_int("width");
+  const int h = cli.get_int("height");
+
+  const core::HardwareRasterizer hw(core::RasterizerConfig::prototype16());
+
+  // --- Triangle mode: torus + terrain ---------------------------------
+  scene::GeneratorParams params;
+  const scene::Camera camera = scene::default_camera(params, w, h);
+  mesh::TriangleMesh world = mesh::make_terrain(48, 16.0f, 1.0f, 7);
+  mesh::TriangleMesh torus = mesh::make_torus(32, 16, 2.0f, 0.7f);
+  torus.transform(translation4({0.0f, 2.0f, 0.0f}));
+  world.append(torus);
+
+  const mesh::RasterOutput sw_tri = mesh::render_mesh(world, camera);
+  const auto prims = mesh::build_primitives(world, camera);
+  const core::HwRasterResult hw_tri =
+      hw.rasterize_triangles(prims, w, h, {0.05f, 0.05f, 0.08f});
+  std::cout << "Triangle mode: " << world.triangle_count() << " triangles, "
+            << "hw vs sw max diff " << hw_tri.image.max_abs_diff(sw_tri.color)
+            << ", " << hw_tri.timing.makespan_cycles << " cycles\n";
+
+  // --- Gaussian mode: synthetic splat scene ----------------------------
+  params.gaussian_count = 30000;
+  const scene::GaussianScene gscene = scene::generate_scene(params);
+  const pipeline::GaussianRenderer renderer;
+  const pipeline::FrameResult sw_gauss = renderer.render(gscene, camera);
+  const core::HwRasterResult hw_gauss = hw.rasterize_gaussians(
+      sw_gauss.splats, sw_gauss.workload, renderer.config().blend);
+  std::cout << "Gaussian mode: " << gscene.size() << " Gaussians, "
+            << "hw vs sw max diff "
+            << hw_gauss.image.max_abs_diff(sw_gauss.image) << ", "
+            << hw_gauss.timing.makespan_cycles << " cycles\n";
+
+  // --- Composite: Gaussian backdrop + mesh overlay ---------------------
+  Image composite = hw_gauss.image;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const std::size_t idx = static_cast<std::size_t>(y) *
+                                  static_cast<std::size_t>(w) +
+                              static_cast<std::size_t>(x);
+      // Mesh fragments (finite depth) overwrite the splat backdrop.
+      if (sw_tri.depth[idx] < std::numeric_limits<float>::infinity()) {
+        composite.at(x, y) = hw_tri.image.at(x, y);
+      }
+    }
+  }
+  const std::string prefix = cli.get_string("out");
+  hw_tri.image.save_ppm(prefix + "_triangles.ppm");
+  hw_gauss.image.save_ppm(prefix + "_gaussians.ppm");
+  composite.save_ppm(prefix + "_composite.ppm");
+  std::cout << "Wrote " << prefix << "_{triangles,gaussians,composite}.ppm\n";
+
+  TablePrinter table({"Mode", "Pairs", "Cycles", "Utilization"});
+  table.add_row({"Triangle", std::to_string(hw_tri.pairs_evaluated),
+                 std::to_string(hw_tri.timing.makespan_cycles),
+                 format_percent(hw_tri.utilization())});
+  table.add_row({"Gaussian", std::to_string(hw_gauss.pairs_evaluated),
+                 std::to_string(hw_gauss.timing.makespan_cycles),
+                 format_percent(hw_gauss.utilization())});
+  table.print(std::cout);
+  return 0;
+}

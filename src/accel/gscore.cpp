@@ -1,0 +1,41 @@
+#include "accel/gscore.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gaurast::accel {
+
+GScoreSpec gscore_published() { return GScoreSpec{}; }
+
+AreaEfficiencyComparison compare_area_efficiency(
+    const gpu::GpuConfig& host, const scene::SceneProfile& reference_scene,
+    const GScoreSpec& spec) {
+  GAURAST_CHECK(spec.raster_speedup_vs_host > 0.0 && spec.area_mm2 > 0.0);
+
+  AreaEfficiencyComparison cmp;
+  // Host software rasterization pair rate on the reference workload.
+  const double host_pairs_per_s =
+      host.fma_rate_gfma * 1e9 /
+      (reference_scene.cuda_fma_per_pair * host.sw_raster_overhead);
+  cmp.target_pairs_per_second = host_pairs_per_s * spec.raster_speedup_vs_host;
+
+  // Size the FP16 GauRast configuration to that throughput (1 GHz clock,
+  // 4 pairs/cycle per FP16 PE — see RasterizerConfig).
+  core::RasterizerConfig probe = core::RasterizerConfig::fp16(1);
+  const double pairs_per_pe_per_s =
+      probe.pairs_per_cycle_per_pe() * probe.clock_ghz * 1e9;
+  cmp.gaurast_fp16_pes = static_cast<int>(
+      std::ceil(cmp.target_pairs_per_second / pairs_per_pe_per_s));
+  GAURAST_CHECK(cmp.gaurast_fp16_pes > 0);
+
+  const core::RasterizerConfig matched =
+      core::RasterizerConfig::fp16(cmp.gaurast_fp16_pes);
+  const core::AreaModel area(matched);
+  cmp.gaurast_enhanced_mm2 = area.enhanced_mm2();
+  cmp.gscore_mm2 = spec.area_mm2;
+  cmp.area_efficiency_gain = cmp.gscore_mm2 / cmp.gaurast_enhanced_mm2;
+  return cmp;
+}
+
+}  // namespace gaurast::accel

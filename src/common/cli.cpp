@@ -1,0 +1,104 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/error.hpp"
+
+namespace gaurast {
+
+CliParser::CliParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void CliParser::add_flag(const std::string& name,
+                         const std::string& default_value,
+                         const std::string& help) {
+  GAURAST_CHECK_MSG(!flags_.count(name), "duplicate flag --" << name);
+  flags_[name] = Flag{default_value, help, std::nullopt};
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  program_name_ = argc > 0 ? argv[0] : "program";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    const auto eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    } else {
+      auto it = flags_.find(name);
+      GAURAST_CHECK_MSG(it != flags_.end(), "unknown flag --" << name);
+      // Boolean-style flags (default "true"/"false") may omit the value.
+      const bool boolish = it->second.default_value == "true" ||
+                           it->second.default_value == "false";
+      if (boolish && (i + 1 >= argc ||
+                      std::string(argv[i + 1]).rfind("--", 0) == 0)) {
+        value = "true";
+      } else {
+        GAURAST_CHECK_MSG(i + 1 < argc, "flag --" << name << " needs a value");
+        value = argv[++i];
+      }
+    }
+    auto it = flags_.find(name);
+    GAURAST_CHECK_MSG(it != flags_.end(), "unknown flag --" << name);
+    it->second.value = value;
+  }
+  return true;
+}
+
+const CliParser::Flag& CliParser::find(const std::string& name) const {
+  auto it = flags_.find(name);
+  GAURAST_CHECK_MSG(it != flags_.end(), "flag --" << name << " not declared");
+  return it->second;
+}
+
+std::string CliParser::get_string(const std::string& name) const {
+  const Flag& f = find(name);
+  return f.value.value_or(f.default_value);
+}
+
+int CliParser::get_int(const std::string& name) const {
+  const std::string s = get_string(name);
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  GAURAST_CHECK_MSG(end && *end == '\0', "flag --" << name << "=" << s
+                                                   << " is not an integer");
+  return static_cast<int>(v);
+}
+
+double CliParser::get_double(const std::string& name) const {
+  const std::string s = get_string(name);
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  GAURAST_CHECK_MSG(end && *end == '\0', "flag --" << name << "=" << s
+                                                   << " is not a number");
+  return v;
+}
+
+bool CliParser::get_bool(const std::string& name) const {
+  const std::string s = get_string(name);
+  if (s == "true" || s == "1" || s == "yes") return true;
+  if (s == "false" || s == "0" || s == "no") return false;
+  GAURAST_CHECK_MSG(false, "flag --" << name << "=" << s << " is not boolean");
+  return false;
+}
+
+void CliParser::print_usage(std::ostream& os) const {
+  os << description_ << "\n\nUsage: " << program_name_ << " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << " (default: " << flag.default_value << ")\n      "
+       << flag.help << '\n';
+  }
+}
+
+}  // namespace gaurast

@@ -1,0 +1,52 @@
+// Tiny command-line flag parser for examples and bench harnesses.
+//
+// Supports --name=value and --name value forms plus boolean switches.
+// Unknown flags are an error so typos surface immediately.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gaurast {
+
+class CliParser {
+ public:
+  CliParser(std::string program_description);
+
+  /// Declares a flag with a default value (string form) and help text.
+  void add_flag(const std::string& name, const std::string& default_value,
+                const std::string& help);
+
+  /// Parses argv. Returns false (after printing usage) if --help was given.
+  /// Throws gaurast::Error on unknown flags or malformed input.
+  bool parse(int argc, const char* const* argv);
+
+  std::string get_string(const std::string& name) const;
+  int get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// Positional arguments left after flag parsing.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  void print_usage(std::ostream& os) const;
+
+ private:
+  struct Flag {
+    std::string default_value;
+    std::string help;
+    std::optional<std::string> value;
+  };
+
+  const Flag& find(const std::string& name) const;
+
+  std::string description_;
+  std::string program_name_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace gaurast

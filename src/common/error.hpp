@@ -1,0 +1,50 @@
+// Error handling primitives shared by every gaurast library.
+//
+// Invariant violations in simulator configuration or datapath wiring are
+// programming errors, not recoverable conditions, so the CHECK macros throw
+// gaurast::Error which carries the failing expression and location.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gaurast {
+
+/// Exception type thrown on contract violations (bad configs, broken
+/// invariants). Carries a formatted message with source location.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "GAURAST_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace gaurast
+
+/// Always-on contract check; throws gaurast::Error on failure.
+#define GAURAST_CHECK(expr)                                                  \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::gaurast::detail::throw_check_failure(#expr, __FILE__, __LINE__, ""); \
+    }                                                                        \
+  } while (false)
+
+/// Contract check with a streamed message: GAURAST_CHECK_MSG(x > 0, "x=" << x)
+#define GAURAST_CHECK_MSG(expr, stream_expr)                              \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream gaurast_check_os_;                               \
+      gaurast_check_os_ << stream_expr;                                   \
+      ::gaurast::detail::throw_check_failure(#expr, __FILE__, __LINE__,   \
+                                             gaurast_check_os_.str());    \
+    }                                                                     \
+  } while (false)

@@ -1,0 +1,99 @@
+#include "common/half.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace gaurast {
+
+namespace {
+std::uint32_t float_bits(float f) {
+  std::uint32_t u;
+  static_assert(sizeof(u) == sizeof(f));
+  std::memcpy(&u, &f, sizeof(u));
+  return u;
+}
+
+float bits_float(std::uint32_t u) {
+  float f;
+  std::memcpy(&f, &u, sizeof(f));
+  return f;
+}
+}  // namespace
+
+std::uint16_t float_to_half_bits(float value) {
+  const std::uint32_t f = float_bits(value);
+  const std::uint32_t sign = (f >> 16) & 0x8000u;
+  const std::int32_t exponent =
+      static_cast<std::int32_t>((f >> 23) & 0xFFu) - 127 + 15;
+  std::uint32_t mantissa = f & 0x7FFFFFu;
+
+  if (((f >> 23) & 0xFFu) == 0xFFu) {
+    // Inf or NaN. Preserve NaN-ness by forcing a mantissa bit.
+    const std::uint16_t nan_payload =
+        mantissa != 0 ? static_cast<std::uint16_t>(0x0200u | (mantissa >> 13))
+                      : static_cast<std::uint16_t>(0);
+    return static_cast<std::uint16_t>(sign | 0x7C00u | nan_payload);
+  }
+
+  if (exponent >= 0x1F) {
+    // Overflow -> infinity.
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+
+  if (exponent <= 0) {
+    // Subnormal half or zero.
+    if (exponent < -10) return static_cast<std::uint16_t>(sign);  // underflow
+    // Add implicit bit, then shift into subnormal position.
+    mantissa |= 0x800000u;
+    const std::uint32_t shift = static_cast<std::uint32_t>(14 - exponent);
+    std::uint32_t half_mant = mantissa >> shift;
+    // Round to nearest even.
+    const std::uint32_t rem = mantissa & ((1u << shift) - 1);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (half_mant & 1u))) ++half_mant;
+    return static_cast<std::uint16_t>(sign | half_mant);
+  }
+
+  // Normal case: round mantissa from 23 to 10 bits, to nearest even.
+  std::uint32_t half_mant = mantissa >> 13;
+  const std::uint32_t rem = mantissa & 0x1FFFu;
+  if (rem > 0x1000u || (rem == 0x1000u && (half_mant & 1u))) {
+    ++half_mant;
+    if (half_mant == 0x400u) {
+      // Mantissa overflow bumps the exponent.
+      half_mant = 0;
+      if (exponent + 1 >= 0x1F) return static_cast<std::uint16_t>(sign | 0x7C00u);
+      return static_cast<std::uint16_t>(
+          sign | (static_cast<std::uint32_t>(exponent + 1) << 10));
+    }
+  }
+  return static_cast<std::uint16_t>(
+      sign | (static_cast<std::uint32_t>(exponent) << 10) | half_mant);
+}
+
+float half_bits_to_float(std::uint16_t bits) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u) << 16;
+  const std::uint32_t exponent = (bits >> 10) & 0x1Fu;
+  std::uint32_t mantissa = bits & 0x3FFu;
+
+  if (exponent == 0x1Fu) {
+    // Inf / NaN.
+    return bits_float(sign | 0x7F800000u | (mantissa << 13));
+  }
+  if (exponent == 0) {
+    if (mantissa == 0) return bits_float(sign);  // signed zero
+    // Subnormal: normalize.
+    std::int32_t e = -1;
+    do {
+      ++e;
+      mantissa <<= 1;
+    } while ((mantissa & 0x400u) == 0);
+    mantissa &= 0x3FFu;
+    const std::uint32_t f_exp = static_cast<std::uint32_t>(127 - 15 - e);
+    return bits_float(sign | (f_exp << 23) | (mantissa << 13));
+  }
+  const std::uint32_t f_exp = exponent - 15 + 127;
+  return bits_float(sign | (f_exp << 23) | (mantissa << 13));
+}
+
+}  // namespace gaurast

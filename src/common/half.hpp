@@ -1,0 +1,71 @@
+// IEEE 754 binary16 (half precision) emulation.
+//
+// The GauRast FP16 variant (paper Sec. V-C, GSCore comparison) computes the
+// Gaussian datapath in half precision. We emulate binary16 in software:
+// values are stored as 16-bit patterns and every arithmetic operation
+// round-trips through float with round-to-nearest-even conversion, which is
+// exactly the behaviour of an FP16 FMA-less datapath that normalizes after
+// each operation.
+#pragma once
+
+#include <cstdint>
+
+namespace gaurast {
+
+/// Converts a float to the nearest IEEE binary16 bit pattern
+/// (round-to-nearest-even, with overflow to infinity and gradual underflow
+/// to subnormals).
+std::uint16_t float_to_half_bits(float value);
+
+/// Converts an IEEE binary16 bit pattern to float (exact).
+float half_bits_to_float(std::uint16_t bits);
+
+/// Value type wrapping a binary16 pattern. Arithmetic is performed in float
+/// and rounded back to binary16 after every operation.
+class Half {
+ public:
+  Half() = default;
+  explicit Half(float value) : bits_(float_to_half_bits(value)) {}
+
+  static Half from_bits(std::uint16_t bits) {
+    Half h;
+    h.bits_ = bits;
+    return h;
+  }
+
+  float to_float() const { return half_bits_to_float(bits_); }
+  std::uint16_t bits() const { return bits_; }
+
+  bool is_nan() const {
+    return (bits_ & 0x7C00u) == 0x7C00u && (bits_ & 0x03FFu) != 0;
+  }
+  bool is_inf() const {
+    return (bits_ & 0x7C00u) == 0x7C00u && (bits_ & 0x03FFu) == 0;
+  }
+
+  friend Half operator+(Half a, Half b) {
+    return Half(a.to_float() + b.to_float());
+  }
+  friend Half operator-(Half a, Half b) {
+    return Half(a.to_float() - b.to_float());
+  }
+  friend Half operator*(Half a, Half b) {
+    return Half(a.to_float() * b.to_float());
+  }
+  friend Half operator/(Half a, Half b) {
+    return Half(a.to_float() / b.to_float());
+  }
+  friend bool operator==(Half a, Half b) { return a.bits_ == b.bits_; }
+  friend bool operator!=(Half a, Half b) { return !(a == b); }
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+/// Rounds a float through binary16 and back; convenience for datapaths that
+/// keep float storage but model FP16 unit precision.
+inline float round_to_half(float value) {
+  return half_bits_to_float(float_to_half_bits(value));
+}
+
+}  // namespace gaurast

@@ -1,0 +1,23 @@
+#include "common/logging.hpp"
+
+namespace gaurast {
+
+LogLevel& global_log_level() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+void log_message(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(global_log_level())) return;
+  const char* tag = "?";
+  switch (level) {
+    case LogLevel::kDebug: tag = "DEBUG"; break;
+    case LogLevel::kInfo: tag = "INFO"; break;
+    case LogLevel::kWarn: tag = "WARN"; break;
+    case LogLevel::kError: tag = "ERROR"; break;
+    case LogLevel::kOff: return;
+  }
+  std::cerr << "[gaurast:" << tag << "] " << message << '\n';
+}
+
+}  // namespace gaurast

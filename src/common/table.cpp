@@ -1,0 +1,102 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace gaurast {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  GAURAST_CHECK(!headers_.empty());
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  GAURAST_CHECK_MSG(cells.size() == headers_.size(),
+                    "row has " << cells.size() << " cells, expected "
+                               << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+      if (c + 1 < row.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TablePrinter::print_csv(std::ostream& os) const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += "\"\"";
+      else out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << quote(row[c]);
+      if (c + 1 < row.size()) os << ',';
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string format_fixed(double value, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << value;
+  return os.str();
+}
+
+std::string format_ratio(double value, int digits) {
+  return format_fixed(value, digits) + "x";
+}
+
+std::string format_time_ms(double ms) {
+  if (ms < 0.1) return format_fixed(ms * 1000.0, 1) + " us";
+  if (ms < 1000.0) return format_fixed(ms, ms < 10 ? 2 : 1) + " ms";
+  return format_fixed(ms / 1000.0, 2) + " s";
+}
+
+std::string format_energy_mj(double mj) {
+  if (mj < 0.1) return format_fixed(mj * 1000.0, 1) + " uJ";
+  if (mj < 1000.0) return format_fixed(mj, mj < 10 ? 2 : 1) + " mJ";
+  return format_fixed(mj / 1000.0, 2) + " J";
+}
+
+std::string format_percent(double fraction, int digits) {
+  return format_fixed(fraction * 100.0, digits) + "%";
+}
+
+void print_banner(std::ostream& os, const std::string& title) {
+  os << '\n' << std::string(72, '=') << '\n'
+     << "  " << title << '\n'
+     << std::string(72, '=') << '\n';
+}
+
+}  // namespace gaurast

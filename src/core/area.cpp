@@ -1,0 +1,64 @@
+#include "core/area.hpp"
+
+#include "common/error.hpp"
+#include "core/pe.hpp"
+
+namespace gaurast::core {
+
+AreaModel::AreaModel(RasterizerConfig config, AreaTable table)
+    : config_(config), table_(table) {
+  config_.validate();
+}
+
+PeArea AreaModel::pe_area() const {
+  const bool half = config_.precision == Precision::kFp16;
+  const double add = half ? table_.fp16_add_um2 : table_.fp32_add_um2;
+  const double mul = half ? table_.fp16_mul_um2 : table_.fp32_mul_um2;
+  const double div = half ? table_.fp16_div_um2 : table_.fp32_div_um2;
+  const double exp = half ? table_.fp16_exp_um2 : table_.fp32_exp_um2;
+  const PeResources res{};
+  const double wire = 1.0 + table_.mux_ff_overhead;
+  PeArea a;
+  a.shared_um2 = (res.shared_adders * add + res.shared_multipliers * mul) * wire;
+  a.triangle_um2 = res.triangle_dividers * div * wire;
+  a.gaussian_um2 = (res.gaussian_adders * add + res.gaussian_multipliers * mul +
+                    res.gaussian_exp_units * exp) *
+                   wire;
+  return a;
+}
+
+ModuleArea AreaModel::module_area() const {
+  ModuleArea m;
+  m.pe = pe_area();
+  m.pe_count = config_.pes_per_module;
+  const bool half = config_.precision == Precision::kFp16;
+  const double staging =
+      table_.staging_um2_per_pe * (half ? table_.fp16_staging_scale : 1.0);
+  m.pe_block_um2 =
+      static_cast<double>(config_.pes_per_module) * (m.pe.total_um2() + staging);
+  m.tile_buffers_um2 = 2.0 * static_cast<double>(config_.tile_buffer_bytes) /
+                       table_.sram_bytes_per_um2;
+  m.controller_um2 = table_.controller_um2;
+  m.total_um2 = m.pe_block_um2 + m.tile_buffers_um2 + m.controller_um2;
+  return m;
+}
+
+double AreaModel::design_mm2() const {
+  return module_area().total_mm2() * static_cast<double>(config_.module_count);
+}
+
+double AreaModel::enhanced_mm2() const {
+  return pe_area().gaussian_um2 * 1e-6 *
+         static_cast<double>(config_.total_pes());
+}
+
+double AreaModel::enhanced_soc_mm2() const {
+  return enhanced_mm2() * table_.soc_node_scale;
+}
+
+double AreaModel::soc_fraction(const gpu::GpuConfig& host) const {
+  GAURAST_CHECK(host.soc_area_mm2 > 0.0);
+  return enhanced_soc_mm2() / host.soc_area_mm2;
+}
+
+}  // namespace gaurast::core

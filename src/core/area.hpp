@@ -1,0 +1,104 @@
+// Area model of the enhanced rasterizer (substitute for the paper's
+// Catapult HLS -> Fusion Compiler 28 nm place-and-route).
+//
+// A bottom-up roll-up from per-unit silicon areas: each PE is the triangle
+// rasterizer's arithmetic pool (9 add + 9 mul + 1 div) plus the Gaussian
+// enhancement (2 add + 1 mul + 1 exp); the PE block adds per-PE operand
+// staging flip-flops and result collection (paper Fig. 7(b)'s "Data Staging"
+// banks); tile buffers are SRAM macros; the controller is a small FSM.
+// Constants are chosen so the module-level roll-up reproduces the paper's
+// Fig. 9: ~2.43 mm^2 for the 16-PE module (1.57 mm x 1.55 mm), PE block
+// ~89%, tile buffers ~10%, controller ~0.1%, and a ~21% Gaussian-enhancement
+// share inside each PE.
+#pragma once
+
+#include "core/config.hpp"
+#include "gpu/config.hpp"
+
+namespace gaurast::core {
+
+/// Unit areas in um^2 at 28 nm.
+struct AreaTable {
+  double fp32_add_um2 = 600.0;
+  double fp32_mul_um2 = 2600.0;
+  double fp32_div_um2 = 3000.0;
+  double fp32_exp_um2 = 5000.0;
+  double fp16_add_um2 = 250.0;
+  double fp16_mul_um2 = 1000.0;
+  double fp16_div_um2 = 1400.0;
+  double fp16_exp_um2 = 1800.0;
+  double mux_ff_overhead = 0.10;  ///< per-PE mux/pipeline-register fraction
+
+  /// Operand staging + result collection flip-flops per PE (dominates the
+  /// PE block outside the arithmetic, per the prototype layout).
+  double staging_um2_per_pe = 91000.0;
+  double fp16_staging_scale = 0.5;
+
+  double sram_bytes_per_um2 = 0.533;  ///< tile-buffer macro density
+  double controller_um2 = 2430.0;
+
+  /// 28 nm -> 8 nm-class area scale for SoC-integration figures.
+  double soc_node_scale = 0.14;
+};
+
+struct PeArea {
+  double shared_um2 = 0.0;    ///< 9 add + 9 mul (both modes)
+  double triangle_um2 = 0.0;  ///< divider (triangle-only)
+  double gaussian_um2 = 0.0;  ///< 2 add + 1 mul + 1 exp (the enhancement)
+  double total_um2() const { return shared_um2 + triangle_um2 + gaussian_um2; }
+  /// Fraction of the PE added for Gaussian support (paper: ~21%).
+  double enhanced_share() const {
+    const double t = total_um2();
+    return t > 0.0 ? gaussian_um2 / t : 0.0;
+  }
+};
+
+struct ModuleArea {
+  PeArea pe;
+  int pe_count = 0;
+  double pe_block_um2 = 0.0;      ///< PEs + staging + collection
+  double tile_buffers_um2 = 0.0;
+  double controller_um2 = 0.0;
+  double total_um2 = 0.0;
+
+  double total_mm2() const { return total_um2 * 1e-6; }
+  double pe_block_share() const { return pe_block_um2 / total_um2; }
+  double tile_buffers_share() const { return tile_buffers_um2 / total_um2; }
+  double controller_share() const { return controller_um2 / total_um2; }
+
+  /// Layout dimensions assuming the prototype's 1.57 mm width.
+  double layout_width_mm() const { return 1.57; }
+  double layout_height_mm() const {
+    return total_mm2() / layout_width_mm();
+  }
+};
+
+class AreaModel {
+ public:
+  AreaModel(RasterizerConfig config, AreaTable table = {});
+
+  PeArea pe_area() const;
+  ModuleArea module_area() const;
+
+  /// Total area of all module instances (mm^2, 28 nm).
+  double design_mm2() const;
+
+  /// Gaussian-enhancement area across the whole design (mm^2, 28 nm):
+  /// the adders/multiplier/exp added to every PE.
+  double enhanced_mm2() const;
+
+  /// Enhancement area translated to the baseline SoC's node (mm^2).
+  double enhanced_soc_mm2() const;
+
+  /// Enhancement as a fraction of a host SoC's die area (paper: ~0.2% on
+  /// Orin NX).
+  double soc_fraction(const gpu::GpuConfig& host) const;
+
+  const AreaTable& table() const { return table_; }
+
+ private:
+  RasterizerConfig config_;
+  AreaTable table_;
+};
+
+}  // namespace gaurast::core

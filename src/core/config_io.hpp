@@ -1,0 +1,26 @@
+// Plain-text (key = value) serialization of RasterizerConfig.
+//
+// Lets experiments pin a hardware configuration in a versionable file and
+// lets the examples/benches accept `--config file` instead of code edits.
+// Format: one `key = value` per line, `#` comments, unknown keys rejected.
+#pragma once
+
+#include <string>
+
+#include "core/config.hpp"
+
+namespace gaurast::core {
+
+/// Writes every field of the config.
+void save_config(const RasterizerConfig& config, const std::string& path);
+
+/// Reads a config written by save_config (or hand-authored). Fields absent
+/// from the file keep the prototype16() defaults; unknown keys or malformed
+/// values throw gaurast::Error. The result is validate()d before returning.
+RasterizerConfig load_config(const std::string& path);
+
+/// String forms used in the file ("fp32" / "fp16").
+std::string precision_to_string(Precision precision);
+Precision precision_from_string(const std::string& text);
+
+}  // namespace gaurast::core

@@ -1,0 +1,86 @@
+// Processing Element functional datapath (paper Fig. 7(c), Table II).
+//
+// Each PE supports two modes sharing one arithmetic pool:
+//   Triangle mode (pre-existing): coordinate shift -> edge-function
+//     intersection detection -> barycentric (UV) weight via the dedicated
+//     divider -> min-depth color hold.
+//   Gaussian mode (the enhancement): coordinate shift -> conic quadratic
+//     form + dedicated exponentiation unit -> color weight -> front-to-back
+//     accumulation.
+//
+// The functional arithmetic is byte-identical to the software pipelines
+// (pipeline/rasterize.hpp, mesh/raster.hpp) so hardware-model images match
+// the software reference exactly; every retired operation is tallied into a
+// CounterSet using the *hardware* op inventory (incremental edge evaluation
+// for triangles), which feeds the energy model.
+#pragma once
+
+#include "core/config.hpp"
+#include "mesh/raster.hpp"
+#include "pipeline/rasterize.hpp"
+#include "sim/counters.hpp"
+
+namespace gaurast::core {
+
+/// Static resource inventory of one PE, as synthesized (paper Sec. IV-B):
+/// the triangle rasterizer contributes 9 adders, 9 multipliers and one
+/// divider; Gaussian support adds 2 adders, 1 multiplier and 1 exp unit.
+struct PeResources {
+  int shared_adders = 9;
+  int shared_multipliers = 9;
+  int triangle_dividers = 1;
+  int gaussian_adders = 2;
+  int gaussian_multipliers = 1;
+  int gaussian_exp_units = 1;
+
+  int total_adders() const { return shared_adders + gaussian_adders; }
+  int total_multipliers() const {
+    return shared_multipliers + gaussian_multipliers;
+  }
+};
+
+/// Result of one Gaussian pair evaluation.
+struct GaussianPairResult {
+  float alpha = 0.0f;    ///< post-clamp alpha
+  bool blended = false;  ///< passed the 1/255 threshold and was accumulated
+};
+
+/// The PE's Gaussian-mode per-pair operation: evaluates alpha at the pixel
+/// and, if above threshold, performs the front-to-back accumulate on
+/// `state`. In FP16 mode every intermediate rounds through binary16.
+/// Tallies datapath ops into `counters`.
+GaussianPairResult pe_gaussian_pair(const pipeline::Splat2D& splat,
+                                    Vec2f pixel,
+                                    pipeline::PixelBlendState& state,
+                                    const pipeline::BlendParams& params,
+                                    Precision precision,
+                                    sim::CounterSet& counters);
+
+/// The PE's triangle-mode per-pair operation: coverage test, attribute
+/// interpolation and min-depth color hold against (depth, color).
+/// Returns true when the fragment won the depth test.
+bool pe_triangle_pair(const mesh::ScreenTriangle& tri, Vec2f pixel,
+                      float& depth_state, Vec3f& color_state,
+                      Precision precision, sim::CounterSet& counters);
+
+/// Per-primitive triangle setup cost (the divider use); call once per
+/// triangle entering a PE block.
+void pe_triangle_setup(sim::CounterSet& counters);
+
+/// Op tallies charged per *fully blended* Gaussian pair, exposed for
+/// Table II reproduction and energy-model unit tests.
+struct GaussianPairOps {
+  std::uint64_t adds = 8;  ///< 2 shift + 2 power sum + 3 accumulate + (1-a)
+  std::uint64_t muls = 12; ///< 6 quadratic form + o*exp + T*a + 3 color + T update
+  std::uint64_t exps = 1;
+  std::uint64_t cmps = 2;  ///< alpha clamp + threshold
+};
+
+/// Op tallies charged per covered triangle pair (incremental edge form).
+struct TrianglePairOps {
+  std::uint64_t adds = 9;  ///< 3 edge increments + depth/attr accumulation
+  std::uint64_t muls = 9;  ///< barycentric scale + attribute interpolation
+  std::uint64_t cmps = 4;  ///< 3 inside tests + depth compare
+};
+
+}  // namespace gaurast::core

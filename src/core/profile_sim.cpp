@@ -1,0 +1,80 @@
+#include "core/profile_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+
+namespace gaurast::core {
+
+ProfileSimulator::ProfileSimulator(RasterizerConfig config, EnergyTable energy)
+    : config_(config), energy_model_(config, energy) {
+  config_.validate();
+}
+
+ProfileSimResult ProfileSimulator::simulate(const scene::SceneProfile& profile,
+                                            std::uint64_t seed) const {
+  GAURAST_CHECK_MSG(profile.total_pairs() > 0, "empty profile workload");
+  const std::uint64_t tiles = profile.tile_count(config_.tile_size);
+  GAURAST_CHECK(tiles > 0);
+
+  // Sample per-tile pair loads from a log-normal matched to the profile's
+  // coefficient of variation, then renormalize so the total is exact.
+  Pcg32 rng(seed ^ 0x9AF1u);
+  const double cv = std::max(profile.tile_load_cv, 0.01);
+  const double sigma2 = std::log(1.0 + cv * cv);
+  const double sigma = std::sqrt(sigma2);
+  std::vector<double> raw(tiles);
+  double raw_sum = 0.0;
+  for (auto& r : raw) {
+    r = rng.lognormal(-0.5 * sigma2, sigma);  // mean 1
+    raw_sum += r;
+  }
+  GAURAST_CHECK(raw_sum > 0.0);
+
+  const auto total_pairs = static_cast<double>(profile.total_pairs());
+  const auto total_instances = static_cast<double>(profile.tile_instances());
+  const double prim_bytes =
+      static_cast<double>(gaussian_primitive_bytes(config_.precision));
+  const double px_bytes =
+      static_cast<double>(pixel_state_bytes(config_.precision)) *
+      config_.pixels_per_tile();
+
+  std::vector<TileLoad> loads;
+  loads.reserve(tiles);
+  std::uint64_t pair_acc = 0;
+  std::uint64_t inst_acc = 0;
+  for (std::uint64_t t = 0; t < tiles; ++t) {
+    const double share = raw[t] / raw_sum;
+    TileLoad load;
+    load.pairs = static_cast<std::uint64_t>(share * total_pairs);
+    // Tile instances track pair load (heavier tiles hold more primitives).
+    const auto instances =
+        static_cast<std::uint64_t>(share * total_instances);
+    load.fill_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(instances) * prim_bytes + px_bytes);
+    pair_acc += load.pairs;
+    inst_acc += instances;
+    loads.push_back(load);
+  }
+  // Rounding remainder goes to the heaviest tile so totals are conserved.
+  if (pair_acc < profile.total_pairs()) {
+    auto heaviest = std::max_element(
+        loads.begin(), loads.end(),
+        [](const TileLoad& a, const TileLoad& b) { return a.pairs < b.pairs; });
+    heaviest->pairs += profile.total_pairs() - pair_acc;
+  }
+
+  ProfileSimResult result;
+  result.timing = run_design_timeline(loads, config_);
+  result.pairs = profile.total_pairs();
+  result.tile_instances = profile.tile_instances();
+  result.energy_28nm = energy_model_.from_pair_statistics(
+      result.pairs, kBlendedFraction, result.tile_instances,
+      result.timing.runtime_ms);
+  result.energy_soc = energy_model_.at_soc_node(result.energy_28nm);
+  return result;
+}
+
+}  // namespace gaurast::core

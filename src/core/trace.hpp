@@ -1,0 +1,43 @@
+// Workload trace capture and replay.
+//
+// The functional hardware model and the profile simulator both reduce a
+// frame to a sequence of TileLoads. Persisting that sequence decouples
+// workload generation from timing exploration — the standard
+// trace-driven-simulation flow: capture once from the (slow) functional
+// model, then sweep rasterizer configurations by replaying the trace through
+// the timeline or the per-cycle detailed simulator.
+//
+// File format "GTR1": magic, tile count (u64), then per tile
+// pairs (u64) + fill_bytes (u64), little-endian.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/timeline.hpp"
+
+namespace gaurast::core {
+
+/// Writes a tile-load trace; throws gaurast::Error on IO failure.
+void save_trace(const std::vector<TileLoad>& tiles, const std::string& path);
+
+/// Reads a trace written by save_trace; throws on bad magic or truncation.
+std::vector<TileLoad> load_trace(const std::string& path);
+
+/// Summary statistics of a trace (for quick sanity checks and reports).
+struct TraceSummary {
+  std::size_t tiles = 0;
+  std::uint64_t total_pairs = 0;
+  std::uint64_t total_fill_bytes = 0;
+  std::uint64_t max_tile_pairs = 0;
+  double mean_tile_pairs = 0.0;
+};
+
+TraceSummary summarize_trace(const std::vector<TileLoad>& tiles);
+
+/// Replays a trace through the tile-level timeline under `config`.
+DesignTimelineResult replay_trace(const std::vector<TileLoad>& tiles,
+                                  const RasterizerConfig& config);
+
+}  // namespace gaurast::core

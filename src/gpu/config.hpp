@@ -1,0 +1,54 @@
+// Edge-GPU configurations for the CUDA-software baseline model.
+//
+// These describe the *host* SoCs the paper measures against: the NVIDIA
+// Jetson Orin NX at its 10 W power cap (primary baseline), the Jetson Xavier
+// NX (GSCore's baseline, Sec. V-C), and the Apple M2 Pro GPU (portability
+// experiment, Sec. V-D). Rates are sustained figures at the stated power
+// mode, not peak datasheet numbers.
+#pragma once
+
+#include <string>
+
+namespace gaurast::gpu {
+
+struct GpuConfig {
+  std::string name;
+
+  /// Sustained FP32 FMA rate (GFMA/s = 1e9 fused multiply-adds per second).
+  double fma_rate_gfma = 0.0;
+
+  /// DRAM bandwidth (GB/s) and achievable efficiency for streaming kernels.
+  double mem_bw_gbps = 0.0;
+  double mem_efficiency = 0.7;
+
+  /// Multiplier on a workload's calibrated FMA-per-pair cost, capturing the
+  /// software stack: 1.0 for the tuned reference CUDA kernels; >1 for less
+  /// optimized ports (e.g. OpenSplat on Metal).
+  double sw_raster_overhead = 1.0;
+
+  /// Board power cap and the active power attributable to the GPU + DRAM
+  /// while the rasterization kernel runs (used for baseline energy).
+  double tdp_w = 0.0;
+  double active_power_w = 0.0;
+
+  /// SoC die area (mm^2) and the effective area of its triangle-rasterizer
+  /// fixed-function units — the budget GauRast's scaled configuration
+  /// matches (paper: 15 modules ~ the Orin NX rasterizer area, and the
+  /// Gaussian enhancement is ~0.2% of the SoC).
+  double soc_area_mm2 = 0.0;
+  double rasterizer_area_mm2 = 0.0;
+
+  double effective_bw_gbps() const { return mem_bw_gbps * mem_efficiency; }
+};
+
+/// Jetson Orin NX, 10 W power mode: 1024 CUDA cores at ~612 MHz sustained.
+GpuConfig orin_nx_10w();
+
+/// Jetson Xavier NX (15 W): 384 CUDA cores at ~1.1 GHz. GSCore's host.
+GpuConfig xavier_nx();
+
+/// Apple M2 Pro GPU: 2.6x the Orin NX FP32 rate (paper Sec. V-D), with the
+/// OpenSplat software stack overhead on its rasterization kernel.
+GpuConfig m2_pro();
+
+}  // namespace gaurast::gpu

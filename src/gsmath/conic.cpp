@@ -1,0 +1,72 @@
+#include "gsmath/conic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gaurast {
+
+Mat3f covariance3d(Quatf rotation, Vec3f scale) {
+  GAURAST_CHECK_MSG(scale.x >= 0.0f && scale.y >= 0.0f && scale.z >= 0.0f,
+                    "negative Gaussian scale");
+  const Mat3f r = rotation.to_matrix();
+  const Mat3f s = Mat3f::diagonal(scale);
+  const Mat3f rs = r * s;  // M = R S; Sigma = M M^T
+  return rs * rs.transposed();
+}
+
+Cov2 project_covariance(const Mat3f& cov3d, Vec3f mean_view, float focal_x,
+                        float focal_y, float tan_fovx, float tan_fovy,
+                        const Mat3f& view_rot) {
+  // Clamp the projected position to 1.3x the frustum, as in the reference
+  // implementation: the affine approximation degrades at extreme angles.
+  const float limx = 1.3f * tan_fovx;
+  const float limy = 1.3f * tan_fovy;
+  const float z = mean_view.z;
+  GAURAST_CHECK_MSG(z > 0.0f, "project_covariance needs positive view depth");
+  const float txtz = std::clamp(mean_view.x / z, -limx, limx);
+  const float tytz = std::clamp(mean_view.y / z, -limy, limy);
+  const float tx = txtz * z;
+  const float ty = tytz * z;
+
+  // Jacobian of the perspective projection at the Gaussian center.
+  Mat3f jac;
+  jac.m = {focal_x / z, 0.0f, -(focal_x * tx) / (z * z),
+           0.0f, focal_y / z, -(focal_y * ty) / (z * z),
+           0.0f, 0.0f, 0.0f};
+
+  const Mat3f t = jac * view_rot;
+  const Mat3f cov = t * cov3d * t.transposed();
+
+  Cov2 out;
+  out.a = cov.at(0, 0) + 0.3f;  // low-pass dilation (reference impl.)
+  out.b = cov.at(0, 1);
+  out.c = cov.at(1, 1) + 0.3f;
+  return out;
+}
+
+bool invert_covariance(const Cov2& cov, Conic2& conic_out) {
+  const float det = cov.det();
+  if (!(det > 0.0f) || !std::isfinite(det)) return false;
+  const float inv = 1.0f / det;
+  conic_out.a = cov.c * inv;
+  conic_out.b = -cov.b * inv;
+  conic_out.c = cov.a * inv;
+  return true;
+}
+
+float splat_radius(const Cov2& cov) {
+  float l1 = 0.0f, l2 = 0.0f;
+  cov2_eigenvalues(cov, l1, l2);
+  return std::ceil(3.0f * std::sqrt(std::max(l1, 0.0f)));
+}
+
+void cov2_eigenvalues(const Cov2& cov, float& lambda1, float& lambda2) {
+  const float mid = 0.5f * cov.trace();
+  const float disc = std::sqrt(std::max(mid * mid - cov.det(), 0.1f));
+  lambda1 = mid + disc;
+  lambda2 = mid - disc;
+}
+
+}  // namespace gaurast

@@ -1,0 +1,74 @@
+// EWA splat projection and conic math.
+//
+// Projecting a 3D Gaussian to the image plane (Zwicker et al. EWA splatting,
+// as adopted by 3DGS) yields a 2D covariance Sigma' = J W Sigma W^T J^T where
+// W is the view rotation and J the local affine approximation of the
+// perspective projection. The screen-space density test evaluated per pixel
+// by both the CUDA kernel and the GauRast PE uses the *conic* (inverse
+// covariance): power = -1/2 d^T Conic d.
+#pragma once
+
+#include "gsmath/mat.hpp"
+#include "gsmath/quat.hpp"
+#include "gsmath/vec.hpp"
+
+namespace gaurast {
+
+/// Builds the 3D covariance Sigma = R S S^T R^T from quaternion rotation and
+/// per-axis scales (must be >= 0). Returned matrix is symmetric PSD.
+Mat3f covariance3d(Quatf rotation, Vec3f scale);
+
+/// Symmetric 2x2 covariance as (a, b, c) for [[a, b], [b, c]].
+struct Cov2 {
+  float a = 0.0f;
+  float b = 0.0f;
+  float c = 0.0f;
+
+  constexpr float det() const { return a * c - b * b; }
+  constexpr float trace() const { return a + c; }
+};
+
+/// Conic (inverse covariance) with the same symmetric layout.
+struct Conic2 {
+  float a = 0.0f;
+  float b = 0.0f;
+  float c = 0.0f;
+};
+
+/// Projects a 3D covariance into screen space.
+///   mean_view:  Gaussian center in view space (z < 0 in our convention is
+///               handled by the caller passing positive depth; here we use
+///               the 3DGS convention with +z forward).
+///   focal_x/y:  focals in pixels.
+///   tan_fovx/y: clamping bounds for the local affine approximation.
+/// Applies the reference implementation's +0.3 px^2 low-pass dilation on the
+/// diagonal, which guarantees a minimum 2D footprint (anti-aliasing floor).
+Cov2 project_covariance(const Mat3f& cov3d, Vec3f mean_view, float focal_x,
+                        float focal_y, float tan_fovx, float tan_fovy,
+                        const Mat3f& view_rot);
+
+/// Inverts a 2D covariance to a conic. Returns false if the covariance is
+/// (numerically) degenerate, in which case the splat is culled.
+bool invert_covariance(const Cov2& cov, Conic2& conic_out);
+
+/// Conservative pixel radius of the splat: 3 standard deviations along the
+/// major eigen-axis, ceil'ed — identical to the reference implementation.
+float splat_radius(const Cov2& cov);
+
+/// Evaluates the Gaussian power at pixel offset d from the center:
+/// -0.5 * (conic.a dx^2 + conic.c dy^2) - conic.b dx dy.
+/// alpha = opacity * exp(power) when power <= 0.
+/// The association (squares first, then scale by the conic terms) is fixed —
+/// the GauRast PE datapath performs the identical operation order, which is
+/// what makes hardware/software images bit-equal in FP32.
+constexpr float gaussian_power(const Conic2& conic, Vec2f d) {
+  const float dx2 = d.x * d.x;
+  const float dy2 = d.y * d.y;
+  const float dxdy = d.x * d.y;
+  return -0.5f * (conic.a * dx2 + conic.c * dy2) - conic.b * dxdy;
+}
+
+/// Eigenvalues of a symmetric 2x2 covariance (lambda1 >= lambda2).
+void cov2_eigenvalues(const Cov2& cov, float& lambda1, float& lambda2);
+
+}  // namespace gaurast

@@ -1,0 +1,76 @@
+#include "gsmath/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace gaurast {
+
+Image::Image(int width, int height, Vec3f fill)
+    : width_(width),
+      height_(height),
+      pixels_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
+              fill) {
+  GAURAST_CHECK(width > 0 && height > 0);
+}
+
+Vec3f& Image::at(int x, int y) {
+  GAURAST_CHECK_MSG(x >= 0 && x < width_ && y >= 0 && y < height_,
+                    "pixel (" << x << "," << y << ") out of " << width_ << "x"
+                              << height_);
+  return pixels_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                 static_cast<std::size_t>(x)];
+}
+
+const Vec3f& Image::at(int x, int y) const {
+  return const_cast<Image*>(this)->at(x, y);
+}
+
+void Image::save_ppm(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  GAURAST_CHECK_MSG(os.is_open(), "cannot open " << path);
+  os << "P6\n" << width_ << ' ' << height_ << "\n255\n";
+  for (const Vec3f& p : pixels_) {
+    const auto to_byte = [](float v) {
+      return static_cast<std::uint8_t>(clampf(v, 0.0f, 1.0f) * 255.0f + 0.5f);
+    };
+    const std::uint8_t rgb[3] = {to_byte(p.x), to_byte(p.y), to_byte(p.z)};
+    os.write(reinterpret_cast<const char*>(rgb), 3);
+  }
+  GAURAST_CHECK_MSG(os.good(), "write failure on " << path);
+}
+
+double Image::psnr(const Image& reference) const {
+  GAURAST_CHECK(width_ == reference.width_ && height_ == reference.height_);
+  double mse = 0.0;
+  for (std::size_t i = 0; i < pixels_.size(); ++i) {
+    const Vec3f d = pixels_[i] - reference.pixels_[i];
+    mse += static_cast<double>(d.norm2());
+  }
+  mse /= static_cast<double>(pixels_.size() * 3);
+  if (mse <= 0.0) return 1e9;
+  return 10.0 * std::log10(1.0 / mse);
+}
+
+float Image::max_abs_diff(const Image& reference) const {
+  GAURAST_CHECK(width_ == reference.width_ && height_ == reference.height_);
+  float worst = 0.0f;
+  for (std::size_t i = 0; i < pixels_.size(); ++i) {
+    const Vec3f d = pixels_[i] - reference.pixels_[i];
+    worst = std::max({worst, std::abs(d.x), std::abs(d.y), std::abs(d.z)});
+  }
+  return worst;
+}
+
+double Image::mean_luminance() const {
+  double sum = 0.0;
+  for (const Vec3f& p : pixels_) {
+    sum += static_cast<double>(p.x + p.y + p.z);
+  }
+  return pixels_.empty() ? 0.0 : sum / (3.0 * static_cast<double>(pixels_.size()));
+}
+
+}  // namespace gaurast

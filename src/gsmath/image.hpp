@@ -1,0 +1,49 @@
+// RGB float image with PPM export and comparison metrics.
+//
+// Shared by the 3DGS software pipeline, the triangle reference rasterizer and
+// the GauRast functional model; image-equality between software and hardware
+// paths is the repo's analogue of the paper's RTL-vs-software validation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gsmath/vec.hpp"
+
+namespace gaurast {
+
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height, Vec3f fill = {0, 0, 0});
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  std::size_t pixel_count() const { return pixels_.size(); }
+
+  Vec3f& at(int x, int y);
+  const Vec3f& at(int x, int y) const;
+
+  const std::vector<Vec3f>& pixels() const { return pixels_; }
+  std::vector<Vec3f>& pixels() { return pixels_; }
+
+  /// Writes a binary PPM (P6), clamping each channel to [0, 1].
+  void save_ppm(const std::string& path) const;
+
+  /// Peak signal-to-noise ratio against a same-sized reference (dB, higher
+  /// is closer; identical images return +inf represented as 1e9).
+  double psnr(const Image& reference) const;
+
+  /// Largest absolute per-channel difference against a reference.
+  float max_abs_diff(const Image& reference) const;
+
+  /// Mean of all channel values (quick content sanity probe in tests).
+  double mean_luminance() const;
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<Vec3f> pixels_;
+};
+
+}  // namespace gaurast

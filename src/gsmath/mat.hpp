@@ -1,0 +1,181 @@
+// Small dense matrices (2x2, 3x3, 4x4), row-major, header-only.
+//
+// These back the EWA splat projection (Jacobian * view * covariance chains),
+// camera transforms for both rendering pipelines, and the conic math in the
+// PE datapath model.
+#pragma once
+
+#include <array>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "gsmath/vec.hpp"
+
+namespace gaurast {
+
+/// Symmetric-friendly 2x2 matrix. m = [[a, b], [c, d]].
+struct Mat2f {
+  float a = 0.0f, b = 0.0f, c = 0.0f, d = 0.0f;
+
+  constexpr Mat2f() = default;
+  constexpr Mat2f(float a_, float b_, float c_, float d_)
+      : a(a_), b(b_), c(c_), d(d_) {}
+
+  static constexpr Mat2f identity() { return {1, 0, 0, 1}; }
+
+  constexpr Mat2f operator+(Mat2f o) const {
+    return {a + o.a, b + o.b, c + o.c, d + o.d};
+  }
+  constexpr Mat2f operator*(float s) const { return {a * s, b * s, c * s, d * s}; }
+  constexpr Mat2f operator*(Mat2f o) const {
+    return {a * o.a + b * o.c, a * o.b + b * o.d,
+            c * o.a + d * o.c, c * o.b + d * o.d};
+  }
+  constexpr Vec2f operator*(Vec2f v) const {
+    return {a * v.x + b * v.y, c * v.x + d * v.y};
+  }
+  constexpr Mat2f transposed() const { return {a, c, b, d}; }
+  constexpr float det() const { return a * d - b * c; }
+  constexpr float trace() const { return a + d; }
+
+  /// Inverse; requires |det| > 0 (callers guard degenerate covariances).
+  Mat2f inverse() const {
+    const float dt = det();
+    GAURAST_CHECK_MSG(dt != 0.0f, "singular 2x2 matrix");
+    const float inv = 1.0f / dt;
+    return {d * inv, -b * inv, -c * inv, a * inv};
+  }
+};
+
+/// 3x3 matrix, row-major storage.
+struct Mat3f {
+  std::array<float, 9> m{};  // m[r*3 + c]
+
+  constexpr Mat3f() = default;
+
+  static constexpr Mat3f identity() {
+    Mat3f r;
+    r.m = {1, 0, 0, 0, 1, 0, 0, 0, 1};
+    return r;
+  }
+
+  static constexpr Mat3f from_rows(Vec3f r0, Vec3f r1, Vec3f r2) {
+    Mat3f r;
+    r.m = {r0.x, r0.y, r0.z, r1.x, r1.y, r1.z, r2.x, r2.y, r2.z};
+    return r;
+  }
+
+  static constexpr Mat3f diagonal(Vec3f d) {
+    Mat3f r;
+    r.m = {d.x, 0, 0, 0, d.y, 0, 0, 0, d.z};
+    return r;
+  }
+
+  constexpr float at(std::size_t r, std::size_t c) const { return m[r * 3 + c]; }
+  constexpr float& at(std::size_t r, std::size_t c) { return m[r * 3 + c]; }
+
+  constexpr Mat3f operator*(const Mat3f& o) const {
+    Mat3f r;
+    for (std::size_t i = 0; i < 3; ++i)
+      for (std::size_t j = 0; j < 3; ++j) {
+        float s = 0;
+        for (std::size_t k = 0; k < 3; ++k) s += at(i, k) * o.at(k, j);
+        r.at(i, j) = s;
+      }
+    return r;
+  }
+
+  constexpr Vec3f operator*(Vec3f v) const {
+    return {m[0] * v.x + m[1] * v.y + m[2] * v.z,
+            m[3] * v.x + m[4] * v.y + m[5] * v.z,
+            m[6] * v.x + m[7] * v.y + m[8] * v.z};
+  }
+
+  constexpr Mat3f operator*(float s) const {
+    Mat3f r;
+    for (std::size_t i = 0; i < 9; ++i) r.m[i] = m[i] * s;
+    return r;
+  }
+
+  constexpr Mat3f operator+(const Mat3f& o) const {
+    Mat3f r;
+    for (std::size_t i = 0; i < 9; ++i) r.m[i] = m[i] + o.m[i];
+    return r;
+  }
+
+  constexpr Mat3f transposed() const {
+    Mat3f r;
+    for (std::size_t i = 0; i < 3; ++i)
+      for (std::size_t j = 0; j < 3; ++j) r.at(i, j) = at(j, i);
+    return r;
+  }
+
+  constexpr float det() const {
+    return m[0] * (m[4] * m[8] - m[5] * m[7]) -
+           m[1] * (m[3] * m[8] - m[5] * m[6]) +
+           m[2] * (m[3] * m[7] - m[4] * m[6]);
+  }
+};
+
+/// 4x4 matrix, row-major; used for view/projection transforms.
+struct Mat4f {
+  std::array<float, 16> m{};  // m[r*4 + c]
+
+  constexpr Mat4f() = default;
+
+  static constexpr Mat4f identity() {
+    Mat4f r;
+    r.m = {1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1};
+    return r;
+  }
+
+  constexpr float at(std::size_t r, std::size_t c) const { return m[r * 4 + c]; }
+  constexpr float& at(std::size_t r, std::size_t c) { return m[r * 4 + c]; }
+
+  constexpr Mat4f operator*(const Mat4f& o) const {
+    Mat4f r;
+    for (std::size_t i = 0; i < 4; ++i)
+      for (std::size_t j = 0; j < 4; ++j) {
+        float s = 0;
+        for (std::size_t k = 0; k < 4; ++k) s += at(i, k) * o.at(k, j);
+        r.at(i, j) = s;
+      }
+    return r;
+  }
+
+  constexpr Vec4f operator*(Vec4f v) const {
+    return {m[0] * v.x + m[1] * v.y + m[2] * v.z + m[3] * v.w,
+            m[4] * v.x + m[5] * v.y + m[6] * v.z + m[7] * v.w,
+            m[8] * v.x + m[9] * v.y + m[10] * v.z + m[11] * v.w,
+            m[12] * v.x + m[13] * v.y + m[14] * v.z + m[15] * v.w};
+  }
+
+  constexpr Mat4f transposed() const {
+    Mat4f r;
+    for (std::size_t i = 0; i < 4; ++i)
+      for (std::size_t j = 0; j < 4; ++j) r.at(i, j) = at(j, i);
+    return r;
+  }
+
+  /// Upper-left 3x3 block (rotation/scale part).
+  constexpr Mat3f upper3x3() const {
+    Mat3f r;
+    for (std::size_t i = 0; i < 3; ++i)
+      for (std::size_t j = 0; j < 3; ++j) r.at(i, j) = at(i, j);
+    return r;
+  }
+
+  /// Transforms a point (w=1) and divides by the resulting w.
+  Vec3f transform_point(Vec3f p) const {
+    const Vec4f h = (*this) * Vec4f(p, 1.0f);
+    GAURAST_CHECK_MSG(h.w != 0.0f, "projective point at infinity");
+    return h.xyz() / h.w;
+  }
+
+  /// Transforms a direction (w=0), no perspective divide.
+  constexpr Vec3f transform_dir(Vec3f d) const {
+    return ((*this) * Vec4f(d, 0.0f)).xyz();
+  }
+};
+
+}  // namespace gaurast

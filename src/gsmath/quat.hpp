@@ -1,0 +1,76 @@
+// Unit quaternions for Gaussian orientation.
+//
+// 3DGS parameterizes each Gaussian's covariance as R(q) S S^T R(q)^T with q a
+// unit quaternion and S a diagonal scale. This header provides the quaternion
+// type and the q -> rotation-matrix conversion used by both the scene
+// generator and the preprocessing stage.
+#pragma once
+
+#include <cmath>
+
+#include "gsmath/mat.hpp"
+#include "gsmath/vec.hpp"
+
+namespace gaurast {
+
+struct Quatf {
+  float w = 1.0f;
+  float x = 0.0f;
+  float y = 0.0f;
+  float z = 0.0f;
+
+  constexpr Quatf() = default;
+  constexpr Quatf(float w_, float x_, float y_, float z_)
+      : w(w_), x(x_), y(y_), z(z_) {}
+
+  static constexpr Quatf identity() { return {1, 0, 0, 0}; }
+
+  /// Axis-angle constructor; axis need not be normalized.
+  static Quatf from_axis_angle(Vec3f axis, float radians) {
+    const Vec3f a = axis.normalized();
+    const float h = 0.5f * radians;
+    const float s = std::sin(h);
+    return {std::cos(h), a.x * s, a.y * s, a.z * s};
+  }
+
+  constexpr float norm2() const { return w * w + x * x + y * y + z * z; }
+  float norm() const { return std::sqrt(norm2()); }
+
+  Quatf normalized() const {
+    const float n = norm();
+    GAURAST_CHECK(n > 0.0f);
+    return {w / n, x / n, y / n, z / n};
+  }
+
+  constexpr Quatf conjugate() const { return {w, -x, -y, -z}; }
+
+  /// Hamilton product.
+  constexpr Quatf operator*(Quatf o) const {
+    return {w * o.w - x * o.x - y * o.y - z * o.z,
+            w * o.x + x * o.w + y * o.z - z * o.y,
+            w * o.y - x * o.z + y * o.w + z * o.x,
+            w * o.z + x * o.y - y * o.x + z * o.w};
+  }
+
+  /// Rotation matrix for the (normalized) quaternion. Matches the reference
+  /// 3DGS CUDA implementation's build_rotation().
+  Mat3f to_matrix() const {
+    const Quatf q = normalized();
+    const float r = q.w, i = q.x, j = q.y, k = q.z;
+    Mat3f out;
+    out.m = {1 - 2 * (j * j + k * k), 2 * (i * j - r * k), 2 * (i * k + r * j),
+             2 * (i * j + r * k), 1 - 2 * (i * i + k * k), 2 * (j * k - r * i),
+             2 * (i * k - r * j), 2 * (j * k + r * i), 1 - 2 * (i * i + j * j)};
+    return out;
+  }
+
+  constexpr Vec3f rotate(Vec3f v) const {
+    // v' = q v q*; expanded via the rotation matrix is cheaper but this form
+    // is kept for clarity in non-hot paths.
+    const Quatf p{0.0f, v.x, v.y, v.z};
+    const Quatf r = (*this) * p * conjugate();
+    return {r.x, r.y, r.z};
+  }
+};
+
+}  // namespace gaurast

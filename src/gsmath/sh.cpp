@@ -1,0 +1,66 @@
+#include "gsmath/sh.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gaurast {
+
+namespace {
+// Real SH constants as used in the reference 3DGS renderer.
+constexpr float kSh0 = 0.28209479177387814f;
+constexpr float kSh1 = 0.4886025119029199f;
+constexpr float kSh2[5] = {1.0925484305920792f, -1.0925484305920792f,
+                           0.31539156525252005f, -1.0925484305920792f,
+                           0.5462742152960396f};
+constexpr float kSh3[7] = {-0.5900435899266435f, 2.890611442640554f,
+                           -0.4570457994644658f, 0.3731763325901154f,
+                           -0.4570457994644658f, 1.445305721320277f,
+                           -0.5900435899266435f};
+}  // namespace
+
+void sh_basis(Vec3f dir, int degree, std::array<float, kMaxShBasis>& out) {
+  GAURAST_CHECK(degree >= 0 && degree <= 3);
+  out.fill(0.0f);
+  out[0] = kSh0;
+  if (degree < 1) return;
+  const float x = dir.x, y = dir.y, z = dir.z;
+  out[1] = -kSh1 * y;
+  out[2] = kSh1 * z;
+  out[3] = -kSh1 * x;
+  if (degree < 2) return;
+  const float xx = x * x, yy = y * y, zz = z * z;
+  const float xy = x * y, yz = y * z, xz = x * z;
+  out[4] = kSh2[0] * xy;
+  out[5] = kSh2[1] * yz;
+  out[6] = kSh2[2] * (2.0f * zz - xx - yy);
+  out[7] = kSh2[3] * xz;
+  out[8] = kSh2[4] * (xx - yy);
+  if (degree < 3) return;
+  out[9] = kSh3[0] * y * (3.0f * xx - yy);
+  out[10] = kSh3[1] * xy * z;
+  out[11] = kSh3[2] * y * (4.0f * zz - xx - yy);
+  out[12] = kSh3[3] * z * (2.0f * zz - 3.0f * xx - 3.0f * yy);
+  out[13] = kSh3[4] * x * (4.0f * zz - xx - yy);
+  out[14] = kSh3[5] * z * (xx - yy);
+  out[15] = kSh3[6] * x * (xx - 3.0f * yy);
+}
+
+Vec3f eval_sh_color(const ShCoefficients& coeffs, int degree, Vec3f dir) {
+  const float n = dir.norm();
+  const Vec3f d = n > 0.0f ? dir / n : Vec3f{0.0f, 0.0f, 1.0f};
+  std::array<float, kMaxShBasis> basis;
+  sh_basis(d, degree, basis);
+  Vec3f c{0.0f, 0.0f, 0.0f};
+  for (std::size_t i = 0; i < sh_basis_count(degree); ++i) {
+    c += coeffs[i] * basis[i];
+  }
+  c += Vec3f{0.5f, 0.5f, 0.5f};
+  return {c.x < 0 ? 0 : c.x, c.y < 0 ? 0 : c.y, c.z < 0 ? 0 : c.z};
+}
+
+Vec3f sh_dc_from_rgb(Vec3f rgb) {
+  return (rgb - Vec3f{0.5f, 0.5f, 0.5f}) / kSh0;
+}
+
+}  // namespace gaurast

@@ -1,0 +1,39 @@
+// Real spherical harmonics up to degree 3 for view-dependent Gaussian color.
+//
+// 3DGS stores each Gaussian's color as SH coefficients (up to 16 per channel)
+// and evaluates them along the camera->Gaussian direction during
+// preprocessing (Step 1). Basis constants and the 0.5 offset match the
+// reference implementation (Kerbl et al. 2023).
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "gsmath/vec.hpp"
+
+namespace gaurast {
+
+/// Number of SH basis functions for a given degree (0..3): (deg+1)^2.
+constexpr std::size_t sh_basis_count(int degree) {
+  return static_cast<std::size_t>((degree + 1) * (degree + 1));
+}
+
+inline constexpr std::size_t kMaxShBasis = sh_basis_count(3);  // 16
+
+/// Per-channel SH coefficient block for one Gaussian: coeff[basis] is RGB.
+using ShCoefficients = std::array<Vec3f, kMaxShBasis>;
+
+/// Evaluates the real SH basis functions at unit direction `dir` into `out`,
+/// for bases 0..(degree+1)^2-1. degree must be in [0, 3].
+void sh_basis(Vec3f dir, int degree, std::array<float, kMaxShBasis>& out);
+
+/// Evaluates SH color along `dir` (need not be normalized): sum_i b_i(dir)
+/// * coeff[i] + 0.5, clamped to be non-negative — exactly the reference
+/// 3DGS computeColorFromSH behaviour.
+Vec3f eval_sh_color(const ShCoefficients& coeffs, int degree, Vec3f dir);
+
+/// Inverse of the degree-0 mapping: given a target RGB, the DC coefficient
+/// that reproduces it with eval_sh_color at degree 0.
+Vec3f sh_dc_from_rgb(Vec3f rgb);
+
+}  // namespace gaurast

@@ -1,0 +1,81 @@
+#include "gsmath/ssim.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace gaurast {
+
+namespace {
+double luminance(const Vec3f& c) {
+  return 0.299 * static_cast<double>(c.x) + 0.587 * static_cast<double>(c.y) +
+         0.114 * static_cast<double>(c.z);
+}
+}  // namespace
+
+double ssim(const Image& a, const Image& b) {
+  GAURAST_CHECK(a.width() == b.width() && a.height() == b.height());
+  GAURAST_CHECK_MSG(a.width() >= 8 && a.height() >= 8,
+                    "ssim needs at least 8x8 images");
+  constexpr int kWin = 8;
+  constexpr int kStride = 4;
+  constexpr double kC1 = 0.01 * 0.01;  // (K1 * L)^2, L = 1
+  constexpr double kC2 = 0.03 * 0.03;
+
+  // Precompute luminance planes.
+  std::vector<double> la(a.pixel_count()), lb(b.pixel_count());
+  for (int y = 0; y < a.height(); ++y) {
+    for (int x = 0; x < a.width(); ++x) {
+      const std::size_t i = static_cast<std::size_t>(y) *
+                                static_cast<std::size_t>(a.width()) +
+                            static_cast<std::size_t>(x);
+      la[i] = luminance(a.at(x, y));
+      lb[i] = luminance(b.at(x, y));
+    }
+  }
+
+  double total = 0.0;
+  std::size_t windows = 0;
+  for (int y0 = 0; y0 + kWin <= a.height(); y0 += kStride) {
+    for (int x0 = 0; x0 + kWin <= a.width(); x0 += kStride) {
+      double mu_a = 0, mu_b = 0;
+      for (int y = y0; y < y0 + kWin; ++y) {
+        for (int x = x0; x < x0 + kWin; ++x) {
+          const std::size_t i = static_cast<std::size_t>(y) *
+                                    static_cast<std::size_t>(a.width()) +
+                                static_cast<std::size_t>(x);
+          mu_a += la[i];
+          mu_b += lb[i];
+        }
+      }
+      constexpr double kN = kWin * kWin;
+      mu_a /= kN;
+      mu_b /= kN;
+      double var_a = 0, var_b = 0, cov = 0;
+      for (int y = y0; y < y0 + kWin; ++y) {
+        for (int x = x0; x < x0 + kWin; ++x) {
+          const std::size_t i = static_cast<std::size_t>(y) *
+                                    static_cast<std::size_t>(a.width()) +
+                                static_cast<std::size_t>(x);
+          const double da = la[i] - mu_a;
+          const double db = lb[i] - mu_b;
+          var_a += da * da;
+          var_b += db * db;
+          cov += da * db;
+        }
+      }
+      var_a /= kN - 1;
+      var_b /= kN - 1;
+      cov /= kN - 1;
+      const double s = ((2 * mu_a * mu_b + kC1) * (2 * cov + kC2)) /
+                       ((mu_a * mu_a + mu_b * mu_b + kC1) *
+                        (var_a + var_b + kC2));
+      total += s;
+      ++windows;
+    }
+  }
+  GAURAST_CHECK(windows > 0);
+  return total / static_cast<double>(windows);
+}
+
+}  // namespace gaurast

@@ -1,0 +1,106 @@
+// Small fixed-size vectors used throughout the renderer and simulators.
+//
+// Plain aggregates with value semantics; all operations are constexpr-capable
+// and header-only so the rasterizer inner loops inline fully.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "common/error.hpp"
+
+namespace gaurast {
+
+struct Vec2f {
+  float x = 0.0f;
+  float y = 0.0f;
+
+  constexpr Vec2f() = default;
+  constexpr Vec2f(float x_, float y_) : x(x_), y(y_) {}
+
+  constexpr Vec2f operator+(Vec2f o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2f operator-(Vec2f o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2f operator*(float s) const { return {x * s, y * s}; }
+  constexpr Vec2f operator/(float s) const { return {x / s, y / s}; }
+  constexpr Vec2f operator-() const { return {-x, -y}; }
+  constexpr Vec2f& operator+=(Vec2f o) { x += o.x; y += o.y; return *this; }
+  constexpr Vec2f& operator-=(Vec2f o) { x -= o.x; y -= o.y; return *this; }
+  constexpr bool operator==(const Vec2f&) const = default;
+
+  constexpr float dot(Vec2f o) const { return x * o.x + y * o.y; }
+  float norm() const { return std::sqrt(dot(*this)); }
+  constexpr float norm2() const { return dot(*this); }
+};
+
+struct Vec3f {
+  float x = 0.0f;
+  float y = 0.0f;
+  float z = 0.0f;
+
+  constexpr Vec3f() = default;
+  constexpr Vec3f(float x_, float y_, float z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Vec3f operator+(Vec3f o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3f operator-(Vec3f o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3f operator*(float s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3f operator/(float s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3f operator-() const { return {-x, -y, -z}; }
+  constexpr Vec3f& operator+=(Vec3f o) { x += o.x; y += o.y; z += o.z; return *this; }
+  constexpr Vec3f& operator-=(Vec3f o) { x -= o.x; y -= o.y; z -= o.z; return *this; }
+  constexpr Vec3f& operator*=(float s) { x *= s; y *= s; z *= s; return *this; }
+  constexpr bool operator==(const Vec3f&) const = default;
+
+  constexpr float dot(Vec3f o) const { return x * o.x + y * o.y + z * o.z; }
+  constexpr Vec3f cross(Vec3f o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  float norm() const { return std::sqrt(dot(*this)); }
+  constexpr float norm2() const { return dot(*this); }
+  Vec3f normalized() const {
+    const float n = norm();
+    GAURAST_CHECK(n > 0.0f);
+    return *this / n;
+  }
+  /// Component-wise product (used for color modulation).
+  constexpr Vec3f hadamard(Vec3f o) const { return {x * o.x, y * o.y, z * o.z}; }
+
+  constexpr float operator[](std::size_t i) const {
+    return i == 0 ? x : (i == 1 ? y : z);
+  }
+};
+
+struct Vec4f {
+  float x = 0.0f;
+  float y = 0.0f;
+  float z = 0.0f;
+  float w = 0.0f;
+
+  constexpr Vec4f() = default;
+  constexpr Vec4f(float x_, float y_, float z_, float w_)
+      : x(x_), y(y_), z(z_), w(w_) {}
+  constexpr Vec4f(Vec3f v, float w_) : x(v.x), y(v.y), z(v.z), w(w_) {}
+
+  constexpr Vec4f operator+(Vec4f o) const {
+    return {x + o.x, y + o.y, z + o.z, w + o.w};
+  }
+  constexpr Vec4f operator-(Vec4f o) const {
+    return {x - o.x, y - o.y, z - o.z, w - o.w};
+  }
+  constexpr Vec4f operator*(float s) const { return {x * s, y * s, z * s, w * s}; }
+  constexpr bool operator==(const Vec4f&) const = default;
+
+  constexpr float dot(Vec4f o) const {
+    return x * o.x + y * o.y + z * o.z + w * o.w;
+  }
+  constexpr Vec3f xyz() const { return {x, y, z}; }
+};
+
+constexpr Vec2f operator*(float s, Vec2f v) { return v * s; }
+constexpr Vec3f operator*(float s, Vec3f v) { return v * s; }
+constexpr Vec4f operator*(float s, Vec4f v) { return v * s; }
+
+inline float clampf(float v, float lo, float hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+}  // namespace gaurast

@@ -1,0 +1,64 @@
+#include "mesh/mesh.hpp"
+
+#include "common/error.hpp"
+
+namespace gaurast::mesh {
+
+std::uint32_t TriangleMesh::add_vertex(const Vertex& v) {
+  vertices_.push_back(v);
+  return static_cast<std::uint32_t>(vertices_.size() - 1);
+}
+
+void TriangleMesh::add_triangle(std::uint32_t a, std::uint32_t b,
+                                std::uint32_t c) {
+  const auto n = static_cast<std::uint32_t>(vertices_.size());
+  GAURAST_CHECK_MSG(a < n && b < n && c < n,
+                    "triangle (" << a << "," << b << "," << c
+                                 << ") references missing vertex; have " << n);
+  indices_.push_back(a);
+  indices_.push_back(b);
+  indices_.push_back(c);
+}
+
+void TriangleMesh::triangle(std::size_t t, std::uint32_t& a, std::uint32_t& b,
+                            std::uint32_t& c) const {
+  GAURAST_CHECK(t < triangle_count());
+  a = indices_[3 * t];
+  b = indices_[3 * t + 1];
+  c = indices_[3 * t + 2];
+}
+
+void TriangleMesh::transform(const Mat4f& m) {
+  for (Vertex& v : vertices_) {
+    v.position = m.transform_point(v.position);
+    const Vec3f n = m.transform_dir(v.normal);
+    const float len = n.norm();
+    if (len > 0.0f) v.normal = n / len;
+  }
+}
+
+void TriangleMesh::recompute_normals() {
+  for (Vertex& v : vertices_) v.normal = {0, 0, 0};
+  for (std::size_t t = 0; t < triangle_count(); ++t) {
+    std::uint32_t a, b, c;
+    triangle(t, a, b, c);
+    const Vec3f e1 = vertices_[b].position - vertices_[a].position;
+    const Vec3f e2 = vertices_[c].position - vertices_[a].position;
+    const Vec3f fn = e1.cross(e2);  // magnitude = 2x area (area weighting)
+    vertices_[a].normal += fn;
+    vertices_[b].normal += fn;
+    vertices_[c].normal += fn;
+  }
+  for (Vertex& v : vertices_) {
+    const float len = v.normal.norm();
+    v.normal = len > 0.0f ? v.normal / len : Vec3f{0, 1, 0};
+  }
+}
+
+void TriangleMesh::append(const TriangleMesh& other) {
+  const auto offset = static_cast<std::uint32_t>(vertices_.size());
+  for (const Vertex& v : other.vertices_) vertices_.push_back(v);
+  for (std::uint32_t idx : other.indices_) indices_.push_back(idx + offset);
+}
+
+}  // namespace gaurast::mesh

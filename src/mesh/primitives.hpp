@@ -1,0 +1,29 @@
+// Procedural mesh generators for examples, tests and the triangle-mode
+// benchmarks (we have no asset loader dependency; meshes are built in code).
+#pragma once
+
+#include <cstdint>
+
+#include "common/prng.hpp"
+#include "mesh/mesh.hpp"
+
+namespace gaurast::mesh {
+
+/// Unit cube centered at the origin, 12 triangles, face colors per axis.
+TriangleMesh make_cube();
+
+/// UV-sphere with the given tessellation (>= 3 each).
+TriangleMesh make_sphere(int stacks, int slices, float radius = 1.0f);
+
+/// Torus with major/minor radii.
+TriangleMesh make_torus(int major_segments, int minor_segments,
+                        float major_radius, float minor_radius);
+
+/// Flat grid in the XZ plane, `cells` x `cells` quads, side length `size`.
+TriangleMesh make_plane(int cells, float size);
+
+/// Random-height terrain grid; deterministic in `seed`.
+TriangleMesh make_terrain(int cells, float size, float height_scale,
+                          std::uint64_t seed);
+
+}  // namespace gaurast::mesh

@@ -1,0 +1,101 @@
+#include "mesh/texture.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+
+namespace gaurast::mesh {
+
+Texture::Texture(Image image) : image_(std::move(image)) {
+  GAURAST_CHECK(image_.width() > 0 && image_.height() > 0);
+}
+
+Texture Texture::checkerboard(int size, int cells, Vec3f a, Vec3f b) {
+  GAURAST_CHECK(size > 0 && cells > 0);
+  Image img(size, size);
+  for (int y = 0; y < size; ++y) {
+    for (int x = 0; x < size; ++x) {
+      const int cx = x * cells / size;
+      const int cy = y * cells / size;
+      img.at(x, y) = ((cx + cy) % 2 == 0) ? a : b;
+    }
+  }
+  return Texture(std::move(img));
+}
+
+Texture Texture::uv_gradient(int size) {
+  GAURAST_CHECK(size > 1);
+  Image img(size, size);
+  for (int y = 0; y < size; ++y) {
+    for (int x = 0; x < size; ++x) {
+      img.at(x, y) = {static_cast<float>(x) / static_cast<float>(size - 1),
+                      static_cast<float>(y) / static_cast<float>(size - 1),
+                      0.25f};
+    }
+  }
+  return Texture(std::move(img));
+}
+
+Texture Texture::noise(int size, std::uint64_t seed, Vec3f base,
+                       float amplitude) {
+  GAURAST_CHECK(size > 0);
+  Image img(size, size);
+  Pcg32 rng(seed);
+  for (auto& px : img.pixels()) {
+    const auto jitter = [&]() {
+      return static_cast<float>(rng.normal(0.0, amplitude));
+    };
+    px = {clampf(base.x + jitter(), 0.0f, 1.0f),
+          clampf(base.y + jitter(), 0.0f, 1.0f),
+          clampf(base.z + jitter(), 0.0f, 1.0f)};
+  }
+  return Texture(std::move(img));
+}
+
+float Texture::wrap_coord(float x, int extent, TextureWrap wrap) const {
+  const float e = static_cast<float>(extent);
+  if (wrap == TextureWrap::kRepeat) {
+    const float f = std::fmod(x, e);
+    return f < 0.0f ? f + e : f;
+  }
+  return std::clamp(x, 0.0f, e - 1.0f);
+}
+
+Vec3f Texture::texel(int x, int y) const {
+  x = std::clamp(x, 0, image_.width() - 1);
+  y = std::clamp(y, 0, image_.height() - 1);
+  return image_.at(x, y);
+}
+
+Vec3f Texture::sample(Vec2f uv, TextureFilter filter, TextureWrap wrap) const {
+  const float fx =
+      wrap_coord(uv.x * static_cast<float>(image_.width()), image_.width(), wrap);
+  const float fy = wrap_coord(uv.y * static_cast<float>(image_.height()),
+                              image_.height(), wrap);
+  if (filter == TextureFilter::kNearest) {
+    return texel(static_cast<int>(fx), static_cast<int>(fy));
+  }
+  // Bilinear around the texel centers.
+  const float gx = fx - 0.5f;
+  const float gy = fy - 0.5f;
+  const int x0 = static_cast<int>(std::floor(gx));
+  const int y0 = static_cast<int>(std::floor(gy));
+  const float tx = gx - static_cast<float>(x0);
+  const float ty = gy - static_cast<float>(y0);
+  auto pick = [&](int dx, int dy) {
+    int x = x0 + dx;
+    int y = y0 + dy;
+    if (wrap == TextureWrap::kRepeat) {
+      x = ((x % image_.width()) + image_.width()) % image_.width();
+      y = ((y % image_.height()) + image_.height()) % image_.height();
+    }
+    return texel(x, y);
+  };
+  const Vec3f top = pick(0, 0) * (1.0f - tx) + pick(1, 0) * tx;
+  const Vec3f bottom = pick(0, 1) * (1.0f - tx) + pick(1, 1) * tx;
+  return top * (1.0f - ty) + bottom * ty;
+}
+
+}  // namespace gaurast::mesh

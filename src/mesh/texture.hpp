@@ -1,0 +1,52 @@
+// Textures for the triangle pipeline.
+//
+// The rasterizer's Table-II output is "UV weight + depth": texture lookup
+// and shading happen downstream on the SMs in a real GPU, so texturing
+// lives entirely in the software mesh pipeline — the GauRast hardware model
+// is unaffected. Procedural constructors avoid any asset dependency.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gsmath/image.hpp"
+#include "gsmath/vec.hpp"
+
+namespace gaurast::mesh {
+
+enum class TextureFilter { kNearest, kBilinear };
+enum class TextureWrap { kRepeat, kClamp };
+
+/// RGB float texture with nearest/bilinear sampling and repeat/clamp wrap.
+class Texture {
+ public:
+  /// Builds from an image (copied).
+  explicit Texture(Image image);
+
+  /// Procedural checkerboard: `cells` squares per edge.
+  static Texture checkerboard(int size, int cells, Vec3f a = {0.85f, 0.85f, 0.85f},
+                              Vec3f b = {0.2f, 0.2f, 0.2f});
+
+  /// Procedural UV gradient (u -> red, v -> green): makes interpolation
+  /// errors visible in tests.
+  static Texture uv_gradient(int size);
+
+  /// Procedural value-noise texture, deterministic in seed.
+  static Texture noise(int size, std::uint64_t seed, Vec3f base,
+                       float amplitude = 0.25f);
+
+  int width() const { return image_.width(); }
+  int height() const { return image_.height(); }
+
+  /// Samples at (u, v); (0,0) is the first texel's corner.
+  Vec3f sample(Vec2f uv, TextureFilter filter = TextureFilter::kBilinear,
+               TextureWrap wrap = TextureWrap::kRepeat) const;
+
+ private:
+  float wrap_coord(float x, int extent, TextureWrap wrap) const;
+  Vec3f texel(int x, int y) const;
+
+  Image image_;
+};
+
+}  // namespace gaurast::mesh

@@ -1,0 +1,126 @@
+#include "pipeline/rasterize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "common/error.hpp"
+#include "gsmath/conic.hpp"
+
+namespace gaurast::pipeline {
+
+float eval_splat_alpha(const Splat2D& splat, Vec2f pixel,
+                       const BlendParams& params) {
+  const Vec2f d = pixel - splat.mean;
+  const float power = gaussian_power(splat.conic, d);
+  if (power > 0.0f) return 0.0f;
+  const float alpha = splat.opacity * std::exp(power);
+  return std::min(params.alpha_max, alpha);
+}
+
+bool accumulate(PixelBlendState& state, float alpha, Vec3f color,
+                const BlendParams& params) {
+  if (alpha < params.alpha_min) return false;
+  state.accumulated += color * (alpha * state.transmittance);
+  state.transmittance *= (1.0f - alpha);
+  return true;
+}
+
+namespace {
+
+/// Rasterizes tiles [tile_begin, tile_end) into `image`, accumulating stats
+/// into `local`. Tiles write disjoint pixels, so concurrent workers are safe.
+void rasterize_tile_span(const std::vector<Splat2D>& splats,
+                         const TileWorkload& work, const BlendParams& params,
+                         std::uint32_t tile_begin, std::uint32_t tile_end,
+                         Image& image, RasterStats& local) {
+  const TileGrid& grid = work.grid;
+  const int tiles_x = grid.tiles_x();
+  for (std::uint32_t tile_id = tile_begin; tile_id < tile_end; ++tile_id) {
+    const TileRange range = work.ranges[tile_id];
+    if (range.size() == 0) continue;
+    const int tx = static_cast<int>(tile_id) % tiles_x;
+    const int ty = static_cast<int>(tile_id) / tiles_x;
+    const int px0 = tx * grid.tile_size;
+    const int py0 = ty * grid.tile_size;
+    const int px1 = std::min(px0 + grid.tile_size, grid.width);
+    const int py1 = std::min(py0 + grid.tile_size, grid.height);
+
+    // Reference-kernel iteration order: each pixel walks the depth-sorted
+    // splat list until its transmittance crosses the threshold.
+    for (int py = py0; py < py1; ++py) {
+      for (int px = px0; px < px1; ++px) {
+        PixelBlendState st;
+        const Vec2f pixel{static_cast<float>(px) + 0.5f,
+                          static_cast<float>(py) + 0.5f};
+        for (std::uint32_t i = range.begin; i < range.end; ++i) {
+          if (st.transmittance < params.transmittance_min) {
+            ++local.pixels_terminated;
+            break;
+          }
+          const Splat2D& sp = splats[work.instances[i].splat_index];
+          ++local.pairs_evaluated;
+          ++local.pairs_per_tile[tile_id];
+          const float alpha = eval_splat_alpha(sp, pixel, params);
+          if (accumulate(st, alpha, sp.color, params)) {
+            ++local.pairs_blended;
+          }
+        }
+        image.at(px, py) =
+            st.accumulated + params.background * st.transmittance;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Image rasterize(const std::vector<Splat2D>& splats, const TileWorkload& work,
+                const BlendParams& params, RasterStats* stats,
+                int num_threads) {
+  GAURAST_CHECK(num_threads >= 1);
+  const TileGrid& grid = work.grid;
+  Image image(grid.width, grid.height, params.background);
+  const std::uint32_t tiles = grid.tile_count();
+
+  if (num_threads == 1 || tiles < 2) {
+    RasterStats local;
+    local.pairs_per_tile.assign(tiles, 0);
+    rasterize_tile_span(splats, work, params, 0, tiles, image, local);
+    if (stats) *stats = std::move(local);
+    return image;
+  }
+
+  const auto workers = static_cast<std::uint32_t>(
+      std::min<std::uint32_t>(static_cast<std::uint32_t>(num_threads), tiles));
+  std::vector<RasterStats> per_thread(workers);
+  for (auto& st : per_thread) st.pairs_per_tile.assign(tiles, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::uint32_t w = 0; w < workers; ++w) {
+    const std::uint32_t begin = tiles * w / workers;
+    const std::uint32_t end = tiles * (w + 1) / workers;
+    threads.emplace_back([&, w, begin, end] {
+      rasterize_tile_span(splats, work, params, begin, end, image,
+                          per_thread[w]);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  if (stats) {
+    RasterStats merged;
+    merged.pairs_per_tile.assign(tiles, 0);
+    for (const RasterStats& st : per_thread) {
+      merged.pairs_evaluated += st.pairs_evaluated;
+      merged.pairs_blended += st.pairs_blended;
+      merged.pixels_terminated += st.pixels_terminated;
+      for (std::uint32_t t = 0; t < tiles; ++t) {
+        merged.pairs_per_tile[t] += st.pairs_per_tile[t];
+      }
+    }
+    *stats = std::move(merged);
+  }
+  return image;
+}
+
+}  // namespace gaurast::pipeline

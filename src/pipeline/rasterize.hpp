@@ -1,0 +1,70 @@
+// Step 3 of the 3DGS pipeline (paper Fig. 3(d)-(e)): Gaussian rasterization —
+// per-pixel alpha evaluation and front-to-back color accumulation.
+//
+// This is the reference software implementation of the operator GauRast
+// accelerates; the hardware model executes eval_splat_alpha/accumulate with
+// identical arithmetic so images match exactly (paper Sec. V-A validation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gsmath/image.hpp"
+#include "pipeline/sort.hpp"
+
+namespace gaurast::pipeline {
+
+/// Blending constants of the reference implementation.
+struct BlendParams {
+  float alpha_min = 1.0f / 255.0f;  ///< discard contributions below this
+  float alpha_max = 0.99f;          ///< clamp per-splat alpha
+  float transmittance_min = 1e-4f;  ///< early termination threshold on T
+  Vec3f background{0.0f, 0.0f, 0.0f};
+};
+
+/// Per-splat-per-pixel alpha evaluation:
+///   power = -1/2 d^T Conic d,  alpha = min(alpha_max, opacity * exp(power)).
+/// Returns alpha, or 0 when power > 0 (numerical guard, as in the
+/// reference kernel). `d` is pixel_center - splat_mean.
+float eval_splat_alpha(const Splat2D& splat, Vec2f pixel,
+                       const BlendParams& params);
+
+/// Running blend state of one pixel.
+struct PixelBlendState {
+  Vec3f accumulated{0, 0, 0};
+  float transmittance = 1.0f;
+  bool terminated() const { return transmittance < 1e-4f; }
+};
+
+/// Applies one splat contribution front-to-back:
+///   C += T * alpha * color;  T *= (1 - alpha).
+/// Skips alphas below params.alpha_min. Returns true if applied.
+bool accumulate(PixelBlendState& state, float alpha, Vec3f color,
+                const BlendParams& params);
+
+/// Per-frame Step 3 statistics (these are the quantities SceneProfile
+/// captures at full scale).
+struct RasterStats {
+  std::uint64_t pairs_evaluated = 0;  ///< splat-pixel alpha evaluations
+  std::uint64_t pairs_blended = 0;    ///< passed the alpha_min threshold
+  std::uint64_t pixels_terminated = 0;
+  std::vector<std::uint64_t> pairs_per_tile;  ///< load per tile (for the sim)
+
+  double mean_pairs_per_pixel(std::uint64_t pixels) const {
+    return pixels == 0 ? 0.0
+                       : static_cast<double>(pairs_evaluated) /
+                             static_cast<double>(pixels);
+  }
+};
+
+/// Rasterizes the sorted tile workload over all pixels. Mirrors the
+/// reference CUDA kernel: every pixel of a tile walks the tile's
+/// depth-sorted splat list, evaluating alpha and accumulating until the
+/// transmittance threshold. Tiles are independent, so `num_threads` > 1
+/// splits them across host threads with bit-identical results (per-thread
+/// statistics are merged deterministically).
+Image rasterize(const std::vector<Splat2D>& splats, const TileWorkload& work,
+                const BlendParams& params, RasterStats* stats = nullptr,
+                int num_threads = 1);
+
+}  // namespace gaurast::pipeline

@@ -1,0 +1,37 @@
+#include "pipeline/renderer.hpp"
+
+#include "common/error.hpp"
+
+namespace gaurast::pipeline {
+
+GaussianRenderer::GaussianRenderer(RendererConfig config)
+    : config_(config) {
+  GAURAST_CHECK(config_.tile_size > 0 && config_.tile_size <= 64);
+}
+
+FrameResult GaussianRenderer::prepare(const scene::GaussianScene& scene,
+                                      const scene::Camera& camera) const {
+  FrameResult result;
+  result.splats = preprocess(scene, camera, &result.preprocess_stats);
+  TileGrid grid;
+  grid.tile_size = config_.tile_size;
+  grid.width = camera.width();
+  grid.height = camera.height();
+  result.workload = sort_splats(result.splats, grid, &result.sort_stats,
+                                config_.culling, config_.blend.alpha_min);
+  result.image = Image(camera.width(), camera.height(),
+                       config_.blend.background);
+  return result;
+}
+
+FrameResult GaussianRenderer::render(const scene::GaussianScene& scene,
+                                     const scene::Camera& camera) const {
+  FrameResult result = prepare(scene, camera);
+  result.image =
+      rasterize(result.splats, result.workload, config_.blend,
+                config_.collect_stats ? &result.raster_stats : nullptr,
+                config_.num_threads);
+  return result;
+}
+
+}  // namespace gaurast::pipeline

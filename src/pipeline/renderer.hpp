@@ -1,0 +1,68 @@
+// End-to-end 3DGS software renderer: Step 1 -> Step 2 -> Step 3.
+//
+// This is the complete reference pipeline (paper Fig. 3). Its FrameResult
+// exposes the intermediate TileWorkload so the GauRast hardware simulators
+// can take over Step 3 on exactly the data the CUDA cores would hand them
+// (the CUDA-collaborative split of paper Sec. IV-C).
+#pragma once
+
+#include <optional>
+
+#include "gsmath/image.hpp"
+#include "pipeline/preprocess.hpp"
+#include "pipeline/rasterize.hpp"
+#include "pipeline/sort.hpp"
+#include "scene/camera.hpp"
+#include "scene/gaussian.hpp"
+
+namespace gaurast::pipeline {
+
+struct RendererConfig {
+  int tile_size = 16;
+  BlendParams blend;
+  bool collect_stats = true;
+  /// Step-2 duplication mode; kTightEllipse is the shape-aware-culling
+  /// extension (see pipeline/sort.hpp), off by default to match the
+  /// reference pipeline.
+  CullingMode culling = CullingMode::kBoundingBox;
+  /// Host threads for the Step-3 software rasterizer (tiles are
+  /// independent; results are bit-identical for any thread count).
+  int num_threads = 1;
+};
+
+/// Everything produced while rendering one frame.
+struct FrameResult {
+  Image image;
+  std::vector<Splat2D> splats;   ///< Step 1 output
+  TileWorkload workload;         ///< Step 2 output
+  PreprocessStats preprocess_stats;
+  SortStats sort_stats;
+  RasterStats raster_stats;
+
+  /// Mean evaluated splat-pixel pairs per output pixel.
+  double pairs_per_pixel() const {
+    return raster_stats.mean_pairs_per_pixel(
+        static_cast<std::uint64_t>(image.width()) *
+        static_cast<std::uint64_t>(image.height()));
+  }
+};
+
+class GaussianRenderer {
+ public:
+  explicit GaussianRenderer(RendererConfig config = {});
+
+  /// Renders one frame through all three steps.
+  FrameResult render(const scene::GaussianScene& scene,
+                     const scene::Camera& camera) const;
+
+  /// Steps 1 + 2 only (what the CUDA cores retain under GauRast scheduling).
+  FrameResult prepare(const scene::GaussianScene& scene,
+                      const scene::Camera& camera) const;
+
+  const RendererConfig& config() const { return config_; }
+
+ private:
+  RendererConfig config_;
+};
+
+}  // namespace gaurast::pipeline

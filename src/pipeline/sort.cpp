@@ -1,0 +1,148 @@
+#include "pipeline/sort.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace gaurast::pipeline {
+
+std::uint32_t depth_key_bits(float depth) {
+  GAURAST_CHECK_MSG(depth >= 0.0f, "negative depth " << depth);
+  std::uint32_t bits;
+  std::memcpy(&bits, &depth, sizeof(bits));
+  // Positive IEEE-754 floats compare like their bit patterns.
+  return bits;
+}
+
+bool tight_splat_extent(const Splat2D& splat, float alpha_min, float& rx,
+                        float& ry) {
+  GAURAST_CHECK(alpha_min > 0.0f);
+  if (splat.opacity <= alpha_min) return false;
+  // alpha(d) = opacity * exp(-1/2 d^T C d) >= alpha_min defines the ellipse
+  // 1/2 d^T C d <= ln(opacity / alpha_min) =: q. Its axis-aligned extent is
+  // sqrt(2 q * Cov_xx), sqrt(2 q * Cov_yy) with Cov = C^-1.
+  const float q = std::log(splat.opacity / alpha_min);
+  const float det = splat.conic.a * splat.conic.c - splat.conic.b * splat.conic.b;
+  if (!(det > 0.0f)) return false;
+  const float cov_xx = splat.conic.c / det;
+  const float cov_yy = splat.conic.a / det;
+  rx = std::sqrt(std::max(2.0f * q * cov_xx, 0.0f));
+  ry = std::sqrt(std::max(2.0f * q * cov_yy, 0.0f));
+  return rx > 0.0f && ry > 0.0f;
+}
+
+std::vector<TileInstance> duplicate_to_tiles(const std::vector<Splat2D>& splats,
+                                             const TileGrid& grid,
+                                             CullingMode mode,
+                                             float alpha_min) {
+  GAURAST_CHECK(grid.width > 0 && grid.height > 0 && grid.tile_size > 0);
+  std::vector<TileInstance> instances;
+  instances.reserve(splats.size() * 2);
+  const int tx_count = grid.tiles_x();
+  const int ty_count = grid.tiles_y();
+  for (std::uint32_t s = 0; s < splats.size(); ++s) {
+    const Splat2D& sp = splats[s];
+    float rx = sp.radius;
+    float ry = sp.radius;
+    if (mode == CullingMode::kTightEllipse) {
+      if (!tight_splat_extent(sp, alpha_min, rx, ry)) continue;
+      // Never exceed the reference bounding square (the tight extent is a
+      // subset of the 3-sigma box by construction, but guard numerics).
+      rx = std::min(rx, sp.radius);
+      ry = std::min(ry, sp.radius);
+    }
+    // Tile span of the splat's bounding rectangle, clamped to the screen.
+    int tx0 = static_cast<int>(std::floor((sp.mean.x - rx) /
+                                          static_cast<float>(grid.tile_size)));
+    int tx1 = static_cast<int>(std::floor((sp.mean.x + rx) /
+                                          static_cast<float>(grid.tile_size)));
+    int ty0 = static_cast<int>(std::floor((sp.mean.y - ry) /
+                                          static_cast<float>(grid.tile_size)));
+    int ty1 = static_cast<int>(std::floor((sp.mean.y + ry) /
+                                          static_cast<float>(grid.tile_size)));
+    tx0 = std::max(tx0, 0);
+    ty0 = std::max(ty0, 0);
+    tx1 = std::min(tx1, tx_count - 1);
+    ty1 = std::min(ty1, ty_count - 1);
+    if (tx0 > tx1 || ty0 > ty1) continue;  // entirely off-screen
+    const std::uint32_t dkey = depth_key_bits(sp.depth);
+    for (int ty = ty0; ty <= ty1; ++ty) {
+      for (int tx = tx0; tx <= tx1; ++tx) {
+        const std::uint64_t tile =
+            static_cast<std::uint64_t>(ty) * static_cast<std::uint64_t>(tx_count) +
+            static_cast<std::uint64_t>(tx);
+        instances.push_back(TileInstance{(tile << 32) | dkey, s});
+      }
+    }
+  }
+  return instances;
+}
+
+void radix_sort_instances(std::vector<TileInstance>& instances) {
+  if (instances.size() < 2) return;
+  std::vector<TileInstance> scratch(instances.size());
+  // LSD radix over 8 byte-digits of the 64-bit key; stable per pass, so the
+  // final order is (tile, depth) ascending with insertion order as the tie
+  // break — identical semantics to the reference implementation's sort.
+  for (int pass = 0; pass < 8; ++pass) {
+    const int shift = pass * 8;
+    std::array<std::size_t, 256> histogram{};
+    for (const TileInstance& ti : instances) {
+      ++histogram[(ti.key >> shift) & 0xFFu];
+    }
+    // Skip passes where every key shares the digit (common for high bytes).
+    bool trivial = false;
+    for (std::size_t d = 0; d < 256; ++d) {
+      if (histogram[d] == instances.size()) {
+        trivial = true;
+        break;
+      }
+    }
+    if (trivial) continue;
+    std::array<std::size_t, 256> offsets{};
+    std::size_t running = 0;
+    for (std::size_t d = 0; d < 256; ++d) {
+      offsets[d] = running;
+      running += histogram[d];
+    }
+    for (const TileInstance& ti : instances) {
+      scratch[offsets[(ti.key >> shift) & 0xFFu]++] = ti;
+    }
+    instances.swap(scratch);
+  }
+}
+
+TileWorkload sort_splats(const std::vector<Splat2D>& splats,
+                         const TileGrid& grid, SortStats* stats,
+                         CullingMode mode, float alpha_min) {
+  TileWorkload work;
+  work.grid = grid;
+  work.instances = duplicate_to_tiles(splats, grid, mode, alpha_min);
+  radix_sort_instances(work.instances);
+
+  work.ranges.assign(grid.tile_count(), TileRange{});
+  // Identify per-tile ranges in one sweep over the sorted keys.
+  const auto n = static_cast<std::uint32_t>(work.instances.size());
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t tile = work.instances[i].tile();
+    GAURAST_CHECK_MSG(tile < work.ranges.size(), "tile id out of range");
+    if (i == 0 || work.instances[i - 1].tile() != tile) {
+      work.ranges[tile].begin = i;
+    }
+    work.ranges[tile].end = i + 1;
+  }
+  if (stats) {
+    stats->splats_in = splats.size();
+    stats->instances = work.instances.size();
+    stats->instances_per_splat =
+        splats.empty() ? 0.0
+                       : static_cast<double>(work.instances.size()) /
+                             static_cast<double>(splats.size());
+  }
+  return work;
+}
+
+}  // namespace gaurast::pipeline

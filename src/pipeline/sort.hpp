@@ -1,0 +1,101 @@
+// Step 2 of the 3DGS pipeline (paper Fig. 3(c)): tile duplication and
+// depth sorting.
+//
+// Each splat is duplicated once per 16x16 screen tile its 3-sigma bounding
+// box overlaps; instances are keyed (tile_id << 32) | float_bits(depth) and
+// radix-sorted, yielding per-tile, front-to-back splat lists — exactly the
+// structure the reference CUDA implementation builds with its device-wide
+// sort, and the structure GauRast's tile buffers are filled from.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pipeline/preprocess.hpp"
+
+namespace gaurast::pipeline {
+
+/// Screen tiling parameters. 16x16 matches the reference implementation and
+/// the paper's tile-buffer granularity.
+struct TileGrid {
+  int tile_size = 16;
+  int width = 0;   ///< image width, pixels
+  int height = 0;  ///< image height, pixels
+
+  int tiles_x() const { return (width + tile_size - 1) / tile_size; }
+  int tiles_y() const { return (height + tile_size - 1) / tile_size; }
+  std::uint32_t tile_count() const {
+    return static_cast<std::uint32_t>(tiles_x()) *
+           static_cast<std::uint32_t>(tiles_y());
+  }
+};
+
+/// One duplicated splat instance: which splat, in which tile, at what depth.
+struct TileInstance {
+  std::uint64_t key = 0;        ///< (tile << 32) | depth bits
+  std::uint32_t splat_index = 0;
+
+  std::uint32_t tile() const { return static_cast<std::uint32_t>(key >> 32); }
+};
+
+/// Contiguous range of sorted instances belonging to one tile.
+struct TileRange {
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+  std::uint32_t size() const { return end - begin; }
+};
+
+/// The sorted work structure consumed by Step 3 (software or hardware).
+struct TileWorkload {
+  TileGrid grid;
+  std::vector<TileInstance> instances;  ///< sorted by key
+  std::vector<TileRange> ranges;        ///< one per tile
+
+  std::uint64_t instance_count() const { return instances.size(); }
+};
+
+struct SortStats {
+  std::uint64_t splats_in = 0;
+  std::uint64_t instances = 0;     ///< after duplication
+  double instances_per_splat = 0;  ///< duplication factor
+};
+
+/// How a splat's tile footprint is computed during duplication.
+///
+/// kBoundingBox is the reference implementation's behaviour: a square of
+/// side 2*radius (3 sigma of the major axis) around the mean. kTightEllipse
+/// replaces it with the axis-aligned extent of the region where alpha can
+/// reach alpha_min — still strictly conservative (never drops a contributing
+/// pixel, so images are unchanged) but much tighter for anisotropic or faint
+/// splats. This is the shape-aware culling idea dedicated accelerators like
+/// GSCore implement in hardware; here it is a Step-2 software refinement the
+/// paper lists as orthogonal future work.
+enum class CullingMode {
+  kBoundingBox,
+  kTightEllipse,
+};
+
+/// Order-preserving key for a positive depth: monotone in depth.
+std::uint32_t depth_key_bits(float depth);
+
+/// Builds tile instances for all splats (duplication step).
+std::vector<TileInstance> duplicate_to_tiles(
+    const std::vector<Splat2D>& splats, const TileGrid& grid,
+    CullingMode mode = CullingMode::kBoundingBox, float alpha_min = 1.0f / 255.0f);
+
+/// Axis-aligned half-extents (rx, ry) of the region where this splat's
+/// alpha can reach `alpha_min`; used by kTightEllipse. Returns false when
+/// the splat can never reach alpha_min (fully culled).
+bool tight_splat_extent(const Splat2D& splat, float alpha_min, float& rx,
+                        float& ry);
+
+/// Stable LSD radix sort on the full 64-bit key (8 passes of 8 bits).
+void radix_sort_instances(std::vector<TileInstance>& instances);
+
+/// Runs duplication + sort + range identification.
+TileWorkload sort_splats(const std::vector<Splat2D>& splats,
+                         const TileGrid& grid, SortStats* stats = nullptr,
+                         CullingMode mode = CullingMode::kBoundingBox,
+                         float alpha_min = 1.0f / 255.0f);
+
+}  // namespace gaurast::pipeline

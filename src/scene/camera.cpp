@@ -1,0 +1,62 @@
+#include "scene/camera.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gaurast::scene {
+
+Camera::Camera(int width, int height, float fov_y_radians, Vec3f eye,
+               Vec3f target, Vec3f up)
+    : width_(width), height_(height), fov_y_(fov_y_radians), eye_(eye) {
+  GAURAST_CHECK(width > 0 && height > 0);
+  GAURAST_CHECK(fov_y_radians > 0.0f && fov_y_radians < 3.14f);
+  // look_at() produces a -Z-forward view; flip Z (and X to stay right-handed)
+  // to obtain the +Z-forward convention of the 3DGS pipelines.
+  const Mat4f gl_view = look_at(eye, target, up);
+  Mat4f flip = Mat4f::identity();
+  flip.at(0, 0) = -1.0f;
+  flip.at(2, 2) = -1.0f;
+  view_ = flip * gl_view;
+}
+
+float Camera::fov_x() const {
+  const float aspect =
+      static_cast<float>(width_) / static_cast<float>(height_);
+  return 2.0f * std::atan(std::tan(0.5f * fov_y_) * aspect);
+}
+
+float Camera::focal_y() const { return focal_from_fov(fov_y_, height_); }
+float Camera::focal_x() const { return focal_from_fov(fov_x(), width_); }
+
+float Camera::tan_half_fov_y() const { return std::tan(0.5f * fov_y_); }
+float Camera::tan_half_fov_x() const { return std::tan(0.5f * fov_x()); }
+
+Vec3f Camera::to_view(Vec3f world) const {
+  return (view_ * Vec4f(world, 1.0f)).xyz();
+}
+
+Vec2f Camera::view_to_pixel(Vec3f v) const {
+  GAURAST_CHECK_MSG(v.z > 0.0f, "view_to_pixel requires positive depth");
+  const float x_ndc = v.x / (v.z * tan_half_fov_x());
+  const float y_ndc = v.y / (v.z * tan_half_fov_y());
+  return {(x_ndc + 1.0f) * 0.5f * static_cast<float>(width_),
+          (1.0f - y_ndc) * 0.5f * static_cast<float>(height_)};
+}
+
+std::vector<Camera> orbit_path(int width, int height, float fov_y, Vec3f center,
+                               float radius, float height_offset, int count) {
+  GAURAST_CHECK(count > 0 && radius > 0.0f);
+  std::vector<Camera> cams;
+  cams.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const float theta = 2.0f * 3.14159265f * static_cast<float>(i) /
+                        static_cast<float>(count);
+    const Vec3f eye = center + Vec3f{radius * std::cos(theta), height_offset,
+                                     radius * std::sin(theta)};
+    cams.emplace_back(width, height, fov_y, eye, center);
+  }
+  return cams;
+}
+
+}  // namespace gaurast::scene

@@ -1,0 +1,61 @@
+// Pinhole camera and view paths for rendering experiments.
+#pragma once
+
+#include <vector>
+
+#include "gsmath/mat.hpp"
+#include "gsmath/transform.hpp"
+#include "gsmath/vec.hpp"
+
+namespace gaurast::scene {
+
+/// Pinhole camera: image size, vertical FOV and a world-to-view transform.
+/// View space follows the 3DGS convention used by our pipelines: camera at
+/// the origin, +Z pointing *into* the scene (depth = view-space z > 0 for
+/// visible points).
+class Camera {
+ public:
+  Camera(int width, int height, float fov_y_radians, Vec3f eye, Vec3f target,
+         Vec3f up = {0.0f, 1.0f, 0.0f});
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  float fov_y() const { return fov_y_; }
+  float fov_x() const;
+  Vec3f eye() const { return eye_; }
+
+  float focal_x() const;
+  float focal_y() const;
+  float tan_half_fov_x() const;
+  float tan_half_fov_y() const;
+
+  /// World -> view transform (+Z forward).
+  const Mat4f& view() const { return view_; }
+  /// Rotation part of the view transform.
+  Mat3f view_rotation() const { return view_.upper3x3(); }
+
+  /// View-space position of a world point (z is the depth).
+  Vec3f to_view(Vec3f world) const;
+
+  /// Projects a view-space point to pixel coordinates (pixel centers at
+  /// integer + 0.5, row 0 at the top). Requires positive depth.
+  Vec2f view_to_pixel(Vec3f view_point) const;
+
+  std::size_t pixel_count() const {
+    return static_cast<std::size_t>(width_) * static_cast<std::size_t>(height_);
+  }
+
+ private:
+  int width_;
+  int height_;
+  float fov_y_;
+  Vec3f eye_;
+  Mat4f view_;
+};
+
+/// Generates `count` cameras orbiting `center` at radius/height, looking at
+/// the center — the evaluation-trajectory stand-in for NeRF-360 test views.
+std::vector<Camera> orbit_path(int width, int height, float fov_y, Vec3f center,
+                               float radius, float height_offset, int count);
+
+}  // namespace gaurast::scene

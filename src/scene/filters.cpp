@@ -1,0 +1,42 @@
+#include "scene/filters.hpp"
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+
+namespace gaurast::scene {
+
+GaussianScene prune_by_opacity(const GaussianScene& scene, float min_opacity) {
+  GAURAST_CHECK(min_opacity >= 0.0f && min_opacity <= 1.0f);
+  GaussianScene out(scene.sh_degree());
+  for (std::size_t i = 0; i < scene.size(); ++i) {
+    if (scene.opacities()[i] >= min_opacity) out.add(scene.gaussian(i));
+  }
+  return out;
+}
+
+GaussianScene truncate_sh(const GaussianScene& scene, int degree) {
+  GAURAST_CHECK(degree >= 0 && degree <= scene.sh_degree());
+  GaussianScene out(degree);
+  for (std::size_t i = 0; i < scene.size(); ++i) {
+    Gaussian3D g = scene.gaussian(i);
+    for (std::size_t band = sh_basis_count(degree); band < kMaxShBasis;
+         ++band) {
+      g.sh[band] = {0, 0, 0};
+    }
+    out.add(g);
+  }
+  return out;
+}
+
+GaussianScene subsample(const GaussianScene& scene, double keep_fraction,
+                        std::uint64_t seed) {
+  GAURAST_CHECK(keep_fraction > 0.0 && keep_fraction <= 1.0);
+  Pcg32 rng(seed);
+  GaussianScene out(scene.sh_degree());
+  for (std::size_t i = 0; i < scene.size(); ++i) {
+    if (rng.uniform() < keep_fraction) out.add(scene.gaussian(i));
+  }
+  return out;
+}
+
+}  // namespace gaurast::scene

@@ -1,0 +1,28 @@
+// Scene filtering operations — the training-free model-compression toolbox
+// around the Mini-Splatting-style experiments (paper's efficiency-optimized
+// pipeline uses a constrained Gaussian budget; these filters let any scene
+// be budgeted the same way).
+#pragma once
+
+#include <cstdint>
+
+#include "scene/gaussian.hpp"
+
+namespace gaurast::scene {
+
+/// Drops Gaussians with opacity below `min_opacity` (they can never pass
+/// the rasterizer's 1/255 contribution threshold when min_opacity >= 1/255).
+GaussianScene prune_by_opacity(const GaussianScene& scene, float min_opacity);
+
+/// Returns the scene with its SH color truncated to `degree` (view-dependent
+/// bands above the degree are dropped). Cuts Step-1 memory traffic: the
+/// checkpoint shrinks from 59 to 14 floats per Gaussian at degree 0.
+GaussianScene truncate_sh(const GaussianScene& scene, int degree);
+
+/// Keeps a uniform random `keep_fraction` of the Gaussians (deterministic in
+/// seed); the cheapest budget reduction and the baseline the importance
+/// pruning in GaussianScene::pruned() is compared against.
+GaussianScene subsample(const GaussianScene& scene, double keep_fraction,
+                        std::uint64_t seed);
+
+}  // namespace gaurast::scene

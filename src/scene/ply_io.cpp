@@ -1,0 +1,175 @@
+#include "scene/ply_io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace gaurast::scene {
+
+namespace {
+
+constexpr int kRestCoeffs = 45;  // (16 - 1 DC) * 3 channels
+
+/// Property order of the reference checkpoint layout.
+std::vector<std::string> reference_properties() {
+  std::vector<std::string> props = {"x", "y", "z", "nx", "ny", "nz",
+                                    "f_dc_0", "f_dc_1", "f_dc_2"};
+  for (int i = 0; i < kRestCoeffs; ++i) {
+    props.push_back("f_rest_" + std::to_string(i));
+  }
+  props.push_back("opacity");
+  for (int i = 0; i < 3; ++i) props.push_back("scale_" + std::to_string(i));
+  for (int i = 0; i < 4; ++i) props.push_back("rot_" + std::to_string(i));
+  return props;
+}
+
+}  // namespace
+
+float ply_sigmoid(float logit_opacity) {
+  return 1.0f / (1.0f + std::exp(-logit_opacity));
+}
+
+float ply_logit(float opacity) {
+  const float p = std::clamp(opacity, 1e-6f, 1.0f - 1e-6f);
+  return std::log(p / (1.0f - p));
+}
+
+void save_ply(const GaussianScene& scene, const std::string& path) {
+  GAURAST_CHECK_MSG(scene.sh_degree() == 3 || scene.sh_degree() == 0,
+                    "PLY export supports SH degree 0 or 3, got "
+                        << scene.sh_degree());
+  std::ofstream os(path, std::ios::binary);
+  GAURAST_CHECK_MSG(os.is_open(), "cannot open " << path << " for writing");
+
+  os << "ply\nformat binary_little_endian 1.0\n"
+     << "element vertex " << scene.size() << "\n";
+  for (const std::string& prop : reference_properties()) {
+    os << "property float " << prop << "\n";
+  }
+  os << "end_header\n";
+
+  auto put = [&os](float v) {
+    os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  for (std::size_t i = 0; i < scene.size(); ++i) {
+    const Gaussian3D g = scene.gaussian(i);
+    put(g.position.x);
+    put(g.position.y);
+    put(g.position.z);
+    put(0.0f);  // normals unused by 3DGS, present in the layout
+    put(0.0f);
+    put(0.0f);
+    put(g.sh[0].x);
+    put(g.sh[0].y);
+    put(g.sh[0].z);
+    // f_rest is channel-major in the reference layout: all R coefficients
+    // for bands 1..15, then G, then B.
+    for (int ch = 0; ch < 3; ++ch) {
+      for (std::size_t band = 1; band < kMaxShBasis; ++band) {
+        const Vec3f c = g.sh[band];
+        put(ch == 0 ? c.x : (ch == 1 ? c.y : c.z));
+      }
+    }
+    put(ply_logit(g.opacity));
+    put(std::log(std::max(g.scale.x, 1e-9f)));
+    put(std::log(std::max(g.scale.y, 1e-9f)));
+    put(std::log(std::max(g.scale.z, 1e-9f)));
+    put(g.rotation.w);
+    put(g.rotation.x);
+    put(g.rotation.y);
+    put(g.rotation.z);
+  }
+  GAURAST_CHECK_MSG(os.good(), "write failure on " << path);
+}
+
+GaussianScene load_ply(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  GAURAST_CHECK_MSG(is.is_open(), "cannot open " << path);
+
+  std::string line;
+  std::getline(is, line);
+  GAURAST_CHECK_MSG(line == "ply", "not a PLY file: " << path);
+
+  std::size_t vertex_count = 0;
+  std::vector<std::string> properties;
+  bool binary_le = false;
+  while (std::getline(is, line)) {
+    std::istringstream ls(line);
+    std::string token;
+    ls >> token;
+    if (token == "format") {
+      std::string fmt;
+      ls >> fmt;
+      binary_le = (fmt == "binary_little_endian");
+      GAURAST_CHECK_MSG(binary_le, "unsupported PLY format: " << fmt);
+    } else if (token == "element") {
+      std::string what;
+      ls >> what >> vertex_count;
+      GAURAST_CHECK_MSG(what == "vertex", "unexpected PLY element " << what);
+    } else if (token == "property") {
+      std::string type, name;
+      ls >> type >> name;
+      GAURAST_CHECK_MSG(type == "float", "unsupported property type " << type);
+      properties.push_back(name);
+    } else if (token == "end_header") {
+      break;
+    } else if (token == "comment") {
+      continue;
+    }
+  }
+  GAURAST_CHECK_MSG(vertex_count > 0, "PLY has no vertices");
+
+  // Index the properties we need; tolerate extra/unused ones.
+  auto index_of = [&properties](const std::string& name) {
+    const auto it = std::find(properties.begin(), properties.end(), name);
+    GAURAST_CHECK_MSG(it != properties.end(), "PLY missing property " << name);
+    return static_cast<std::size_t>(it - properties.begin());
+  };
+  const std::size_t ix = index_of("x"), iy = index_of("y"), iz = index_of("z");
+  const std::size_t idc0 = index_of("f_dc_0");
+  const std::size_t iop = index_of("opacity");
+  const std::size_t isc0 = index_of("scale_0");
+  const std::size_t irot0 = index_of("rot_0");
+  const bool has_rest =
+      std::find(properties.begin(), properties.end(), "f_rest_0") !=
+      properties.end();
+  const std::size_t irest0 = has_rest ? index_of("f_rest_0") : 0;
+
+  GaussianScene scene(has_rest ? 3 : 0);
+  scene.reserve(vertex_count);
+  std::vector<float> row(properties.size());
+  for (std::size_t v = 0; v < vertex_count; ++v) {
+    is.read(reinterpret_cast<char*>(row.data()),
+            static_cast<std::streamsize>(row.size() * sizeof(float)));
+    GAURAST_CHECK_MSG(is.good(), "truncated PLY payload at vertex " << v);
+    Gaussian3D g;
+    g.position = {row[ix], row[iy], row[iz]};
+    g.sh[0] = {row[idc0], row[idc0 + 1], row[idc0 + 2]};
+    if (has_rest) {
+      for (int ch = 0; ch < 3; ++ch) {
+        for (std::size_t band = 1; band < kMaxShBasis; ++band) {
+          const float val =
+              row[irest0 + static_cast<std::size_t>(ch) * (kMaxShBasis - 1) +
+                  band - 1];
+          if (ch == 0) g.sh[band].x = val;
+          else if (ch == 1) g.sh[band].y = val;
+          else g.sh[band].z = val;
+        }
+      }
+    }
+    g.opacity = std::clamp(ply_sigmoid(row[iop]), 0.0f, 1.0f);
+    g.scale = {std::exp(row[isc0]), std::exp(row[isc0 + 1]),
+               std::exp(row[isc0 + 2])};
+    g.rotation =
+        Quatf{row[irot0], row[irot0 + 1], row[irot0 + 2], row[irot0 + 3]}
+            .normalized();
+    scene.add(g);
+  }
+  return scene;
+}
+
+}  // namespace gaurast::scene

@@ -1,0 +1,35 @@
+// Interop with the reference 3DGS .ply checkpoint format.
+//
+// Trained 3DGS models (Kerbl et al. 2023 and most derivatives, including
+// Mini-Splatting and OpenSplat) are distributed as binary-little-endian PLY
+// files with per-vertex properties:
+//   x y z nx ny nz f_dc_0..2 f_rest_0..44 opacity scale_0..2 rot_0..3
+// where opacity is stored pre-sigmoid (logit), scales are log-space, and
+// f_rest is band-major per channel. This module reads and writes that
+// layout so real checkpoints can be rendered through this repo's pipeline
+// and hardware model, and scenes generated here can be opened in standard
+// 3DGS viewers.
+#pragma once
+
+#include <string>
+
+#include "scene/gaussian.hpp"
+
+namespace gaurast::scene {
+
+/// Writes the scene as a reference-format binary PLY. SH degree must be 3
+/// (the checkpoint format has a fixed 45-coefficient f_rest block) or 0
+/// (f_rest written as zeros).
+void save_ply(const GaussianScene& scene, const std::string& path);
+
+/// Loads a reference-format PLY. Applies sigmoid to opacity and exp to
+/// scales; normalizes quaternions. Throws gaurast::Error on malformed
+/// headers, unsupported formats (ASCII payload, big-endian) or truncation.
+GaussianScene load_ply(const std::string& path);
+
+/// Applies the checkpoint-domain transforms used by load_ply; exposed for
+/// tests. sigmoid(x) = 1 / (1 + exp(-x)).
+float ply_sigmoid(float logit_opacity);
+float ply_logit(float opacity);
+
+}  // namespace gaurast::scene

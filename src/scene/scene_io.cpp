@@ -1,0 +1,81 @@
+#include "scene/scene_io.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace gaurast::scene {
+
+namespace {
+constexpr char kMagic[4] = {'G', 'S', 'C', '1'};
+
+void write_floats(std::ofstream& os, const float* data, std::size_t n) {
+  os.write(reinterpret_cast<const char*>(data),
+           static_cast<std::streamsize>(n * sizeof(float)));
+}
+
+void read_floats(std::ifstream& is, float* data, std::size_t n) {
+  is.read(reinterpret_cast<char*>(data),
+          static_cast<std::streamsize>(n * sizeof(float)));
+  GAURAST_CHECK_MSG(is.good(), "truncated scene file");
+}
+}  // namespace
+
+void save_scene(const GaussianScene& scene, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  GAURAST_CHECK_MSG(os.is_open(), "cannot open " << path << " for writing");
+  os.write(kMagic, 4);
+  const std::int32_t degree = scene.sh_degree();
+  const std::uint64_t count = scene.size();
+  os.write(reinterpret_cast<const char*>(&degree), sizeof(degree));
+  os.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  const std::size_t sh_floats = sh_basis_count(scene.sh_degree()) * 3;
+  for (std::size_t i = 0; i < scene.size(); ++i) {
+    const Gaussian3D g = scene.gaussian(i);
+    const float pos[3] = {g.position.x, g.position.y, g.position.z};
+    const float scl[3] = {g.scale.x, g.scale.y, g.scale.z};
+    const float rot[4] = {g.rotation.w, g.rotation.x, g.rotation.y,
+                          g.rotation.z};
+    write_floats(os, pos, 3);
+    write_floats(os, scl, 3);
+    write_floats(os, rot, 4);
+    write_floats(os, &g.opacity, 1);
+    write_floats(os, &g.sh[0].x, sh_floats);
+  }
+  GAURAST_CHECK_MSG(os.good(), "write failure on " << path);
+}
+
+GaussianScene load_scene(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  GAURAST_CHECK_MSG(is.is_open(), "cannot open " << path);
+  char magic[4];
+  is.read(magic, 4);
+  GAURAST_CHECK_MSG(is.good() && std::equal(magic, magic + 4, kMagic),
+                    "bad scene magic in " << path);
+  std::int32_t degree = 0;
+  std::uint64_t count = 0;
+  is.read(reinterpret_cast<char*>(&degree), sizeof(degree));
+  is.read(reinterpret_cast<char*>(&count), sizeof(count));
+  GAURAST_CHECK_MSG(is.good() && degree >= 0 && degree <= 3,
+                    "bad SH degree " << degree);
+  GaussianScene scene(degree);
+  scene.reserve(count);
+  const std::size_t sh_floats = sh_basis_count(degree) * 3;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Gaussian3D g;
+    float pos[3], scl[3], rot[4];
+    read_floats(is, pos, 3);
+    read_floats(is, scl, 3);
+    read_floats(is, rot, 4);
+    read_floats(is, &g.opacity, 1);
+    read_floats(is, &g.sh[0].x, sh_floats);
+    g.position = {pos[0], pos[1], pos[2]};
+    g.scale = {scl[0], scl[1], scl[2]};
+    g.rotation = {rot[0], rot[1], rot[2], rot[3]};
+    scene.add(g);
+  }
+  return scene;
+}
+
+}  // namespace gaurast::scene

@@ -1,0 +1,21 @@
+// Binary scene serialization (a compact stand-in for the 3DGS .ply format).
+//
+// Layout: magic "GSC1", sh_degree (i32), count (u64), then per Gaussian:
+// position(3f) scale(3f) rotation(4f wxyz) opacity(1f) sh((deg+1)^2*3 f).
+// Little-endian floats; refuses files with mismatched magic or truncation.
+#pragma once
+
+#include <string>
+
+#include "scene/gaussian.hpp"
+
+namespace gaurast::scene {
+
+/// Writes the scene; throws gaurast::Error on IO failure.
+void save_scene(const GaussianScene& scene, const std::string& path);
+
+/// Reads a scene written by save_scene; throws gaurast::Error on malformed
+/// input (bad magic, truncated payload, invalid counts).
+GaussianScene load_scene(const std::string& path);
+
+}  // namespace gaurast::scene

@@ -1,0 +1,14 @@
+#include "sim/counters.hpp"
+
+namespace gaurast::sim {
+
+std::uint64_t CounterSet::sum_prefix(std::string_view prefix) const {
+  std::uint64_t total = 0;
+  for (auto it = counters_.lower_bound(prefix); it != counters_.end(); ++it) {
+    if (std::string_view(it->first).substr(0, prefix.size()) != prefix) break;
+    total += it->second;
+  }
+  return total;
+}
+
+}  // namespace gaurast::sim

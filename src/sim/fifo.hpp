@@ -1,0 +1,66 @@
+// Two-phase FIFO queue for module-to-module links.
+//
+// Pushes during evaluate() land in a staging area and become pop-visible only
+// after commit(), modeling a registered queue: a value written in cycle N is
+// readable in cycle N+1. Capacity counts committed + staged entries so
+// producers observe backpressure combinationally.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "common/error.hpp"
+
+namespace gaurast::sim {
+
+template <typename T>
+class Fifo {
+ public:
+  explicit Fifo(std::size_t capacity) : capacity_(capacity) {
+    GAURAST_CHECK(capacity > 0);
+  }
+
+  /// True if a push this cycle would exceed capacity.
+  bool full() const { return committed_.size() + staged_.size() >= capacity_; }
+
+  bool empty() const { return committed_.empty(); }
+  std::size_t size() const { return committed_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// True when nothing is committed or staged (used in idle checks).
+  bool drained() const { return committed_.empty() && staged_.empty(); }
+
+  /// Producer side; call only when !full().
+  void push(T value) {
+    GAURAST_CHECK_MSG(!full(), "push into full Fifo");
+    staged_.push_back(std::move(value));
+  }
+
+  /// Consumer side; call only when !empty().
+  const T& front() const {
+    GAURAST_CHECK(!committed_.empty());
+    return committed_.front();
+  }
+
+  T pop() {
+    GAURAST_CHECK_MSG(!committed_.empty(), "pop from empty Fifo");
+    T v = std::move(committed_.front());
+    committed_.pop_front();
+    return v;
+  }
+
+  /// Commit phase: staged entries become visible.
+  void commit() {
+    while (!staged_.empty()) {
+      committed_.push_back(std::move(staged_.front()));
+      staged_.pop_front();
+    }
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> committed_;
+  std::deque<T> staged_;
+};
+
+}  // namespace gaurast::sim

@@ -1,0 +1,30 @@
+#include "sim/kernel.hpp"
+
+namespace gaurast::sim {
+
+void SimKernel::step() {
+  for (ClockedModule* m : modules_) m->evaluate(now_);
+  for (ClockedModule* m : modules_) m->commit(now_);
+  ++now_;
+}
+
+bool SimKernel::all_idle() const {
+  for (const ClockedModule* m : modules_) {
+    if (!m->idle()) return false;
+  }
+  return true;
+}
+
+Cycle SimKernel::run(Cycle max_cycles) {
+  const Cycle start = now_;
+  while (now_ - start < max_cycles) {
+    if (all_idle()) break;
+    step();
+  }
+  GAURAST_CHECK_MSG(all_idle() || now_ - start < max_cycles,
+                    "simulation did not converge within " << max_cycles
+                                                          << " cycles");
+  return now_ - start;
+}
+
+}  // namespace gaurast::sim

@@ -1,0 +1,45 @@
+#include "sim/memport.hpp"
+
+#include <cmath>
+
+namespace gaurast::sim {
+
+MemPort::MemPort(MemPortConfig config) : config_(config) {
+  GAURAST_CHECK(config_.bytes_per_cycle > 0.0);
+}
+
+std::uint64_t MemPort::request(std::uint64_t bytes, Cycle now) {
+  MemTransfer t;
+  t.id = next_id_++;
+  t.bytes = bytes;
+  t.issued_at = now;
+  const Cycle start = now > pipe_free_at_ ? now : pipe_free_at_;
+  const auto transfer_cycles = static_cast<Cycle>(
+      std::ceil(static_cast<double>(bytes) / config_.bytes_per_cycle));
+  pipe_free_at_ = start + transfer_cycles;
+  t.completes_at = pipe_free_at_ + config_.latency;
+  inflight_.push_back(t);
+  total_bytes_ += bytes;
+  return t.id;
+}
+
+bool MemPort::complete(std::uint64_t id, Cycle now) const {
+  return completion_cycle(id) <= now;
+}
+
+Cycle MemPort::completion_cycle(std::uint64_t id) const {
+  for (const MemTransfer& t : inflight_) {
+    if (t.id == id) return t.completes_at;
+  }
+  // Retired transfers completed in the past.
+  GAURAST_CHECK_MSG(id < next_id_, "unknown transfer id " << id);
+  return 0;
+}
+
+void MemPort::retire_before(Cycle now) {
+  while (!inflight_.empty() && inflight_.front().completes_at < now) {
+    inflight_.pop_front();
+  }
+}
+
+}  // namespace gaurast::sim

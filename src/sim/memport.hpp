@@ -1,0 +1,61 @@
+// Bandwidth/latency memory-port model.
+//
+// Models the rasterizer's cache/memory interface (paper Fig. 7(b)): a port
+// with fixed access latency and a bytes/cycle bandwidth cap. Transfers are
+// scheduled in request order; a transfer of B bytes issued at cycle t
+// completes at max(t, last_completion) + ceil(B / bandwidth) + latency.
+// This is the component that throttles tile-buffer fills when a tile's
+// primitive list exceeds what the bus can stream during compute.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/error.hpp"
+#include "sim/kernel.hpp"
+
+namespace gaurast::sim {
+
+struct MemPortConfig {
+  double bytes_per_cycle = 64.0;  ///< sustained bandwidth
+  Cycle latency = 20;             ///< fixed access latency (cycles)
+};
+
+/// One outstanding transfer.
+struct MemTransfer {
+  std::uint64_t id = 0;
+  std::uint64_t bytes = 0;
+  Cycle issued_at = 0;
+  Cycle completes_at = 0;
+};
+
+class MemPort {
+ public:
+  explicit MemPort(MemPortConfig config);
+
+  /// Schedules a transfer at cycle `now`; returns the transfer id.
+  std::uint64_t request(std::uint64_t bytes, Cycle now);
+
+  /// True once the given transfer id has completed by cycle `now`.
+  bool complete(std::uint64_t id, Cycle now) const;
+
+  /// Completion cycle of a transfer id.
+  Cycle completion_cycle(std::uint64_t id) const;
+
+  /// Drops records of transfers completed before `now` (bookkeeping bound).
+  void retire_before(Cycle now);
+
+  bool busy(Cycle now) const { return now < pipe_free_at_; }
+
+  std::uint64_t total_bytes() const { return total_bytes_; }
+  std::uint64_t total_requests() const { return next_id_; }
+
+ private:
+  MemPortConfig config_;
+  std::uint64_t next_id_ = 0;
+  Cycle pipe_free_at_ = 0;  ///< when the bus finishes its current queue
+  std::deque<MemTransfer> inflight_;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace gaurast::sim

@@ -1,0 +1,183 @@
+// Tests for EWA covariance projection and conic math — the arithmetic core
+// both the software rasterizer and the GauRast PE evaluate.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+#include "gsmath/conic.hpp"
+
+namespace gaurast {
+namespace {
+
+TEST(Covariance3d, IdentityRotationGivesDiagonal) {
+  const Mat3f cov = covariance3d(Quatf::identity(), {2.0f, 3.0f, 4.0f});
+  EXPECT_FLOAT_EQ(cov.at(0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(cov.at(1, 1), 9.0f);
+  EXPECT_FLOAT_EQ(cov.at(2, 2), 16.0f);
+  EXPECT_FLOAT_EQ(cov.at(0, 1), 0.0f);
+}
+
+TEST(Covariance3d, SymmetricForRandomInputs) {
+  Pcg32 rng(3);
+  for (int i = 0; i < 30; ++i) {
+    const Quatf q = Quatf::from_axis_angle(
+        {static_cast<float>(rng.normal()), static_cast<float>(rng.normal()),
+         static_cast<float>(rng.normal() + 1.5)},
+        static_cast<float>(rng.uniform(0, 6.28)));
+    const Vec3f s{static_cast<float>(rng.lognormal(-1, 0.5)),
+                  static_cast<float>(rng.lognormal(-1, 0.5)),
+                  static_cast<float>(rng.lognormal(-1, 0.5))};
+    const Mat3f cov = covariance3d(q, s);
+    EXPECT_NEAR(cov.at(0, 1), cov.at(1, 0), 1e-6f);
+    EXPECT_NEAR(cov.at(0, 2), cov.at(2, 0), 1e-6f);
+    EXPECT_NEAR(cov.at(1, 2), cov.at(2, 1), 1e-6f);
+  }
+}
+
+TEST(Covariance3d, RotationPreservesDeterminant) {
+  const Vec3f s{0.5f, 1.0f, 2.0f};
+  const float det0 = covariance3d(Quatf::identity(), s).det();
+  const Quatf q = Quatf::from_axis_angle({1, 1, 0}, 1.2f);
+  EXPECT_NEAR(covariance3d(q, s).det(), det0, det0 * 1e-4f);
+}
+
+TEST(Covariance3d, NegativeScaleThrows) {
+  EXPECT_THROW(covariance3d(Quatf::identity(), {-1.0f, 1.0f, 1.0f}), Error);
+}
+
+TEST(Covariance3d, PositiveSemidefinite) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 30; ++i) {
+    const Quatf q = Quatf::from_axis_angle(
+        {1.0f, static_cast<float>(rng.normal()), 0.3f},
+        static_cast<float>(rng.uniform(0, 6.28)));
+    const Mat3f cov = covariance3d(
+        q, {static_cast<float>(rng.lognormal(-2, 0.8)),
+            static_cast<float>(rng.lognormal(-2, 0.8)),
+            static_cast<float>(rng.lognormal(-2, 0.8))});
+    const Vec3f v{static_cast<float>(rng.normal()),
+                  static_cast<float>(rng.normal()),
+                  static_cast<float>(rng.normal())};
+    EXPECT_GE(v.dot(cov * v), -1e-5f);
+  }
+}
+
+TEST(ProjectCovariance, LowPassFloorApplied) {
+  // A point-like Gaussian still gets the +0.3 px^2 dilation.
+  const Mat3f tiny = covariance3d(Quatf::identity(), {1e-6f, 1e-6f, 1e-6f});
+  const Cov2 cov = project_covariance(tiny, {0, 0, 5.0f}, 500.0f, 500.0f,
+                                      0.5f, 0.5f, Mat3f::identity());
+  EXPECT_GE(cov.a, 0.3f);
+  EXPECT_GE(cov.c, 0.3f);
+}
+
+TEST(ProjectCovariance, FootprintShrinksWithDepth) {
+  const Mat3f cov3d = covariance3d(Quatf::identity(), {0.1f, 0.1f, 0.1f});
+  const Cov2 near = project_covariance(cov3d, {0, 0, 2.0f}, 500.0f, 500.0f,
+                                       0.5f, 0.5f, Mat3f::identity());
+  const Cov2 far = project_covariance(cov3d, {0, 0, 20.0f}, 500.0f, 500.0f,
+                                      0.5f, 0.5f, Mat3f::identity());
+  EXPECT_GT(near.a, far.a);
+  EXPECT_GT(near.c, far.c);
+}
+
+TEST(ProjectCovariance, RequiresPositiveDepth) {
+  const Mat3f cov3d = covariance3d(Quatf::identity(), {0.1f, 0.1f, 0.1f});
+  EXPECT_THROW(project_covariance(cov3d, {0, 0, -1.0f}, 500, 500, 0.5f, 0.5f,
+                                  Mat3f::identity()),
+               Error);
+}
+
+TEST(InvertCovariance, RoundTripsAgainstMat2) {
+  const Cov2 cov{5.0f, 1.0f, 3.0f};
+  Conic2 conic;
+  ASSERT_TRUE(invert_covariance(cov, conic));
+  const Mat2f m{cov.a, cov.b, cov.b, cov.c};
+  const Mat2f mi = m.inverse();
+  EXPECT_NEAR(conic.a, mi.a, 1e-5f);
+  EXPECT_NEAR(conic.b, mi.b, 1e-5f);
+  EXPECT_NEAR(conic.c, mi.d, 1e-5f);
+}
+
+TEST(InvertCovariance, DegenerateReturnsFalse) {
+  Conic2 conic;
+  EXPECT_FALSE(invert_covariance({1.0f, 1.0f, 1.0f}, conic));  // det == 0
+  EXPECT_FALSE(invert_covariance({0.0f, 0.0f, 0.0f}, conic));
+  EXPECT_FALSE(
+      invert_covariance({std::nanf(""), 0.0f, 1.0f}, conic));
+}
+
+TEST(SplatRadius, ThreeSigmaOfIsotropicGaussian) {
+  // sigma = 2 px; the reference implementation's 0.1 discriminant floor
+  // nudges the major eigenvalue to 4.316, so ceil(3*sqrt(4.316)) = 7.
+  const Cov2 cov{4.0f, 0.0f, 4.0f};
+  EXPECT_FLOAT_EQ(splat_radius(cov), 7.0f);
+}
+
+TEST(SplatRadius, UsesMajorAxis) {
+  const Cov2 wide{100.0f, 0.0f, 1.0f};
+  EXPECT_FLOAT_EQ(splat_radius(wide), 30.0f);
+}
+
+TEST(Cov2Eigenvalues, DiagonalCase) {
+  float l1, l2;
+  cov2_eigenvalues({9.0f, 0.0f, 4.0f}, l1, l2);
+  EXPECT_NEAR(l1, 9.0f, 1e-3f);
+  EXPECT_NEAR(l2, 4.0f, 0.11f);  // the reference 0.1 discriminant floor
+}
+
+TEST(GaussianPower, ZeroAtCenterNegativeElsewhere) {
+  const Conic2 conic{0.5f, 0.0f, 0.5f};
+  EXPECT_FLOAT_EQ(gaussian_power(conic, {0, 0}), 0.0f);
+  EXPECT_LT(gaussian_power(conic, {1, 0}), 0.0f);
+  EXPECT_LT(gaussian_power(conic, {0, -2}), 0.0f);
+}
+
+TEST(GaussianPower, MatchesQuadraticForm) {
+  const Conic2 conic{0.3f, 0.1f, 0.6f};
+  const Vec2f d{1.5f, -0.7f};
+  const float expected =
+      -0.5f * (conic.a * d.x * d.x + conic.c * d.y * d.y) - conic.b * d.x * d.y;
+  EXPECT_NEAR(gaussian_power(conic, d), expected, 1e-6f);
+}
+
+/// Property sweep over random PSD covariances: inversion must succeed, the
+/// resulting conic must be PSD, and alpha must decay monotonically with
+/// distance along any ray from the center.
+class ConicPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConicPropertyTest, InverseIsPsdAndDecaysMonotonically) {
+  Pcg32 rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 11);
+  // Random PSD 2x2 via A = R D R^T with positive diagonal.
+  const float theta = static_cast<float>(rng.uniform(0, 3.14159));
+  const float c = std::cos(theta), s = std::sin(theta);
+  const float d1 = static_cast<float>(rng.lognormal(0.5, 0.8)) + 0.3f;
+  const float d2 = static_cast<float>(rng.lognormal(0.5, 0.8)) + 0.3f;
+  Cov2 cov;
+  cov.a = c * c * d1 + s * s * d2;
+  cov.b = c * s * (d1 - d2);
+  cov.c = s * s * d1 + c * c * d2;
+
+  Conic2 conic;
+  ASSERT_TRUE(invert_covariance(cov, conic));
+  EXPECT_GT(conic.a, 0.0f);
+  EXPECT_GT(conic.a * conic.c - conic.b * conic.b, 0.0f);
+
+  const float dir_t = static_cast<float>(rng.uniform(0, 6.28));
+  const Vec2f dir{std::cos(dir_t), std::sin(dir_t)};
+  float last = gaussian_power(conic, {0, 0});
+  for (float r = 0.5f; r < 8.0f; r += 0.5f) {
+    const float p = gaussian_power(conic, dir * r);
+    EXPECT_LT(p, last + 1e-6f) << "r=" << r;
+    last = p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCovariances, ConicPropertyTest,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace gaurast

@@ -1,0 +1,151 @@
+// Parameterized configuration sweeps: monotonicity and scaling properties of
+// the simulator, energy and area models across the design space. These are
+// the "does the model behave like hardware" checks that complement the
+// point-wise paper reproductions.
+
+#include <gtest/gtest.h>
+
+#include "core/area.hpp"
+#include "core/energy.hpp"
+#include "core/profile_sim.hpp"
+#include "gpu/config.hpp"
+#include "gpu/cost_model.hpp"
+#include "scene/profile.hpp"
+
+namespace gaurast::core {
+namespace {
+
+// ------------------------------------------- runtime vs PE count sweep --
+
+class PeCountSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PeCountSweepTest, RuntimeInverselyProportionalToPes) {
+  const int modules = GetParam();
+  const auto profile = scene::profile_by_name("garden");
+  RasterizerConfig base = RasterizerConfig::prototype16();
+  RasterizerConfig scaled = base;
+  scaled.module_count = modules;
+  const double t_base = ProfileSimulator(base).simulate(profile).runtime_ms();
+  const double t_scaled =
+      ProfileSimulator(scaled).simulate(profile).runtime_ms();
+  // Near-ideal scaling while the workload stays compute-bound.
+  EXPECT_NEAR(t_base / t_scaled, static_cast<double>(modules),
+              0.15 * modules);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modules, PeCountSweepTest,
+                         ::testing::Values(2, 3, 5, 8, 12, 15));
+
+// ------------------------------------------------- per-scene invariants --
+
+class SceneProfileSweepTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SceneProfileSweepTest, SimulatorInvariantsHoldPerScene) {
+  const auto profile = scene::profile_by_name(GetParam());
+  const ProfileSimulator sim(RasterizerConfig::scaled300());
+  const ProfileSimResult r = sim.simulate(profile);
+  // Runtime bounded below by the peak-rate roofline, above by 1.5x it.
+  const double ideal_ms = static_cast<double>(profile.total_pairs()) /
+                          RasterizerConfig::scaled300().peak_pairs_per_second() *
+                          1e3;
+  EXPECT_GE(r.runtime_ms(), ideal_ms * 0.999);
+  EXPECT_LE(r.runtime_ms(), ideal_ms * 1.5);
+  // Energy at the SoC node beats the CUDA baseline by at least 10x.
+  const gpu::CudaCostModel cuda(gpu::orin_nx_10w());
+  EXPECT_GT(cuda.raster_energy_mj(profile) / r.energy_soc.total_mj(), 10.0);
+}
+
+TEST_P(SceneProfileSweepTest, MiniVariantAlwaysLighter) {
+  const auto orig = scene::profile_by_name(GetParam());
+  const auto mini = scene::profile_by_name(
+      GetParam(), scene::PipelineVariant::kMiniSplatting);
+  const ProfileSimulator sim(RasterizerConfig::scaled300());
+  EXPECT_LT(sim.simulate(mini).runtime_ms(), sim.simulate(orig).runtime_ms());
+  const gpu::CudaCostModel cuda(gpu::orin_nx_10w());
+  EXPECT_LT(cuda.frame_times(mini).total_ms(),
+            cuda.frame_times(orig).total_ms());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenes, SceneProfileSweepTest,
+                         ::testing::Values("bicycle", "stump", "garden",
+                                           "room", "counter", "kitchen",
+                                           "bonsai"));
+
+// --------------------------------------------------- area monotonicity --
+
+class AreaSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AreaSweepTest, AreaGrowsLinearlyWithPes) {
+  const int pes = GetParam();
+  RasterizerConfig cfg = RasterizerConfig::prototype16();
+  cfg.pes_per_module = pes;
+  const AreaModel model(cfg);
+  const AreaModel base(RasterizerConfig::prototype16());
+  const double expected_ratio = static_cast<double>(pes) / 16.0;
+  EXPECT_NEAR(model.enhanced_mm2() / base.enhanced_mm2(), expected_ratio,
+              1e-9);
+  // The module total includes fixed buffers/controller, so it dilutes the
+  // PE scaling: for more PEs the ratio falls short of linear, for fewer it
+  // overshoots.
+  const double total_ratio =
+      model.module_area().total_mm2() / base.module_area().total_mm2();
+  if (pes > 16) {
+    EXPECT_LT(total_ratio, expected_ratio);
+  } else if (pes < 16) {
+    EXPECT_GT(total_ratio, expected_ratio);
+  } else {
+    EXPECT_NEAR(total_ratio, 1.0, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PeCounts, AreaSweepTest,
+                         ::testing::Values(4, 8, 16, 24, 32, 64));
+
+// ------------------------------------------------- energy monotonicity --
+
+class ClockSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ClockSweepTest, EnergyPerOpMonotoneInClock) {
+  const double clk = GetParam();
+  const EnergyTable at_clk = dvfs_scaled_table({}, clk);
+  const EnergyTable slower = dvfs_scaled_table({}, clk * 0.8);
+  EXPECT_LE(slower.fp_mul_pj, at_clk.fp_mul_pj);
+  EXPECT_LE(slower.module_leakage_w, at_clk.module_leakage_w);
+}
+
+TEST_P(ClockSweepTest, ProfileSimRuntimeScalesWithClock) {
+  const double clk = GetParam();
+  const auto profile = scene::profile_by_name("bonsai");
+  RasterizerConfig cfg = RasterizerConfig::scaled300();
+  cfg.clock_ghz = clk;
+  RasterizerConfig nominal = RasterizerConfig::scaled300();
+  const double t = ProfileSimulator(cfg).simulate(profile).runtime_ms();
+  const double t0 = ProfileSimulator(nominal).simulate(profile).runtime_ms();
+  EXPECT_NEAR(t * clk, t0 * 1.0, t0 * 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Clocks, ClockSweepTest,
+                         ::testing::Values(0.5, 0.75, 1.0, 1.25, 1.5));
+
+// ---------------------------------- host-GPU sensitivity of the speedup --
+
+TEST(HostSweep, SpeedupScalesInverselyWithHostCapability) {
+  const auto profile = scene::profile_by_name("bicycle");
+  const ProfileSimulator sim(RasterizerConfig::scaled300());
+  const double gau_ms = sim.simulate(profile).runtime_ms();
+  double last_speedup = 1e9;
+  for (double host_scale : {0.5, 1.0, 2.0, 4.0}) {
+    gpu::GpuConfig host = gpu::orin_nx_10w();
+    host.fma_rate_gfma *= host_scale;
+    const gpu::CudaCostModel cuda(host);
+    const double speedup = cuda.raster_ms(profile) / gau_ms;
+    EXPECT_LT(speedup, last_speedup);
+    last_speedup = speedup;
+  }
+  // Even a 4x Orin-class host still gains >4x from GauRast.
+  EXPECT_GT(last_speedup, 4.0);
+}
+
+}  // namespace
+}  // namespace gaurast::core

@@ -1,0 +1,260 @@
+// Tests for the triangle-mesh substrate and the reference rasterizer.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "mesh/mesh.hpp"
+#include "mesh/primitives.hpp"
+#include "mesh/raster.hpp"
+#include "scene/camera.hpp"
+
+namespace gaurast::mesh {
+namespace {
+
+scene::Camera test_camera(int w = 160, int h = 120) {
+  return scene::Camera(w, h, 0.9f, {0.0f, 1.5f, -4.0f}, {0, 0, 0});
+}
+
+// ---------------------------------------------------------------- Mesh --
+
+TEST(TriangleMesh, AddVertexReturnsSequentialIndices) {
+  TriangleMesh m;
+  EXPECT_EQ(m.add_vertex({}), 0u);
+  EXPECT_EQ(m.add_vertex({}), 1u);
+  m.add_triangle(0, 1, 1);
+  EXPECT_EQ(m.triangle_count(), 1u);
+}
+
+TEST(TriangleMesh, RejectsDanglingIndices) {
+  TriangleMesh m;
+  m.add_vertex({});
+  EXPECT_THROW(m.add_triangle(0, 1, 2), Error);
+}
+
+TEST(TriangleMesh, TransformMovesPositionsNotNormalsScale) {
+  TriangleMesh m;
+  Vertex v;
+  v.position = {1, 0, 0};
+  v.normal = {0, 1, 0};
+  m.add_vertex(v);
+  m.transform(translation4({0, 5, 0}));
+  EXPECT_EQ(m.vertices()[0].position, (Vec3f{1, 5, 0}));
+  EXPECT_EQ(m.vertices()[0].normal, (Vec3f{0, 1, 0}));
+}
+
+TEST(TriangleMesh, RecomputeNormalsOnPlane) {
+  TriangleMesh m = make_plane(2, 2.0f);
+  m.recompute_normals();
+  for (const Vertex& v : m.vertices()) {
+    EXPECT_NEAR(v.normal.y, 1.0f, 1e-5f);
+  }
+}
+
+TEST(TriangleMesh, AppendOffsetsIndices) {
+  TriangleMesh a = make_cube();
+  const std::size_t verts = a.vertex_count();
+  const std::size_t tris = a.triangle_count();
+  TriangleMesh b = make_cube();
+  a.append(b);
+  EXPECT_EQ(a.vertex_count(), verts * 2);
+  EXPECT_EQ(a.triangle_count(), tris * 2);
+  std::uint32_t x, y, z;
+  a.triangle(tris, x, y, z);  // first appended triangle
+  EXPECT_GE(x, verts);
+}
+
+// ---------------------------------------------------------- Primitives --
+
+TEST(Primitives, CubeHas12Triangles) {
+  const TriangleMesh cube = make_cube();
+  EXPECT_EQ(cube.triangle_count(), 12u);
+  EXPECT_EQ(cube.vertex_count(), 24u);
+}
+
+TEST(Primitives, SphereVerticesOnRadius) {
+  const TriangleMesh sphere = make_sphere(8, 12, 2.0f);
+  for (const Vertex& v : sphere.vertices()) {
+    EXPECT_NEAR(v.position.norm(), 2.0f, 1e-4f);
+    EXPECT_NEAR(v.normal.norm(), 1.0f, 1e-4f);
+  }
+}
+
+TEST(Primitives, SphereTriangleCountFormula) {
+  const TriangleMesh sphere = make_sphere(5, 7);
+  EXPECT_EQ(sphere.triangle_count(), 2u * 5u * 7u);
+}
+
+TEST(Primitives, TorusWithinRadialBounds) {
+  const TriangleMesh torus = make_torus(16, 8, 3.0f, 1.0f);
+  for (const Vertex& v : torus.vertices()) {
+    const float ring = std::sqrt(v.position.x * v.position.x +
+                                 v.position.z * v.position.z);
+    EXPECT_GE(ring, 2.0f - 1e-4f);
+    EXPECT_LE(ring, 4.0f + 1e-4f);
+  }
+}
+
+TEST(Primitives, InvalidTessellationThrows) {
+  EXPECT_THROW(make_sphere(2, 8), Error);
+  EXPECT_THROW(make_torus(8, 8, 1.0f, 2.0f), Error);
+  EXPECT_THROW(make_plane(0, 1.0f), Error);
+}
+
+TEST(Primitives, TerrainDeterministicInSeed) {
+  const TriangleMesh a = make_terrain(8, 4.0f, 1.0f, 5);
+  const TriangleMesh b = make_terrain(8, 4.0f, 1.0f, 5);
+  const TriangleMesh c = make_terrain(8, 4.0f, 1.0f, 6);
+  EXPECT_EQ(a.vertices()[10].position, b.vertices()[10].position);
+  EXPECT_NE(a.vertices()[10].position.y, c.vertices()[10].position.y);
+}
+
+// -------------------------------------------------------- Raster setup --
+
+TEST(EdgeFunction, SignIndicatesSide) {
+  EXPECT_GT(edge_function({0, 0}, {1, 0}, {0.5f, 1.0f}), 0.0f);
+  EXPECT_LT(edge_function({0, 0}, {1, 0}, {0.5f, -1.0f}), 0.0f);
+  EXPECT_EQ(edge_function({0, 0}, {1, 0}, {0.5f, 0.0f}), 0.0f);
+}
+
+TEST(SetupTriangle, CullsBehindCamera) {
+  const scene::Camera cam = test_camera();
+  Vertex v0, v1, v2;
+  v0.position = {0, 0, -10};  // behind the camera (camera at z=-4 looking +z)
+  v1.position = {1, 0, -10};
+  v2.position = {0, 1, -10};
+  ScreenTriangle tri;
+  EXPECT_FALSE(setup_triangle(v0, v1, v2, cam, tri));
+}
+
+TEST(SetupTriangle, CullsDegenerate) {
+  const scene::Camera cam = test_camera();
+  Vertex v;
+  v.position = {0, 0, 0};
+  ScreenTriangle tri;
+  EXPECT_FALSE(setup_triangle(v, v, v, cam, tri));
+}
+
+TEST(SetupTriangle, FrontFaceAccepted) {
+  const scene::Camera cam = test_camera();
+  Vertex v0, v1, v2;
+  v0.position = {-1, -1, 0};
+  v1.position = {1, -1, 0};
+  v2.position = {0, 1, 0};
+  ScreenTriangle tri;
+  // One of the two windings must be accepted; the other culled.
+  const bool a = setup_triangle(v0, v1, v2, cam, tri);
+  const bool b = setup_triangle(v0, v2, v1, cam, tri);
+  EXPECT_NE(a, b);
+}
+
+TEST(EvalTriangleAt, BarycentricWeightsSumToOne) {
+  ScreenTriangle tri;
+  tri.p0 = {10, 10};
+  tri.p1 = {50, 12};
+  tri.p2 = {28, 44};
+  tri.inv_double_area = 1.0f / edge_function(tri.p0, tri.p1, tri.p2);
+  tri.z0 = 1.0f;
+  tri.z1 = 2.0f;
+  tri.z2 = 3.0f;
+  const TriangleFragment frag = eval_triangle_at(tri, {29.0f, 21.0f});
+  ASSERT_TRUE(frag.inside);
+  EXPECT_NEAR(frag.w0 + frag.w1 + frag.w2, 1.0f, 1e-5f);
+  EXPECT_GT(frag.depth, 1.0f);
+  EXPECT_LT(frag.depth, 3.0f);
+}
+
+TEST(EvalTriangleAt, OutsideNotCovered) {
+  ScreenTriangle tri;
+  tri.p0 = {10, 10};
+  tri.p1 = {20, 10};
+  tri.p2 = {15, 20};
+  tri.inv_double_area = 1.0f / edge_function(tri.p0, tri.p1, tri.p2);
+  EXPECT_FALSE(eval_triangle_at(tri, {0.0f, 0.0f}).inside);
+}
+
+TEST(EvalTriangleAt, VertexAttributesInterpolateAtVertices) {
+  ScreenTriangle tri;
+  tri.p0 = {0, 0};
+  tri.p1 = {10, 0};
+  tri.p2 = {0, 10};
+  tri.inv_double_area = 1.0f / edge_function(tri.p0, tri.p1, tri.p2);
+  tri.c0 = {1, 0, 0};
+  tri.c1 = {0, 1, 0};
+  tri.c2 = {0, 0, 1};
+  const TriangleFragment frag = eval_triangle_at(tri, {0.5f, 0.5f});
+  ASSERT_TRUE(frag.inside);
+  EXPECT_GT(frag.color.x, 0.8f);  // near vertex 0
+}
+
+// -------------------------------------------------------- Full renders --
+
+TEST(RenderMesh, CubeCoversCenterOfImage) {
+  const scene::Camera cam = test_camera();
+  const RasterOutput out = render_mesh(make_cube(), cam);
+  const std::size_t center = static_cast<std::size_t>(cam.height() / 2) *
+                                 static_cast<std::size_t>(cam.width()) +
+                             static_cast<std::size_t>(cam.width() / 2);
+  EXPECT_LT(out.depth[center], std::numeric_limits<float>::infinity());
+}
+
+TEST(RenderMesh, EmptyMeshLeavesBackground) {
+  const scene::Camera cam = test_camera(32, 32);
+  const Vec3f bg{0.2f, 0.3f, 0.4f};
+  const RasterOutput out = render_mesh(TriangleMesh{}, cam, bg);
+  EXPECT_EQ(out.color.at(16, 16), bg);
+  EXPECT_EQ(out.depth[0], std::numeric_limits<float>::infinity());
+}
+
+TEST(RenderMesh, NearerSurfaceWins) {
+  const scene::Camera cam = test_camera();
+  // Two quads, red behind blue; blue must win everywhere they overlap.
+  TriangleMesh near_quad, far_quad;
+  auto add_quad = [](TriangleMesh& m, float z, Vec3f color) {
+    Vertex v;
+    v.color = color;
+    v.normal = {0, 0, -1};
+    v.position = {-1, -1, z};
+    const auto a = m.add_vertex(v);
+    v.position = {1, -1, z};
+    const auto b = m.add_vertex(v);
+    v.position = {1, 1, z};
+    const auto c = m.add_vertex(v);
+    v.position = {-1, 1, z};
+    const auto d = m.add_vertex(v);
+    m.add_triangle(a, b, c);
+    m.add_triangle(a, c, d);
+    m.add_triangle(a, c, b);  // both windings so one face survives culling
+    m.add_triangle(a, d, c);
+  };
+  TriangleMesh both;
+  add_quad(both, 1.0f, {1, 0, 0});   // far, red
+  add_quad(both, 0.0f, {0, 0, 1});   // near, blue
+  const RasterOutput out = render_mesh(both, cam);
+  const Vec3f center = out.color.at(cam.width() / 2, cam.height() / 2);
+  EXPECT_GT(center.z, center.x);  // blue dominates
+}
+
+TEST(RenderMesh, StatsAreConsistent) {
+  const scene::Camera cam = test_camera();
+  TriangleRasterStats stats;
+  render_mesh(make_sphere(12, 16), cam, {0, 0, 0}, &stats);
+  EXPECT_EQ(stats.triangles_submitted, 2u * 12u * 16u);
+  EXPECT_GT(stats.triangles_culled, 0u);       // back faces
+  EXPECT_GE(stats.pixels_tested, stats.pixels_covered);
+  EXPECT_GE(stats.pixels_covered, stats.depth_passes);
+  EXPECT_GT(stats.depth_passes, 0u);
+}
+
+TEST(BuildPrimitives, MatchesRenderCulling) {
+  const scene::Camera cam = test_camera();
+  TriangleRasterStats stats;
+  const auto prims = build_primitives(make_cube(), cam, &stats);
+  EXPECT_EQ(prims.size(),
+            stats.triangles_submitted - stats.triangles_culled);
+  // From this viewpoint (centered in x, above and in front) exactly two
+  // cube faces are visible: front and top -> 4 triangles.
+  EXPECT_EQ(prims.size(), 4u);
+}
+
+}  // namespace
+}  // namespace gaurast::mesh

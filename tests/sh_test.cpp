@@ -1,0 +1,129 @@
+// Tests for spherical-harmonics color evaluation (pipeline Step 1's
+// view-dependent color path).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+#include "gsmath/sh.hpp"
+
+namespace gaurast {
+namespace {
+
+TEST(ShBasis, CountsPerDegree) {
+  EXPECT_EQ(sh_basis_count(0), 1u);
+  EXPECT_EQ(sh_basis_count(1), 4u);
+  EXPECT_EQ(sh_basis_count(2), 9u);
+  EXPECT_EQ(sh_basis_count(3), 16u);
+}
+
+TEST(ShBasis, InvalidDegreeThrows) {
+  std::array<float, kMaxShBasis> out;
+  EXPECT_THROW(sh_basis({0, 0, 1}, -1, out), Error);
+  EXPECT_THROW(sh_basis({0, 0, 1}, 4, out), Error);
+}
+
+TEST(ShBasis, Band0IsConstant) {
+  std::array<float, kMaxShBasis> a, b;
+  sh_basis({0, 0, 1}, 3, a);
+  sh_basis({1, 0, 0}, 3, b);
+  EXPECT_FLOAT_EQ(a[0], b[0]);
+  EXPECT_NEAR(a[0], 0.2820948f, 1e-6f);
+}
+
+TEST(ShBasis, Band1IsLinearInDirection) {
+  std::array<float, kMaxShBasis> out;
+  sh_basis({0, 1, 0}, 1, out);
+  EXPECT_NEAR(out[1], -0.4886025f, 1e-6f);  // -c1 * y
+  EXPECT_NEAR(out[2], 0.0f, 1e-6f);
+  EXPECT_NEAR(out[3], 0.0f, 1e-6f);
+}
+
+TEST(ShBasis, HigherBandsZeroBelowDegree) {
+  std::array<float, kMaxShBasis> out;
+  sh_basis({0.3f, 0.5f, 0.8f}, 1, out);
+  for (std::size_t i = 4; i < kMaxShBasis; ++i) EXPECT_EQ(out[i], 0.0f);
+}
+
+TEST(EvalShColor, DcOnlyIsViewIndependent) {
+  ShCoefficients coeffs{};
+  coeffs[0] = sh_dc_from_rgb({0.7f, 0.2f, 0.4f});
+  const Vec3f a = eval_sh_color(coeffs, 0, {0, 0, 1});
+  const Vec3f b = eval_sh_color(coeffs, 0, {1, -2, 0.5f});
+  EXPECT_NEAR(a.x, 0.7f, 1e-5f);
+  EXPECT_NEAR(a.y, 0.2f, 1e-5f);
+  EXPECT_NEAR(a.z, 0.4f, 1e-5f);
+  EXPECT_NEAR((a - b).norm(), 0.0f, 1e-6f);
+}
+
+TEST(EvalShColor, ClampsNegativeToZero) {
+  ShCoefficients coeffs{};
+  coeffs[0] = sh_dc_from_rgb({-5.0f, 0.5f, 0.5f});  // pushes red negative
+  const Vec3f c = eval_sh_color(coeffs, 0, {0, 0, 1});
+  EXPECT_EQ(c.x, 0.0f);
+}
+
+TEST(EvalShColor, DirectionNeedNotBeNormalized) {
+  ShCoefficients coeffs{};
+  coeffs[0] = sh_dc_from_rgb({0.5f, 0.5f, 0.5f});
+  coeffs[1] = {0.3f, 0.0f, 0.0f};
+  const Vec3f a = eval_sh_color(coeffs, 1, {0, 2, 0});
+  const Vec3f b = eval_sh_color(coeffs, 1, {0, 0.1f, 0});
+  EXPECT_NEAR(a.x, b.x, 1e-5f);
+}
+
+TEST(EvalShColor, ZeroDirectionFallsBackSafely) {
+  ShCoefficients coeffs{};
+  coeffs[0] = sh_dc_from_rgb({0.5f, 0.5f, 0.5f});
+  const Vec3f c = eval_sh_color(coeffs, 3, {0, 0, 0});
+  EXPECT_TRUE(std::isfinite(c.x));
+}
+
+TEST(ShDcFromRgb, InvertsEvaluation) {
+  Pcg32 rng(21);
+  for (int i = 0; i < 20; ++i) {
+    const Vec3f rgb{static_cast<float>(rng.uniform(0.05, 0.95)),
+                    static_cast<float>(rng.uniform(0.05, 0.95)),
+                    static_cast<float>(rng.uniform(0.05, 0.95))};
+    ShCoefficients coeffs{};
+    coeffs[0] = sh_dc_from_rgb(rgb);
+    const Vec3f back = eval_sh_color(coeffs, 0, {0, 0, 1});
+    EXPECT_NEAR(back.x, rgb.x, 1e-5f);
+    EXPECT_NEAR(back.y, rgb.y, 1e-5f);
+    EXPECT_NEAR(back.z, rgb.z, 1e-5f);
+  }
+}
+
+/// Property sweep: SH bands are orthogonal under Monte-Carlo integration on
+/// the sphere (diagonal dominance at modest sample counts).
+class ShOrthogonalityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShOrthogonalityTest, BasisFunctionIsNormalizedOnSphere) {
+  const int basis_idx = GetParam();
+  Pcg32 rng(static_cast<std::uint64_t>(basis_idx) + 100);
+  double integral = 0.0;
+  const int samples = 60000;
+  for (int s = 0; s < samples; ++s) {
+    // Uniform sphere sampling.
+    const double z = rng.uniform(-1.0, 1.0);
+    const double phi = rng.uniform(0.0, 2.0 * 3.14159265358979);
+    const double r = std::sqrt(std::max(0.0, 1.0 - z * z));
+    const Vec3f dir{static_cast<float>(r * std::cos(phi)),
+                    static_cast<float>(r * std::sin(phi)),
+                    static_cast<float>(z)};
+    std::array<float, kMaxShBasis> b;
+    sh_basis(dir, 3, b);
+    integral += static_cast<double>(b[static_cast<std::size_t>(basis_idx)]) *
+                static_cast<double>(b[static_cast<std::size_t>(basis_idx)]);
+  }
+  integral *= 4.0 * 3.14159265358979 / samples;  // sphere area weight
+  EXPECT_NEAR(integral, 1.0, 0.06) << "basis " << basis_idx;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBases, ShOrthogonalityTest,
+                         ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace gaurast

@@ -1,0 +1,183 @@
+// gaurast_cli — the unified command-line driver.
+//
+//   gaurast_cli render   --ply scene.ply | --synthetic N   [--width W]
+//                        [--height H] [--out img.ppm] [--config rast.cfg]
+//   gaurast_cli simulate --scene bicycle [--variant original|mini]
+//                        [--config rast.cfg]
+//   gaurast_cli replay   --trace loads.gtr [--config rast.cfg]
+//   gaurast_cli report
+//
+// `render` runs a real scene end-to-end through the GauRastDevice (images
+// are the hardware-model output). `simulate` evaluates a full-scale NeRF-360
+// workload profile. `replay` re-times a captured tile trace. `report` prints
+// the headline paper-reproduction summary.
+
+#include <iostream>
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/config_io.hpp"
+#include "core/device.hpp"
+#include "core/profile_sim.hpp"
+#include "core/scheduler.hpp"
+#include "core/trace.hpp"
+#include "gpu/config.hpp"
+#include "gpu/cost_model.hpp"
+#include "scene/generator.hpp"
+#include "scene/ply_io.hpp"
+
+namespace {
+
+using namespace gaurast;
+
+core::RasterizerConfig config_from_flag(const CliParser& cli) {
+  const std::string path = cli.get_string("config");
+  return path.empty() ? core::RasterizerConfig::scaled300()
+                      : core::load_config(path);
+}
+
+int cmd_render(const CliParser& cli) {
+  scene::GaussianScene gscene = [&] {
+    const std::string ply = cli.get_string("ply");
+    if (!ply.empty()) return scene::load_ply(ply);
+    scene::GeneratorParams params;
+    params.gaussian_count =
+        static_cast<std::uint64_t>(cli.get_int("synthetic"));
+    return scene::generate_scene(params);
+  }();
+  const scene::Camera camera = scene::default_camera(
+      {}, cli.get_int("width"), cli.get_int("height"));
+  const core::GauRastDevice device(config_from_flag(cli));
+  const core::DeviceGaussianFrame frame = device.render(gscene, camera);
+
+  TablePrinter table({"Metric", "Value"});
+  table.add_row({"Gaussians", std::to_string(gscene.size())});
+  table.add_row({"Pairs evaluated", std::to_string(frame.pairs_evaluated)});
+  table.add_row({"GauRast raster", format_time_ms(frame.raster_model_ms)});
+  table.add_row({"Stages 1-2 (host)", format_time_ms(frame.stage12_model_ms)});
+  table.add_row({"Pipelined FPS", format_fixed(frame.pipelined_fps(), 1)});
+  table.add_row({"Utilization", format_percent(frame.utilization)});
+  table.add_row({"Step-3 energy @SoC",
+                 format_energy_mj(frame.energy_soc.total_mj())});
+  table.print(std::cout);
+  const std::string out = cli.get_string("out");
+  if (!out.empty()) {
+    frame.image.save_ppm(out);
+    std::cout << "Wrote " << out << '\n';
+  }
+  return 0;
+}
+
+int cmd_simulate(const CliParser& cli) {
+  const scene::PipelineVariant variant =
+      cli.get_string("variant") == "mini"
+          ? scene::PipelineVariant::kMiniSplatting
+          : scene::PipelineVariant::kOriginal;
+  const scene::SceneProfile profile =
+      scene::profile_by_name(cli.get_string("scene"), variant);
+  const core::RasterizerConfig cfg = config_from_flag(cli);
+  const gpu::CudaCostModel cuda(gpu::orin_nx_10w());
+  const core::ProfileSimulator sim(cfg);
+  const core::ProfileSimResult r = sim.simulate(profile);
+  const gpu::StageTimes times = cuda.frame_times(profile);
+  const core::EndToEndResult e2e = core::schedule_frame(times, r.runtime_ms());
+
+  print_banner(std::cout, "Scene '" + profile.name + "' (" +
+                              (variant == scene::PipelineVariant::kOriginal
+                                   ? "original 3DGS"
+                                   : "Mini-Splatting") +
+                              ") on " + std::to_string(cfg.total_pes()) +
+                              " PEs");
+  TablePrinter table({"Metric", "CUDA baseline", "With GauRast"});
+  table.add_row({"Raster time", format_time_ms(times.raster_ms),
+                 format_time_ms(r.runtime_ms())});
+  table.add_row({"Frame time", format_time_ms(e2e.cuda_only_frame_ms()),
+                 format_time_ms(e2e.pipelined_frame_ms())});
+  table.add_row({"FPS", format_fixed(e2e.cuda_only_fps(), 1),
+                 format_fixed(e2e.pipelined_fps(), 1)});
+  table.add_row({"Raster energy", format_energy_mj(cuda.raster_energy_mj(profile)),
+                 format_energy_mj(r.energy_soc.total_mj())});
+  table.print(std::cout);
+  std::cout << "Raster speedup " << format_ratio(e2e.raster_speedup())
+            << ", end-to-end " << format_ratio(e2e.end_to_end_speedup())
+            << ", utilization " << format_percent(r.utilization()) << '\n';
+  return 0;
+}
+
+int cmd_replay(const CliParser& cli) {
+  const std::string path = cli.get_string("trace");
+  GAURAST_CHECK_MSG(!path.empty(), "replay requires --trace");
+  const auto tiles = core::load_trace(path);
+  const core::TraceSummary summary = core::summarize_trace(tiles);
+  const core::RasterizerConfig cfg = config_from_flag(cli);
+  const core::DesignTimelineResult timing = core::replay_trace(tiles, cfg);
+  TablePrinter table({"Metric", "Value"});
+  table.add_row({"Tiles", std::to_string(summary.tiles)});
+  table.add_row({"Pairs", std::to_string(summary.total_pairs)});
+  table.add_row({"Cycles", std::to_string(timing.makespan_cycles)});
+  table.add_row({"Runtime", format_time_ms(timing.runtime_ms)});
+  table.add_row({"Utilization", format_percent(timing.utilization)});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_report() {
+  const gpu::CudaCostModel cuda(gpu::orin_nx_10w());
+  const core::ProfileSimulator sim(core::RasterizerConfig::scaled300());
+  print_banner(std::cout, "GauRast headline reproduction summary");
+  TablePrinter table({"Scene", "Raster speedup", "E2E FPS (GauRast)",
+                      "E2E speedup"});
+  double speedup_sum = 0, fps_sum = 0, e2e_sum = 0;
+  for (const auto& p : scene::nerf360_profiles()) {
+    const core::ProfileSimResult r = sim.simulate(p);
+    const core::EndToEndResult e2e =
+        core::schedule_frame(cuda.frame_times(p), r.runtime_ms());
+    speedup_sum += e2e.raster_speedup();
+    fps_sum += e2e.pipelined_fps();
+    e2e_sum += e2e.end_to_end_speedup();
+    table.add_row({p.name, format_ratio(e2e.raster_speedup()),
+                   format_fixed(e2e.pipelined_fps(), 1),
+                   format_ratio(e2e.end_to_end_speedup())});
+  }
+  table.print(std::cout);
+  std::cout << "Averages: raster " << format_ratio(speedup_sum / 7.0)
+            << " (paper ~23x), " << format_fixed(fps_sum / 7.0, 1)
+            << " FPS (paper ~24), end-to-end " << format_ratio(e2e_sum / 7.0)
+            << " (paper ~6x)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gaurast;
+  if (argc < 2) {
+    std::cout << "usage: gaurast_cli <render|simulate|replay|report> [flags]\n"
+                 "       gaurast_cli <command> --help\n";
+    return 1;
+  }
+  const std::string command = argv[1];
+  CliParser cli("gaurast_cli " + command);
+  cli.add_flag("ply", "", "3DGS checkpoint .ply to render");
+  cli.add_flag("synthetic", "20000", "synthetic Gaussian count (if no --ply)");
+  cli.add_flag("width", "320", "render width");
+  cli.add_flag("height", "240", "render height");
+  cli.add_flag("out", "", "output PPM path");
+  cli.add_flag("config", "", "rasterizer config file (core/config_io format)");
+  cli.add_flag("scene", "bicycle", "NeRF-360 scene profile name");
+  cli.add_flag("variant", "original", "pipeline variant: original or mini");
+  cli.add_flag("trace", "", "tile-load trace (.gtr) to replay");
+  try {
+    if (!cli.parse(argc - 1, argv + 1)) return 0;
+    if (command == "render") return cmd_render(cli);
+    if (command == "simulate") return cmd_simulate(cli);
+    if (command == "replay") return cmd_replay(cli);
+    if (command == "report") return cmd_report();
+    std::cerr << "unknown command '" << command << "'\n";
+    return 1;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
