@@ -1,5 +1,8 @@
 #include "common/cli.hpp"
 
+#include <cerrno>
+#include <climits>
+#include <cmath>
 #include <cstdlib>
 #include <iostream>
 
@@ -31,26 +34,35 @@ bool CliParser::parse(int argc, const char* const* argv) {
     }
     std::string name = arg.substr(2);
     std::string value;
+    bool have_value = false;
     const auto eq = name.find('=');
     if (eq != std::string::npos) {
       value = name.substr(eq + 1);
       name = name.substr(0, eq);
-    } else {
-      auto it = flags_.find(name);
-      GAURAST_CHECK_MSG(it != flags_.end(), "unknown flag --" << name);
+      have_value = true;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      throw CliParseError("unknown flag --" + name +
+                          "; run with --help to list supported flags");
+    }
+    if (!have_value) {
       // Boolean-style flags (default "true"/"false") may omit the value.
       const bool boolish = it->second.default_value == "true" ||
                            it->second.default_value == "false";
-      if (boolish && (i + 1 >= argc ||
-                      std::string(argv[i + 1]).rfind("--", 0) == 0)) {
+      // A lookahead that is itself a --flag is never consumed as a value,
+      // so `--out --synthetic 5` errors instead of eating `--synthetic`.
+      const bool next_is_flag =
+          i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) == 0;
+      if (boolish && (i + 1 >= argc || next_is_flag)) {
         value = "true";
-      } else {
-        GAURAST_CHECK_MSG(i + 1 < argc, "flag --" << name << " needs a value");
+      } else if (i + 1 < argc && !next_is_flag) {
         value = argv[++i];
+      } else {
+        throw CliParseError("flag --" + name +
+                            " needs a value; run with --help for usage");
       }
     }
-    auto it = flags_.find(name);
-    GAURAST_CHECK_MSG(it != flags_.end(), "unknown flag --" << name);
     it->second.value = value;
   }
   return true;
@@ -70,18 +82,37 @@ std::string CliParser::get_string(const std::string& name) const {
 int CliParser::get_int(const std::string& name) const {
   const std::string s = get_string(name);
   char* end = nullptr;
+  errno = 0;
   const long v = std::strtol(s.c_str(), &end, 10);
-  GAURAST_CHECK_MSG(end && *end == '\0', "flag --" << name << "=" << s
-                                                   << " is not an integer");
+  if (s.empty() || !end || *end != '\0') {
+    throw CliParseError("flag --" + name + "=" + s + " is not an integer");
+  }
+  if (errno == ERANGE || v < INT_MIN || v > INT_MAX) {
+    throw CliParseError("flag --" + name + "=" + s + " is out of range");
+  }
   return static_cast<int>(v);
+}
+
+int CliParser::get_positive_int(const std::string& name) const {
+  const int v = get_int(name);
+  if (v <= 0) {
+    throw CliParseError("flag --" + name + "=" + get_string(name) +
+                        " must be a positive integer");
+  }
+  return v;
 }
 
 double CliParser::get_double(const std::string& name) const {
   const std::string s = get_string(name);
   char* end = nullptr;
+  errno = 0;
   const double v = std::strtod(s.c_str(), &end);
-  GAURAST_CHECK_MSG(end && *end == '\0', "flag --" << name << "=" << s
-                                                   << " is not a number");
+  if (s.empty() || !end || *end != '\0') {
+    throw CliParseError("flag --" + name + "=" + s + " is not a number");
+  }
+  if (errno == ERANGE && std::abs(v) == HUGE_VAL) {
+    throw CliParseError("flag --" + name + "=" + s + " is out of range");
+  }
   return v;
 }
 
@@ -89,8 +120,7 @@ bool CliParser::get_bool(const std::string& name) const {
   const std::string s = get_string(name);
   if (s == "true" || s == "1" || s == "yes") return true;
   if (s == "false" || s == "0" || s == "no") return false;
-  GAURAST_CHECK_MSG(false, "flag --" << name << "=" << s << " is not boolean");
-  return false;
+  throw CliParseError("flag --" + name + "=" + s + " is not boolean");
 }
 
 void CliParser::print_usage(std::ostream& os) const {

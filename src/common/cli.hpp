@@ -10,7 +10,17 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
+
 namespace gaurast {
+
+/// User-facing command-line parse error (unknown flag, missing value).
+/// Unlike GAURAST_CHECK failures these carry no file/line internals: the
+/// message is meant to be printed verbatim to the end user.
+class CliParseError : public Error {
+ public:
+  explicit CliParseError(const std::string& what) : Error(what) {}
+};
 
 class CliParser {
  public:
@@ -21,11 +31,14 @@ class CliParser {
                 const std::string& help);
 
   /// Parses argv. Returns false (after printing usage) if --help was given.
-  /// Throws gaurast::Error on unknown flags or malformed input.
+  /// Throws gaurast::CliParseError on unknown flags or malformed input; the
+  /// message names the offending flag and suggests --help.
   bool parse(int argc, const char* const* argv);
 
   std::string get_string(const std::string& name) const;
   int get_int(const std::string& name) const;
+  /// Like get_int but additionally rejects values <= 0 (sizes, counts).
+  int get_positive_int(const std::string& name) const;
   double get_double(const std::string& name) const;
   bool get_bool(const std::string& name) const;
 

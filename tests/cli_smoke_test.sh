@@ -1,0 +1,148 @@
+#!/usr/bin/env bash
+# Smoke test for the gaurast_cli binary: exit codes, user-facing diagnostics,
+# and a tiny synthetic render round-trip.
+#
+# Usage: cli_smoke_test.sh <path-to-gaurast_cli>
+set -u
+
+CLI=${1:?usage: cli_smoke_test.sh <path-to-gaurast_cli>}
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+FAILURES=0
+
+# run <expected-exit> <argv...> — runs the CLI, captures stdout/stderr into
+# $OUT/$ERR, and flags a failure if the exit code differs from expected.
+run() {
+  local expected=$1
+  shift
+  OUT=$("$CLI" "$@" >"$TMP/out" 2>"$TMP/err"; echo $?)
+  ERR=$(cat "$TMP/err")
+  STDOUT=$(cat "$TMP/out")
+  if [[ "$OUT" != "$expected" ]]; then
+    echo "FAIL: '$CLI $*' exited $OUT, expected $expected" >&2
+    echo "--- stdout ---" >&2; cat "$TMP/out" >&2
+    echo "--- stderr ---" >&2; cat "$TMP/err" >&2
+    FAILURES=$((FAILURES + 1))
+    return 1
+  fi
+}
+
+# expect_contains <haystack-var-content> <needle> <label>
+expect_contains() {
+  if [[ "$1" != *"$2"* ]]; then
+    echo "FAIL: $3: expected to find '$2' in:" >&2
+    echo "$1" >&2
+    FAILURES=$((FAILURES + 1))
+  fi
+}
+
+# expect_clean <text> <label> — diagnostics must not leak internal
+# assertion machinery or file/line locations.
+expect_clean() {
+  for bad in "GAURAST_CHECK" "cli.cpp" ".cpp:"; do
+    if [[ "$1" == *"$bad"* ]]; then
+      echo "FAIL: $2: diagnostic leaks internals ('$bad'):" >&2
+      echo "$1" >&2
+      FAILURES=$((FAILURES + 1))
+    fi
+  done
+}
+
+# 1. No arguments: usage on stderr, exit 1.
+run 1 || true
+expect_contains "$ERR" "usage" "no-args prints usage to stderr"
+
+# 2. --help / -h: usage on stdout, exit 0.
+run 0 --help && expect_contains "$STDOUT" "usage" "--help prints usage"
+run 0 -h && expect_contains "$STDOUT" "usage" "-h prints usage"
+
+# 3. Per-command help: exit 0 and mentions a command flag.
+run 0 render --help && expect_contains "$STDOUT" "--synthetic" "render --help lists flags"
+
+# 4. Unknown command: exit 1, clean diagnostic naming the command.
+run 1 frobnicate || true
+expect_contains "$ERR" "unknown command 'frobnicate'" "unknown command named"
+expect_clean "$ERR" "unknown command diagnostic"
+
+# 5. Unknown command with --help must still fail (command validated first).
+run 1 bogus --help || true
+expect_contains "$ERR" "unknown command 'bogus'" "bogus --help rejected"
+
+# 6. Unknown flag: exit 1, clean diagnostic naming the flag, suggests --help.
+run 1 render --bogus 3 || true
+expect_contains "$ERR" "unknown flag --bogus" "unknown flag named"
+expect_contains "$ERR" "--help" "unknown flag suggests --help"
+expect_clean "$ERR" "unknown flag diagnostic"
+
+# 7. Flag missing its value: exit 1, clean diagnostic.
+run 1 render --out || true
+expect_contains "$ERR" "--out" "missing value names the flag"
+expect_clean "$ERR" "missing value diagnostic"
+
+# 8. Non-integer flag value: exit 1, clean diagnostic.
+run 1 render --synthetic abc || true
+expect_contains "$ERR" "--synthetic=abc is not an integer" "bad int value named"
+expect_clean "$ERR" "bad int value diagnostic"
+
+# 8b. Out-of-range integer value: exit 1, clean diagnostic (no silent
+# truncation of the strtol result).
+run 1 render --synthetic 4294967297 || true
+expect_contains "$ERR" "out of range" "overflowing int value rejected"
+expect_clean "$ERR" "overflowing int value diagnostic"
+
+# 8c. Negative count: exit 1, clean diagnostic (no wraparound to a huge
+# unsigned Gaussian count aborting deep in the generator).
+run 1 render --synthetic -1 || true
+expect_contains "$ERR" "must be a positive integer" "negative count rejected"
+expect_clean "$ERR" "negative count diagnostic"
+
+# 8d. A --flag is never consumed as another flag's value.
+run 1 render --out --synthetic 100 || true
+expect_contains "$ERR" "--out needs a value" "flag-as-value rejected"
+expect_clean "$ERR" "flag-as-value diagnostic"
+
+# 8e. Stray positional argument: exit 1, clean diagnostic naming it.
+run 1 render scene.ply || true
+expect_contains "$ERR" "unexpected argument 'scene.ply'" "stray positional rejected"
+expect_clean "$ERR" "stray positional diagnostic"
+
+# 8f. Path flags that name unopenable files: exit 1, clean diagnostic.
+run 1 replay --trace "$TMP/missing.gtr" || true
+expect_contains "$ERR" "cannot open --trace" "missing trace file named"
+expect_clean "$ERR" "missing trace diagnostic"
+run 1 render --ply "$TMP/missing.ply" || true
+expect_contains "$ERR" "cannot open --ply" "missing ply file named"
+expect_clean "$ERR" "missing ply diagnostic"
+run 1 render --ply "$TMP" || true
+expect_contains "$ERR" "cannot open --ply" "directory as ply rejected"
+expect_clean "$ERR" "directory as ply diagnostic"
+
+# 8g. Unwritable --out fails fast with a clean diagnostic (not after the
+# render, and not via an internal assertion from the image writer).
+run 1 render --synthetic 100 --out "$TMP/no/such/dir/x.ppm" || true
+expect_contains "$ERR" "cannot write --out" "unwritable out rejected"
+expect_clean "$ERR" "unwritable out diagnostic"
+
+# 9. Empty '=' value for an integer flag: exit 1, clean diagnostic.
+run 1 render --synthetic= || true
+expect_contains "$ERR" "is not an integer" "empty int value rejected"
+expect_clean "$ERR" "empty int value diagnostic"
+
+# 10. replay without its required --trace: exit 1, clean diagnostic.
+run 1 replay || true
+expect_contains "$ERR" "replay requires --trace" "replay names missing flag"
+expect_clean "$ERR" "replay missing-trace diagnostic"
+
+# 11. Tiny synthetic render round-trip: exit 0 and a non-empty PPM.
+PPM="$TMP/out.ppm"
+run 0 render --synthetic 100 --width 32 --height 24 --out "$PPM" || true
+if [[ ! -s "$PPM" ]]; then
+  echo "FAIL: render did not produce a non-empty $PPM" >&2
+  FAILURES=$((FAILURES + 1))
+fi
+
+if [[ "$FAILURES" -ne 0 ]]; then
+  echo "cli_smoke_test: $FAILURES failure(s)" >&2
+  exit 1
+fi
+echo "cli_smoke_test: all checks passed"

@@ -12,8 +12,13 @@
 // workload profile. `replay` re-times a captured tile trace. `report` prints
 // the headline paper-reproduction summary.
 
+#include <algorithm>
+#include <array>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <string_view>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
@@ -31,23 +36,45 @@ namespace {
 
 using namespace gaurast;
 
+// Returns the value of a path-valued flag, erroring with a user-facing
+// message (not a GAURAST_CHECK leak from the loader) if it names a file
+// that cannot be opened.
+std::string readable_file_flag(const CliParser& cli, const std::string& flag) {
+  const std::string path = cli.get_string(flag);
+  if (!path.empty()) {
+    // ifstream alone opens directories fine on Linux, so exclude them too.
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec) ||
+        !std::ifstream(path).good()) {
+      throw CliParseError("cannot open --" + flag + " file '" + path + "'");
+    }
+  }
+  return path;
+}
+
 core::RasterizerConfig config_from_flag(const CliParser& cli) {
-  const std::string path = cli.get_string("config");
+  const std::string path = readable_file_flag(cli, "config");
   return path.empty() ? core::RasterizerConfig::scaled300()
                       : core::load_config(path);
 }
 
 int cmd_render(const CliParser& cli) {
+  // Fail on an unwritable --out before spending time rendering (append mode
+  // so probing never truncates an existing file).
+  const std::string out = cli.get_string("out");
+  if (!out.empty() && !std::ofstream(out, std::ios::app).good()) {
+    throw CliParseError("cannot write --out file '" + out + "'");
+  }
   scene::GaussianScene gscene = [&] {
-    const std::string ply = cli.get_string("ply");
+    const std::string ply = readable_file_flag(cli, "ply");
     if (!ply.empty()) return scene::load_ply(ply);
     scene::GeneratorParams params;
     params.gaussian_count =
-        static_cast<std::uint64_t>(cli.get_int("synthetic"));
+        static_cast<std::uint64_t>(cli.get_positive_int("synthetic"));
     return scene::generate_scene(params);
   }();
   const scene::Camera camera = scene::default_camera(
-      {}, cli.get_int("width"), cli.get_int("height"));
+      {}, cli.get_positive_int("width"), cli.get_positive_int("height"));
   const core::GauRastDevice device(config_from_flag(cli));
   const core::DeviceGaussianFrame frame = device.render(gscene, camera);
 
@@ -61,7 +88,6 @@ int cmd_render(const CliParser& cli) {
   table.add_row({"Step-3 energy @SoC",
                  format_energy_mj(frame.energy_soc.total_mj())});
   table.print(std::cout);
-  const std::string out = cli.get_string("out");
   if (!out.empty()) {
     frame.image.save_ppm(out);
     std::cout << "Wrote " << out << '\n';
@@ -106,8 +132,8 @@ int cmd_simulate(const CliParser& cli) {
 }
 
 int cmd_replay(const CliParser& cli) {
-  const std::string path = cli.get_string("trace");
-  GAURAST_CHECK_MSG(!path.empty(), "replay requires --trace");
+  const std::string path = readable_file_flag(cli, "trace");
+  if (path.empty()) throw CliParseError("replay requires --trace <file.gtr>");
   const auto tiles = core::load_trace(path);
   const core::TraceSummary summary = core::summarize_trace(tiles);
   const core::RasterizerConfig cfg = config_from_flag(cli);
@@ -148,16 +174,42 @@ int cmd_report() {
   return 0;
 }
 
+constexpr std::array<std::string_view, 4> kCommands = {"render", "simulate",
+                                                       "replay", "report"};
+
+void print_top_usage(std::ostream& os) {
+  os << "usage: gaurast_cli <render|simulate|replay|report> [flags]\n"
+        "       gaurast_cli <command> --help\n"
+        "\n"
+        "Commands:\n"
+        "  render    render a .ply or synthetic scene through the "
+        "GauRast device model\n"
+        "  simulate  evaluate a full-scale NeRF-360 workload profile\n"
+        "  replay    re-time a captured tile-load trace (.gtr)\n"
+        "  report    print the headline paper-reproduction summary\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace gaurast;
   if (argc < 2) {
-    std::cout << "usage: gaurast_cli <render|simulate|replay|report> [flags]\n"
-                 "       gaurast_cli <command> --help\n";
+    print_top_usage(std::cerr);
     return 1;
   }
   const std::string command = argv[1];
+  if (command == "--help" || command == "-h" || command == "help") {
+    print_top_usage(std::cout);
+    return 0;
+  }
+  // Validate the command before any flag parsing so e.g. `bogus --help`
+  // fails instead of printing a help screen for a nonexistent command.
+  if (std::find(kCommands.begin(), kCommands.end(), command) ==
+      kCommands.end()) {
+    std::cerr << "gaurast_cli: unknown command '" << command << "'\n"
+              << "Run 'gaurast_cli --help' for usage.\n";
+    return 1;
+  }
   CliParser cli("gaurast_cli " + command);
   cli.add_flag("ply", "", "3DGS checkpoint .ply to render");
   cli.add_flag("synthetic", "20000", "synthetic Gaussian count (if no --ply)");
@@ -170,11 +222,19 @@ int main(int argc, char** argv) {
   cli.add_flag("trace", "", "tile-load trace (.gtr) to replay");
   try {
     if (!cli.parse(argc - 1, argv + 1)) return 0;
+    if (!cli.positional().empty()) {
+      throw CliParseError("unexpected argument '" + cli.positional().front() +
+                          "'; flags are passed as --name value");
+    }
     if (command == "render") return cmd_render(cli);
     if (command == "simulate") return cmd_simulate(cli);
     if (command == "replay") return cmd_replay(cli);
     if (command == "report") return cmd_report();
-    std::cerr << "unknown command '" << command << "'\n";
+    // Unreachable while kCommands and the chain above stay in sync.
+    std::cerr << "gaurast_cli: unhandled command '" << command << "'\n";
+    return 1;
+  } catch (const CliParseError& e) {
+    std::cerr << "gaurast_cli " << command << ": " << e.what() << '\n';
     return 1;
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << '\n';
