@@ -1,0 +1,136 @@
+// Render-service throughput scaling benchmark.
+//
+// Drives the same closed-loop generated workload through RenderService at a
+// sweep of worker counts and reports frames/sec, tail latency, and worker
+// utilization per point, plus the speedup over the 1-worker baseline. This
+// is the serving-side counterpart of the paper's per-frame FPS tables: it
+// measures how far inter-frame parallelism takes the reference pipeline on a
+// multi-core host. `--json out.json` emits the same rows machine-readably so
+// the trajectory can be tracked across PRs.
+//
+//   bench_service_throughput [--jobs N] [--backend sw|gaurast|gscore]
+//                            [--width W] [--height H] [--seed S]
+//                            [--json out.json]
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "runtime/service.hpp"
+#include "runtime/workload.hpp"
+#include "scene/generator.hpp"
+
+namespace {
+
+using namespace gaurast;
+
+std::vector<int> worker_sweep() {
+  const int max_workers =
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  std::vector<int> sweep;
+  for (int w = 1; w < max_workers; w *= 2) sweep.push_back(w);
+  sweep.push_back(max_workers);
+  return sweep;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_service_throughput");
+  cli.add_flag("jobs", "24", "frame requests per sweep point");
+  cli.add_flag("backend", "sw", "Step-3 executor: sw|gaurast|gscore");
+  cli.add_flag("width", "128", "render width");
+  cli.add_flag("height", "96", "render height");
+  cli.add_flag("seed", "42", "workload seed");
+  cli.add_flag("json", "", "write machine-readable results to this path");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    const runtime::Backend backend =
+        runtime::backend_from_string(cli.get_string("backend"));
+    runtime::WorkloadConfig workload;
+    workload.seed = cli.get_uint64("seed");
+    workload.jobs = cli.get_positive_int("jobs");
+    workload.width = cli.get_positive_int("width");
+    workload.height = cli.get_positive_int("height");
+    workload.arrival = runtime::ArrivalModel::kClosedLoop;
+
+    print_banner(std::cout, "Service throughput, backend " +
+                                std::string(to_string(backend)) + ", " +
+                                std::to_string(workload.jobs) +
+                                " jobs per point");
+    TablePrinter table({"Workers", "Throughput", "Speedup", "p50", "p95",
+                        "p99", "Utilization"});
+    // Generate each scene class once up front; per-point services get their
+    // caches pre-warmed with copies so sweep timing measures serving, not
+    // repeated scene generation.
+    std::map<std::string, gaurast::scene::GaussianScene> master_scenes;
+    for (const runtime::WorkloadRequest& req :
+         runtime::generate_workload(workload)) {
+      if (master_scenes.count(req.scene_key)) continue;
+      gaurast::scene::GeneratorParams params;
+      params.gaussian_count = req.gaussian_count;
+      params.seed = req.scene_seed;
+      master_scenes.emplace(req.scene_key,
+                            gaurast::scene::generate_scene(params));
+    }
+
+    std::vector<std::string> json_rows;
+    double baseline_fps = 0.0;
+    for (const int workers : worker_sweep()) {
+      runtime::ServiceConfig config;
+      config.workers = workers;
+      config.backend = backend;
+      runtime::RenderService service(config);
+      for (const auto& [key, master] : master_scenes) {
+        service.scene(key, [&master = master] { return master; });
+      }
+      const runtime::WorkloadRunResult run = run_workload(service, workload);
+      if (workers == 1) baseline_fps = run.stats.throughput_fps;
+      const double speedup =
+          baseline_fps > 0.0 ? run.stats.throughput_fps / baseline_fps : 0.0;
+      table.add_row({std::to_string(workers),
+                     format_fixed(run.stats.throughput_fps, 1) + " fps",
+                     format_ratio(speedup, 2),
+                     format_time_ms(run.stats.latency_p50_ms),
+                     format_time_ms(run.stats.latency_p95_ms),
+                     format_time_ms(run.stats.latency_p99_ms),
+                     format_percent(run.stats.worker_utilization)});
+      json_rows.push_back("{\"workers\":" + std::to_string(workers) +
+                          ",\"speedup\":" + format_fixed(speedup, 4) +
+                          ",\"stats\":" +
+                          runtime::service_stats_json(run.stats) + "}");
+    }
+    table.print(std::cout);
+
+    const std::string json_path = cli.get_string("json");
+    if (!json_path.empty()) {
+      std::ofstream os(json_path, std::ios::trunc);
+      if (!os.good()) {
+        throw CliParseError("cannot write --json file '" + json_path + "'");
+      }
+      os << "{\"bench\":\"service_throughput\",\"backend\":\""
+         << to_string(backend) << "\",\"jobs\":" << workload.jobs
+         << ",\"width\":" << workload.width
+         << ",\"height\":" << workload.height
+         << ",\"seed\":" << workload.seed << ",\"points\":[";
+      for (std::size_t i = 0; i < json_rows.size(); ++i) {
+        os << (i ? "," : "") << json_rows[i];
+      }
+      os << "]}\n";
+      std::cout << "Wrote " << json_path << '\n';
+    }
+    return 0;
+  } catch (const CliParseError& e) {
+    std::cerr << "bench_service_throughput: " << e.what() << '\n';
+    return 1;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,5 +1,6 @@
 #include "common/cli.hpp"
 
+#include <cctype>
 #include <cerrno>
 #include <climits>
 #include <cmath>
@@ -91,6 +92,35 @@ int CliParser::get_int(const std::string& name) const {
     throw CliParseError("flag --" + name + "=" + s + " is out of range");
   }
   return static_cast<int>(v);
+}
+
+std::vector<std::string> CliParser::set_flags() const {
+  std::vector<std::string> names;
+  for (const auto& [name, flag] : flags_) {
+    if (flag.value.has_value()) names.push_back(name);
+  }
+  return names;
+}
+
+std::uint64_t CliParser::get_uint64(const std::string& name) const {
+  const std::string s = get_string(name);
+  // strtoull skips whitespace and silently wraps negatives, so accept only
+  // strings that start with a digit.
+  if (s.empty() || !std::isdigit(static_cast<unsigned char>(s[0]))) {
+    throw CliParseError("flag --" + name + "=" + s +
+                        " is not a non-negative integer");
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (!end || *end != '\0') {
+    throw CliParseError("flag --" + name + "=" + s +
+                        " is not a non-negative integer");
+  }
+  if (errno == ERANGE) {
+    throw CliParseError("flag --" + name + "=" + s + " is out of range");
+  }
+  return static_cast<std::uint64_t>(v);
 }
 
 int CliParser::get_positive_int(const std::string& name) const {

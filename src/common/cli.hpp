@@ -4,6 +4,7 @@
 // Unknown flags are an error so typos surface immediately.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <map>
 #include <optional>
@@ -37,6 +38,9 @@ class CliParser {
 
   std::string get_string(const std::string& name) const;
   int get_int(const std::string& name) const;
+  /// Full-range non-negative 64-bit value (PRNG seeds); rejects signs,
+  /// non-integers and overflow.
+  std::uint64_t get_uint64(const std::string& name) const;
   /// Like get_int but additionally rejects values <= 0 (sizes, counts).
   int get_positive_int(const std::string& name) const;
   double get_double(const std::string& name) const;
@@ -44,6 +48,11 @@ class CliParser {
 
   /// Positional arguments left after flag parsing.
   const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Names of flags the user explicitly set (not defaults), in lexicographic
+  /// order. Lets multi-command drivers reject flags that are declared
+  /// globally but meaningless for the active command.
+  std::vector<std::string> set_flags() const;
 
   void print_usage(std::ostream& os) const;
 

@@ -47,6 +47,11 @@ struct FrameResult {
   }
 };
 
+/// Thread-safety: a GaussianRenderer holds only immutable configuration, and
+/// render()/prepare() take the scene by const reference and touch no shared
+/// mutable state, so one instance (and one scene) may be shared across any
+/// number of concurrent callers — the contract the runtime::RenderService
+/// workers rely on when they fan frames out over a cached scene.
 class GaussianRenderer {
  public:
   explicit GaussianRenderer(RendererConfig config = {});

@@ -1,0 +1,98 @@
+// Schedulable units of rendering work.
+//
+// A job wraps one frame's worth of the existing pipeline so the service can
+// run it on a pooled worker and hand the caller a future. Two kinds mirror
+// the repo's two execution paths:
+//
+//  * RenderJob   — all three pipeline steps in software on the worker
+//                  (the reference renderer; backend "sw").
+//  * SimulateJob — Steps 1-2 (prepare) in software on the worker, then the
+//                  depth-sorted TileWorkload is handed to the GauRast
+//                  hardware model for Step 3, exactly the paper's
+//                  CUDA-collaborative split (backends "gaurast"/"gscore";
+//                  the latter is the FP16 GSCore-throughput-matched config).
+//
+// Both paths are deterministic functions of the request: images are
+// bit-identical no matter which worker runs the job or how many workers the
+// service has.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/hw_rasterizer.hpp"
+#include "pipeline/renderer.hpp"
+#include "scene/camera.hpp"
+#include "scene/gaussian.hpp"
+
+namespace gaurast::runtime {
+
+/// Scenes are shared immutably between the cache and in-flight jobs; all
+/// pipeline entry points take const references, so concurrent readers are
+/// safe without copies.
+using ScenePtr = std::shared_ptr<const scene::GaussianScene>;
+
+/// Which Step-3 executor serves requests.
+enum class Backend {
+  kSoftware,  ///< reference CPU rasterizer (pipeline::rasterize)
+  kGauRast,   ///< GauRast hardware model, paper's scaled 300-PE deployment
+  kGScore,    ///< FP16 GauRast sized to GSCore's published throughput
+};
+
+/// Parses "sw" | "gaurast" | "gscore"; throws gaurast::Error otherwise.
+Backend backend_from_string(const std::string& name);
+const char* to_string(Backend backend);
+
+/// One frame request: an immutable shared scene plus a camera.
+struct RenderRequest {
+  ScenePtr scene;
+  scene::Camera camera;
+  std::uint64_t id = 0;  ///< assigned by the service at submit time
+};
+
+/// What the caller's future resolves to.
+struct JobResult {
+  pipeline::FrameResult frame;  ///< image + workload + per-step stats
+
+  /// Modeled Step-3 time on the hardware rasterizer (SimulateJob only;
+  /// 0 for RenderJob, whose Step 3 ran in software).
+  double raster_model_ms = 0.0;
+  double hw_utilization = 0.0;  ///< PE utilization (SimulateJob only)
+
+  std::uint64_t job_id = 0;
+  double queue_wait_ms = 0.0;  ///< submit -> job start
+  double service_ms = 0.0;     ///< job start -> job end
+  double latency_ms = 0.0;     ///< submit -> job end
+};
+
+/// Software path: scene + camera -> FrameResult, all steps on the worker.
+class RenderJob {
+ public:
+  RenderJob(const pipeline::GaussianRenderer& renderer, RenderRequest request)
+      : renderer_(&renderer), request_(std::move(request)) {}
+
+  JobResult execute() const;
+
+ private:
+  const pipeline::GaussianRenderer* renderer_;
+  RenderRequest request_;
+};
+
+/// Collaborative path: prepare() on the CPU worker, Step 3 on the hardware
+/// model. The HardwareRasterizer is const-shared across workers.
+class SimulateJob {
+ public:
+  SimulateJob(const pipeline::GaussianRenderer& renderer,
+              const core::HardwareRasterizer& hw, RenderRequest request)
+      : renderer_(&renderer), hw_(&hw), request_(std::move(request)) {}
+
+  JobResult execute() const;
+
+ private:
+  const pipeline::GaussianRenderer* renderer_;
+  const core::HardwareRasterizer* hw_;
+  RenderRequest request_;
+};
+
+}  // namespace gaurast::runtime

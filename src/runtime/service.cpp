@@ -1,0 +1,277 @@
+#include "runtime/service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "accel/gscore.hpp"
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "gpu/config.hpp"
+#include "scene/profile.hpp"
+
+namespace gaurast::runtime {
+
+namespace {
+
+double to_ms(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+             d)
+      .count();
+}
+
+/// Exact nearest-rank percentile over an ascending-sorted sample set. One
+/// O(n log n) sort per stats() snapshot beats a histogram's binning error
+/// for the p99 of a modest-sized run.
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(std::min<double>(
+      static_cast<double>(sorted.size()) - 1.0,
+      std::ceil(q * static_cast<double>(sorted.size())) - 1.0));
+  return sorted[rank];
+}
+
+/// The hardware model a backend choice stands for; null for pure software.
+std::unique_ptr<core::HardwareRasterizer> make_hw(const ServiceConfig& cfg) {
+  if (cfg.backend == Backend::kSoftware) return nullptr;
+  return std::make_unique<core::HardwareRasterizer>(
+      rasterizer_for_backend(cfg.backend, cfg.rasterizer));
+}
+
+}  // namespace
+
+core::RasterizerConfig rasterizer_for_backend(
+    Backend backend, const core::RasterizerConfig& base) {
+  switch (backend) {
+    case Backend::kSoftware:
+      throw Error("the sw backend has no hardware-model configuration");
+    case Backend::kGauRast:
+      return base;
+    case Backend::kGScore: {
+      // Size an FP16 GauRast deployment to GSCore's published throughput on
+      // the standard host/reference workload (paper Sec. V-C arithmetic).
+      const accel::AreaEfficiencyComparison cmp =
+          accel::compare_area_efficiency(
+              gpu::orin_nx_10w(),
+              scene::profile_by_name("bicycle",
+                                     scene::PipelineVariant::kOriginal));
+      return core::RasterizerConfig::fp16(cmp.gaurast_fp16_pes);
+    }
+  }
+  throw Error("unhandled backend");
+}
+
+RenderService::RenderService(ServiceConfig config)
+    : config_(config),
+      renderer_(config.renderer),
+      hw_(make_hw(config)),
+      pool_(ThreadPoolConfig{config.workers, config.queue_capacity}) {}
+
+RenderService::~RenderService() { shutdown(); }
+
+ScenePtr RenderService::scene(
+    const std::string& key,
+    const std::function<scene::GaussianScene()>& loader) {
+  std::lock_guard<std::mutex> lock(scene_mutex_);
+  const auto it = scene_cache_.find(key);
+  if (it != scene_cache_.end()) {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++cache_hits_;
+    return it->second;
+  }
+  ScenePtr loaded = std::make_shared<const scene::GaussianScene>(loader());
+  scene_cache_.emplace(key, loaded);
+  std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+  ++cache_misses_;
+  return loaded;
+}
+
+std::size_t RenderService::cached_scene_count() const {
+  std::lock_guard<std::mutex> lock(scene_mutex_);
+  return scene_cache_.size();
+}
+
+JobResult RenderService::execute(RenderRequest request,
+                                 Clock::time_point enqueue_time) {
+  const Clock::time_point start = Clock::now();
+  JobResult result = hw_ ? SimulateJob(renderer_, *hw_, request).execute()
+                         : RenderJob(renderer_, request).execute();
+  const Clock::time_point end = Clock::now();
+  result.queue_wait_ms = to_ms(start - enqueue_time);
+  result.service_ms = to_ms(end - start);
+  result.latency_ms = to_ms(end - enqueue_time);
+  record_completion(result);
+  return result;
+}
+
+std::function<JobResult()> RenderService::make_task(RenderRequest request) {
+  GAURAST_CHECK(request.scene != nullptr);
+  const Clock::time_point enqueue_time = Clock::now();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    request.id = next_job_id_++;
+  }
+  return [this, request = std::move(request), enqueue_time]() mutable {
+    return execute(std::move(request), enqueue_time);
+  };
+}
+
+void RenderService::note_submitted(std::size_t queue_depth) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++submitted_;
+  queue_depth_sum_ += static_cast<double>(queue_depth);
+  if (!first_submit_) first_submit_ = Clock::now();
+}
+
+void RenderService::retract_submitted(std::size_t queue_depth) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  --submitted_;
+  queue_depth_sum_ -= static_cast<double>(queue_depth);
+}
+
+void RenderService::record_completion(const JobResult& result) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++completed_;
+  queue_wait_sum_ms_ += result.queue_wait_ms;
+  service_sum_ms_ += result.service_ms;
+  latencies_ms_.push_back(result.latency_ms);
+  last_completion_ = Clock::now();
+}
+
+std::future<JobResult> RenderService::submit(RenderRequest request) {
+  auto task = std::make_shared<std::packaged_task<JobResult()>>(
+      make_task(std::move(request)));
+  std::future<JobResult> future = task->get_future();
+  // Count the submission before the pool can run it, so a snapshot never
+  // shows more completions than submissions; roll back if intake refuses
+  // (pool already shut down).
+  const std::size_t depth = pool_.queue_depth();
+  note_submitted(depth);
+  try {
+    pool_.submit([task] { (*task)(); });
+  } catch (...) {
+    retract_submitted(depth);
+    throw;
+  }
+  return future;
+}
+
+std::optional<std::future<JobResult>> RenderService::try_submit(
+    RenderRequest request) {
+  auto task = std::make_shared<std::packaged_task<JobResult()>>(
+      make_task(std::move(request)));
+  std::future<JobResult> future = task->get_future();
+  const std::size_t depth = pool_.queue_depth();
+  note_submitted(depth);
+  if (!pool_.try_submit([task] { (*task)(); })) {
+    retract_submitted(depth);
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++rejected_;
+    return std::nullopt;
+  }
+  return future;
+}
+
+void RenderService::drain() { pool_.wait_idle(); }
+
+void RenderService::shutdown() { pool_.shutdown(); }
+
+ServiceStats RenderService::stats() const {
+  ServiceStats s;
+  std::vector<double> latencies;
+  Clock::time_point window_begin{};
+  Clock::time_point window_end{};
+  bool have_window = false;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    s.submitted = submitted_;
+    s.completed = completed_;
+    s.rejected = rejected_;
+    s.scene_cache_hits = cache_hits_;
+    s.scene_cache_misses = cache_misses_;
+    latencies = latencies_ms_;
+    if (first_submit_) {
+      window_begin = *first_submit_;
+      window_end = last_completion_ ? *last_completion_ : Clock::now();
+      have_window = true;
+    }
+    if (submitted_ > 0) {
+      s.mean_queue_depth = queue_depth_sum_ / static_cast<double>(submitted_);
+    }
+    if (completed_ > 0) {
+      s.queue_wait_mean_ms =
+          queue_wait_sum_ms_ / static_cast<double>(completed_);
+      s.service_mean_ms = service_sum_ms_ / static_cast<double>(completed_);
+    }
+  }
+  if (have_window) s.wall_ms = to_ms(window_end - window_begin);
+  if (s.wall_ms > 0.0) {
+    s.throughput_fps = static_cast<double>(s.completed) * 1000.0 / s.wall_ms;
+  }
+  if (!latencies.empty()) {
+    double sum = 0.0;
+    for (double l : latencies) sum += l;
+    std::sort(latencies.begin(), latencies.end());
+    s.latency_mean_ms = sum / static_cast<double>(latencies.size());
+    s.latency_max_ms = latencies.back();
+    s.latency_p50_ms = percentile_sorted(latencies, 0.50);
+    s.latency_p95_ms = percentile_sorted(latencies, 0.95);
+    s.latency_p99_ms = percentile_sorted(latencies, 0.99);
+  }
+  if (s.wall_ms > 0.0 && pool_.worker_count() > 0) {
+    s.worker_utilization = std::min(
+        1.0, pool_.busy_ms() /
+                 (s.wall_ms * static_cast<double>(pool_.worker_count())));
+  }
+  return s;
+}
+
+void print_service_stats(std::ostream& os, const ServiceStats& stats) {
+  TablePrinter table({"Metric", "Value"});
+  table.add_row({"Jobs completed", std::to_string(stats.completed) + " / " +
+                                       std::to_string(stats.submitted)});
+  if (stats.rejected > 0) {
+    table.add_row({"Jobs rejected", std::to_string(stats.rejected)});
+  }
+  table.add_row({"Wall time", format_time_ms(stats.wall_ms)});
+  table.add_row({"Throughput", format_fixed(stats.throughput_fps, 1) + " fps"});
+  table.add_row({"Latency p50", format_time_ms(stats.latency_p50_ms)});
+  table.add_row({"Latency p95", format_time_ms(stats.latency_p95_ms)});
+  table.add_row({"Latency p99", format_time_ms(stats.latency_p99_ms)});
+  table.add_row({"Latency mean/max", format_time_ms(stats.latency_mean_ms) +
+                                         " / " +
+                                         format_time_ms(stats.latency_max_ms)});
+  table.add_row({"Queue wait mean", format_time_ms(stats.queue_wait_mean_ms)});
+  table.add_row(
+      {"Mean queue depth", format_fixed(stats.mean_queue_depth, 2)});
+  table.add_row(
+      {"Worker utilization", format_percent(stats.worker_utilization)});
+  table.add_row({"Scene cache",
+                 std::to_string(stats.scene_cache_hits) + " hits / " +
+                     std::to_string(stats.scene_cache_misses) + " misses"});
+  table.print(os);
+}
+
+std::string service_stats_json(const ServiceStats& stats) {
+  std::ostringstream os;
+  os << "{\"submitted\":" << stats.submitted
+     << ",\"completed\":" << stats.completed
+     << ",\"rejected\":" << stats.rejected << ",\"wall_ms\":" << stats.wall_ms
+     << ",\"throughput_fps\":" << stats.throughput_fps
+     << ",\"latency_mean_ms\":" << stats.latency_mean_ms
+     << ",\"latency_p50_ms\":" << stats.latency_p50_ms
+     << ",\"latency_p95_ms\":" << stats.latency_p95_ms
+     << ",\"latency_p99_ms\":" << stats.latency_p99_ms
+     << ",\"latency_max_ms\":" << stats.latency_max_ms
+     << ",\"queue_wait_mean_ms\":" << stats.queue_wait_mean_ms
+     << ",\"service_mean_ms\":" << stats.service_mean_ms
+     << ",\"mean_queue_depth\":" << stats.mean_queue_depth
+     << ",\"worker_utilization\":" << stats.worker_utilization
+     << ",\"scene_cache_hits\":" << stats.scene_cache_hits
+     << ",\"scene_cache_misses\":" << stats.scene_cache_misses << "}";
+  return os.str();
+}
+
+}  // namespace gaurast::runtime

@@ -1,0 +1,150 @@
+// RenderService — the concurrent render-serving front end.
+//
+// Owns a ThreadPool, a per-scene cache, and the shared (const, therefore
+// thread-safe) renderer + hardware-model objects. Callers resolve a scene
+// through the cache, submit() RenderRequests, and get futures back; the
+// bounded pool queue provides backpressure (submit blocks, try_submit
+// rejects). Every completion feeds the aggregated service statistics:
+// throughput, p50/p95/p99 latency, queue wait, queue depth, and worker
+// utilization — the serving-side metrics the paper's FPS claims translate
+// into under sustained multi-user traffic.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "runtime/job.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace gaurast::runtime {
+
+struct ServiceConfig {
+  int workers = 1;
+  std::size_t queue_capacity = 64;
+  Backend backend = Backend::kGauRast;
+  /// Per-job pipeline settings. num_threads here is intra-frame (Step-3
+  /// tile) parallelism on the software backend, multiplying with the
+  /// worker-level inter-frame parallelism.
+  pipeline::RendererConfig renderer;
+  /// Hardware model config for Backend::kGauRast. Backend::kGScore derives
+  /// its own FP16 configuration and ignores this field.
+  core::RasterizerConfig rasterizer = core::RasterizerConfig::scaled300();
+};
+
+/// Aggregated snapshot; all latencies in milliseconds.
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;  ///< try_submit refusals (queue full)
+
+  double wall_ms = 0.0;  ///< first submit -> last completion (or now)
+  double throughput_fps = 0.0;
+
+  double latency_mean_ms = 0.0;
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_max_ms = 0.0;
+  double queue_wait_mean_ms = 0.0;
+  double service_mean_ms = 0.0;
+
+  double mean_queue_depth = 0.0;   ///< sampled at each submit
+  double worker_utilization = 0.0; ///< busy time / (workers * wall)
+
+  std::uint64_t scene_cache_hits = 0;
+  std::uint64_t scene_cache_misses = 0;
+};
+
+/// The hardware-model configuration a backend choice stands for: `base`
+/// unchanged for kGauRast, the FP16 deployment sized to GSCore's published
+/// throughput (paper Sec. V-C) for kGScore. kSoftware has no hardware model
+/// and throws.
+core::RasterizerConfig rasterizer_for_backend(
+    Backend backend, const core::RasterizerConfig& base);
+
+/// Renders the stats as an aligned two-column table (common/table idiom).
+void print_service_stats(std::ostream& os, const ServiceStats& stats);
+
+/// One flat JSON object ({"submitted":...,"latency_p99_ms":...}) so bench
+/// and CLI reports are machine-readable and diffable across PRs.
+std::string service_stats_json(const ServiceStats& stats);
+
+class RenderService {
+ public:
+  explicit RenderService(ServiceConfig config);
+  /// Drains in-flight work and stops the pool.
+  ~RenderService();
+
+  RenderService(const RenderService&) = delete;
+  RenderService& operator=(const RenderService&) = delete;
+
+  const ServiceConfig& config() const { return config_; }
+  int worker_count() const { return pool_.worker_count(); }
+
+  /// Returns the cached scene for `key`, invoking `loader` only on the
+  /// first request for that key. Loading holds the cache lock, so identical
+  /// concurrent requests load once (and other keys wait; scene loads are
+  /// rare and front-loaded in practice).
+  ScenePtr scene(const std::string& key,
+                 const std::function<scene::GaussianScene()>& loader);
+  std::size_t cached_scene_count() const;
+
+  /// Schedules a request, blocking while the queue is full (closed-loop
+  /// backpressure). Throws gaurast::Error after shutdown().
+  std::future<JobResult> submit(RenderRequest request);
+
+  /// Non-blocking submit; std::nullopt (and a `rejected` tick in the stats)
+  /// when the queue is full — open-loop load shedding.
+  std::optional<std::future<JobResult>> try_submit(RenderRequest request);
+
+  /// Blocks until every accepted job has completed.
+  void drain();
+
+  /// Stops intake, drains accepted jobs, joins the workers. Idempotent.
+  void shutdown();
+
+  ServiceStats stats() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  JobResult execute(RenderRequest request, Clock::time_point enqueue_time);
+  std::function<JobResult()> make_task(RenderRequest request);
+  void note_submitted(std::size_t queue_depth);
+  void retract_submitted(std::size_t queue_depth);
+  void record_completion(const JobResult& result);
+
+  ServiceConfig config_;
+  pipeline::GaussianRenderer renderer_;
+  std::unique_ptr<core::HardwareRasterizer> hw_;  ///< null for kSoftware
+  ThreadPool pool_;
+
+  mutable std::mutex scene_mutex_;
+  std::map<std::string, ScenePtr> scene_cache_;
+
+  mutable std::mutex stats_mutex_;
+  std::uint64_t next_job_id_ = 1;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+  double queue_depth_sum_ = 0.0;
+  double queue_wait_sum_ms_ = 0.0;
+  double service_sum_ms_ = 0.0;
+  std::vector<double> latencies_ms_;
+  std::optional<Clock::time_point> first_submit_;
+  std::optional<Clock::time_point> last_completion_;
+};
+
+}  // namespace gaurast::runtime

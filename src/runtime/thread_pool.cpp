@@ -1,0 +1,135 @@
+#include "runtime/thread_pool.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace gaurast::runtime {
+
+ThreadPool::ThreadPool(ThreadPoolConfig config) : config_(config) {
+  GAURAST_CHECK(config_.workers >= 1);
+  GAURAST_CHECK(config_.queue_capacity >= 1);
+  workers_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::submit(std::function<void()> task) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  queue_not_full_.wait(lock, [this] {
+    return shutdown_ || queue_.size() < config_.queue_capacity;
+  });
+  if (shutdown_) {
+    throw Error("ThreadPool::submit after shutdown");
+  }
+  queue_.push_back(std::move(task));
+  queue_not_empty_.notify_one();
+}
+
+bool ThreadPool::try_submit(std::function<void()> task) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (shutdown_ || queue_.size() >= config_.queue_capacity) return false;
+  queue_.push_back(std::move(task));
+  queue_not_empty_.notify_one();
+  return true;
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_idle_.wait(lock,
+                 [this] { return queue_.empty() && running_tasks_ == 0; });
+}
+
+void ThreadPool::shutdown() {
+  bool closer = false;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!shutdown_) {
+      shutdown_ = true;
+      closer = true;
+      queue_not_empty_.notify_all();
+      queue_not_full_.notify_all();
+    } else if (!joined_) {
+      // Another caller is joining the workers; wait for it so shutdown()
+      // returning always means the pool is fully stopped.
+      all_idle_.wait(lock, [this] { return joined_; });
+      return;
+    } else {
+      return;
+    }
+  }
+  if (closer) {
+    for (std::thread& w : workers_) {
+      if (w.joinable()) w.join();
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    joined_ = true;
+    all_idle_.notify_all();
+  }
+}
+
+std::size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+std::uint64_t ThreadPool::tasks_executed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_executed_;
+}
+
+std::uint64_t ThreadPool::tasks_failed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_failed_;
+}
+
+double ThreadPool::busy_ms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<double>(busy_ns_) * 1e-6;
+}
+
+void ThreadPool::worker_loop() {
+  using Clock = std::chrono::steady_clock;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_not_empty_.wait(lock,
+                            [this] { return shutdown_ || !queue_.empty(); });
+      // Graceful drain: exit only once the queue is empty, so every task
+      // accepted before shutdown still runs.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_tasks_;
+      queue_not_full_.notify_one();
+    }
+    const Clock::time_point start = Clock::now();
+    bool failed = false;
+    try {
+      task();
+    } catch (...) {
+      // A task that throws must not take the worker (and the process, via
+      // std::terminate) down with it. Futures propagate job errors; a raw
+      // submitted lambda that throws is counted and otherwise dropped.
+      failed = true;
+    }
+    const Clock::time_point end = Clock::now();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --running_tasks_;
+      ++tasks_executed_;
+      tasks_failed_ += failed ? 1 : 0;
+      busy_ns_ += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+              .count());
+      if (queue_.empty() && running_tasks_ == 0) all_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace gaurast::runtime

@@ -1,0 +1,88 @@
+// Fixed-size worker pool with a bounded task queue.
+//
+// The building block of the render service (runtime/service.hpp): producers
+// enqueue type-erased tasks, workers drain them FIFO. The queue bound is the
+// service's backpressure mechanism — submit() blocks the producer while the
+// queue is full, try_submit() refuses instead (open-loop load shedding).
+// Shutdown is graceful: intake stops, every task already accepted still runs,
+// then the workers join. Mirrors the request/handler worker-queue idiom of
+// classic serving systems rather than one-thread-per-request.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gaurast::runtime {
+
+struct ThreadPoolConfig {
+  /// Number of worker threads; must be >= 1.
+  int workers = 1;
+  /// Maximum tasks waiting to start (tasks already running do not count);
+  /// must be >= 1. This bound is what callers feel as backpressure.
+  std::size_t queue_capacity = 64;
+};
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(ThreadPoolConfig config);
+  /// Equivalent to shutdown(): drains accepted tasks, then joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task, blocking while the queue is at capacity. Throws
+  /// gaurast::Error if the pool is (or becomes, while blocked) shut down.
+  void submit(std::function<void()> task);
+
+  /// Non-blocking submit: returns false (dropping the task) when the queue
+  /// is full or the pool is shut down.
+  bool try_submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no worker is running a task.
+  /// Tasks submitted concurrently with the wait may extend it.
+  void wait_idle();
+
+  /// Stops intake, runs every already-accepted task, joins the workers.
+  /// Idempotent; called by the destructor.
+  void shutdown();
+
+  int worker_count() const { return static_cast<int>(workers_.size()); }
+  std::size_t queue_capacity() const { return config_.queue_capacity; }
+
+  /// Snapshot of tasks waiting to start (racy by nature; for stats only).
+  std::size_t queue_depth() const;
+  /// Tasks that have finished running (including failed ones).
+  std::uint64_t tasks_executed() const;
+  /// Tasks that exited by throwing; the exception is swallowed (wrap work
+  /// in std::packaged_task to propagate errors through a future instead).
+  std::uint64_t tasks_failed() const;
+  /// Cumulative wall time workers spent running tasks, across all workers.
+  /// utilization = busy_ms / (worker_count * observation window).
+  double busy_ms() const;
+
+ private:
+  void worker_loop();
+
+  ThreadPoolConfig config_;
+  mutable std::mutex mutex_;
+  std::condition_variable queue_not_empty_;  // workers sleep here
+  std::condition_variable queue_not_full_;   // blocked producers sleep here
+  std::condition_variable all_idle_;         // wait_idle sleepers
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int running_tasks_ = 0;
+  bool shutdown_ = false;
+  bool joined_ = false;
+  std::uint64_t tasks_executed_ = 0;
+  std::uint64_t tasks_failed_ = 0;
+  std::uint64_t busy_ns_ = 0;
+};
+
+}  // namespace gaurast::runtime

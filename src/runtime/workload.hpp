@@ -1,0 +1,72 @@
+// Load generation for the render service.
+//
+// Produces scenario-diverse request streams over generated scenes: a mix of
+// scene sizes (small props up to heavy NeRF-360-ish clusters), orbit and
+// dolly camera paths, and two arrival disciplines — closed-loop (submit as
+// fast as the service's bounded queue accepts; measures capacity) and
+// open-loop Poisson (submit on an exponential clock regardless of service
+// state; measures behavior under offered load, with queue-full rejections
+// counted as shed traffic). Everything is seeded through common/prng, so a
+// (seed, config) pair always replays the exact same traffic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/service.hpp"
+#include "scene/camera.hpp"
+
+namespace gaurast::runtime {
+
+enum class ArrivalModel {
+  kClosedLoop,  ///< backpressure-paced: submit() blocks on the full queue
+  kPoisson,     ///< open-loop: exponential inter-arrivals, rejects counted
+};
+
+/// Parses "closed" | "poisson"; throws gaurast::Error otherwise.
+ArrivalModel arrival_from_string(const std::string& name);
+const char* to_string(ArrivalModel arrival);
+
+enum class CameraPathKind {
+  kOrbit,  ///< circle around the scene at fixed radius
+  kDolly,  ///< push in / pull out along a fixed viewing direction
+};
+
+struct WorkloadConfig {
+  std::uint64_t seed = 42;
+  int jobs = 32;
+  int width = 160;
+  int height = 120;
+  ArrivalModel arrival = ArrivalModel::kClosedLoop;
+  double rate_hz = 120.0;  ///< offered load for ArrivalModel::kPoisson
+  /// Gaussian counts of the scene classes traffic is drawn from; requests
+  /// pick one uniformly, so repeated picks exercise the per-scene cache.
+  std::vector<std::uint64_t> scene_sizes = {2000, 8000, 20000};
+};
+
+/// One generated request, before scene resolution against a service.
+struct WorkloadRequest {
+  std::string scene_key;          ///< cache key ("synthetic-<n>-s<seed>")
+  std::uint64_t gaussian_count = 0;
+  std::uint64_t scene_seed = 0;   ///< generator seed for this scene class
+  CameraPathKind path = CameraPathKind::kOrbit;
+  scene::Camera camera;
+  double arrival_offset_ms = 0.0; ///< from run start (0 under closed loop)
+};
+
+/// Deterministically expands a config into its request stream.
+std::vector<WorkloadRequest> generate_workload(const WorkloadConfig& config);
+
+struct WorkloadRunResult {
+  ServiceStats stats;           ///< service snapshot after the run drained
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;   ///< Poisson arrivals shed on a full queue
+};
+
+/// Drives a service with the config's traffic: resolves each request's scene
+/// through the service cache, submits under the arrival model, and drains.
+WorkloadRunResult run_workload(RenderService& service,
+                               const WorkloadConfig& config);
+
+}  // namespace gaurast::runtime

@@ -141,6 +141,100 @@ if [[ ! -s "$PPM" ]]; then
   FAILURES=$((FAILURES + 1))
 fi
 
+# 12. --threads / --seed on render: the software backend (where --threads
+# drives the Step-3 tile fan-out) is bit-identical across thread counts,
+# and a different seed changes the generated scene.
+PPM_T1="$TMP/t1.ppm"; PPM_T4="$TMP/t4.ppm"; PPM_S2="$TMP/s2.ppm"
+run 0 render --backend sw --synthetic 100 --width 32 --height 24 --threads 1 --seed 7 --out "$PPM_T1" || true
+expect_contains "$STDOUT" "Raster threads" "sw render reports thread count"
+run 0 render --backend sw --synthetic 100 --width 32 --height 24 --threads 4 --seed 7 --out "$PPM_T4" || true
+if ! cmp -s "$PPM_T1" "$PPM_T4"; then
+  echo "FAIL: --threads 4 render differs from --threads 1" >&2
+  FAILURES=$((FAILURES + 1))
+fi
+run 0 render --backend sw --synthetic 100 --width 32 --height 24 --seed 8 --out "$PPM_S2" || true
+if cmp -s "$PPM_T1" "$PPM_S2"; then
+  echo "FAIL: --seed had no effect on the generated scene" >&2
+  FAILURES=$((FAILURES + 1))
+fi
+# The hardware-model backends render the same frame bit-exactly (FP32
+# GauRast) or at least successfully (FP16 GSCore-equivalent).
+PPM_HW="$TMP/hw.ppm"; PPM_GS="$TMP/gs.ppm"
+run 0 render --synthetic 100 --width 32 --height 24 --seed 7 --out "$PPM_HW" || true
+if ! cmp -s "$PPM_T1" "$PPM_HW"; then
+  echo "FAIL: gaurast-backend render differs from software render" >&2
+  FAILURES=$((FAILURES + 1))
+fi
+run 0 render --backend gscore --synthetic 100 --width 32 --height 24 --seed 7 --out "$PPM_GS" || true
+if [[ ! -s "$PPM_GS" ]]; then
+  echo "FAIL: gscore-backend render produced no image" >&2
+  FAILURES=$((FAILURES + 1))
+fi
+run 1 render --synthetic 100 --threads 0 || true
+expect_contains "$ERR" "must be a positive integer" "--threads 0 rejected"
+expect_clean "$ERR" "--threads 0 diagnostic"
+# Flags that cannot take effect on the chosen backend are user errors,
+# and a rejected render must not leave a stray empty --out file.
+run 1 render --synthetic 100 --threads 2 || true
+expect_contains "$ERR" "--threads only applies to --backend sw" "threads on hw backend rejected"
+run 1 render --backend sw --synthetic 100 --config /dev/null || true
+expect_contains "$ERR" "--config only applies to --backend gaurast" "config on sw backend rejected"
+run 1 render --synthetic 100 --threads 0 --out "$TMP/stray.ppm" || true
+if [[ -e "$TMP/stray.ppm" ]]; then
+  echo "FAIL: failed render left an empty --out file behind" >&2
+  FAILURES=$((FAILURES + 1))
+fi
+# Seeds are full-range uint64: 0 and >INT_MAX are fine, negatives are not.
+run 0 render --synthetic 100 --width 32 --height 24 --seed 0 --out "$TMP/s0.ppm" || true
+run 0 render --synthetic 100 --width 32 --height 24 --seed 4294967296 --out "$TMP/sbig.ppm" || true
+run 1 render --synthetic 100 --seed -5 || true
+expect_contains "$ERR" "not a non-negative integer" "negative seed rejected"
+expect_clean "$ERR" "negative seed diagnostic"
+
+# 13. serve: help lists its flags; a tiny closed-loop run exits 0 and prints
+# the stats table; --json writes a machine-readable report.
+run 0 serve --help && expect_contains "$STDOUT" "--workers" "serve --help lists flags"
+SERVE_JSON="$TMP/serve.json"
+run 0 serve --jobs 4 --workers 2 --backend sw --width 48 --height 36 --json "$SERVE_JSON" || true
+expect_contains "$STDOUT" "Throughput" "serve prints the stats table"
+expect_contains "$STDOUT" "Jobs completed" "serve reports completions"
+if [[ ! -s "$SERVE_JSON" ]]; then
+  echo "FAIL: serve did not write $SERVE_JSON" >&2
+  FAILURES=$((FAILURES + 1))
+else
+  expect_contains "$(cat "$SERVE_JSON")" '"throughput_fps"' "serve JSON has throughput"
+  expect_contains "$(cat "$SERVE_JSON")" '"workers":2' "serve JSON echoes config"
+fi
+
+# 13b. A flag belonging to another command is rejected, not silently
+# ignored (flags are declared globally; consumption is per-command).
+run 1 render --synthetic 100 --workers 8 || true
+expect_contains "$ERR" "--workers is not used by 'render'" "foreign flag rejected"
+expect_clean "$ERR" "foreign flag diagnostic"
+run 1 serve --variant mini || true
+expect_contains "$ERR" "--variant is not used by 'serve'" "serve foreign flag rejected"
+
+# 14. serve flag validation: bad backend/arrival/workers fail with clean
+# one-line diagnostics.
+run 1 serve --backend vulkan || true
+expect_contains "$ERR" "unknown backend 'vulkan'" "bad backend named"
+expect_clean "$ERR" "bad backend diagnostic"
+run 1 serve --arrival bursty || true
+expect_contains "$ERR" "unknown arrival model 'bursty'" "bad arrival named"
+expect_clean "$ERR" "bad arrival diagnostic"
+run 1 serve --workers -2 || true
+expect_contains "$ERR" "--workers" "negative workers named"
+expect_clean "$ERR" "negative workers diagnostic"
+run 1 serve --json "$TMP/no/such/dir/r.json" || true
+expect_contains "$ERR" "cannot write --json" "unwritable json rejected"
+expect_clean "$ERR" "unwritable json diagnostic"
+# A failed flag validation must not leave a stray empty --json file behind.
+run 1 serve --json "$TMP/stray.json" --backend bogus || true
+if [[ -e "$TMP/stray.json" ]]; then
+  echo "FAIL: failed serve left an empty --json file behind" >&2
+  FAILURES=$((FAILURES + 1))
+fi
+
 if [[ "$FAILURES" -ne 0 ]]; then
   echo "cli_smoke_test: $FAILURES failure(s)" >&2
   exit 1

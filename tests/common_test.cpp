@@ -322,6 +322,29 @@ TEST(CliParser, MalformedNumberThrows) {
   EXPECT_THROW(cli.get_int("n"), Error);
 }
 
+TEST(CliParser, Uint64FullRangeAndRejections) {
+  CliParser cli("test");
+  cli.add_flag("seed", "42", "uint64");
+  {
+    const char* argv[] = {"prog", "--seed=18446744073709551615"};
+    ASSERT_TRUE(cli.parse(2, argv));
+    EXPECT_EQ(cli.get_uint64("seed"), 18446744073709551615ull);
+  }
+  for (const char* bad :
+       {"-1", " -1", "+3", "abc", "18446744073709551616", ""}) {
+    CliParser p("test");
+    p.add_flag("seed", bad, "uint64");
+    const char* argv[] = {"prog"};
+    ASSERT_TRUE(p.parse(1, argv));
+    EXPECT_THROW(p.get_uint64("seed"), CliParseError) << "value: " << bad;
+  }
+  CliParser zero("test");
+  zero.add_flag("seed", "0", "uint64");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(zero.parse(1, argv));
+  EXPECT_EQ(zero.get_uint64("seed"), 0u);  // 0 is a valid PRNG seed
+}
+
 TEST(CliParser, PositionalArgsCollected) {
   CliParser cli("test");
   const char* argv[] = {"prog", "file1", "file2"};

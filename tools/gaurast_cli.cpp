@@ -2,23 +2,34 @@
 //
 //   gaurast_cli render   --ply scene.ply | --synthetic N   [--width W]
 //                        [--height H] [--out img.ppm] [--config rast.cfg]
+//                        [--threads T] [--seed S]
 //   gaurast_cli simulate --scene bicycle [--variant original|mini]
 //                        [--config rast.cfg]
 //   gaurast_cli replay   --trace loads.gtr [--config rast.cfg]
+//   gaurast_cli serve    [--jobs N] [--workers W] [--queue Q]
+//                        [--arrival closed|poisson] [--rate HZ]
+//                        [--backend sw|gaurast|gscore] [--threads T]
+//                        [--seed S] [--json out.json]
 //   gaurast_cli report
 //
 // `render` runs a real scene end-to-end through the GauRastDevice (images
 // are the hardware-model output). `simulate` evaluates a full-scale NeRF-360
-// workload profile. `replay` re-times a captured tile trace. `report` prints
-// the headline paper-reproduction summary.
+// workload profile. `replay` re-times a captured tile trace. `serve` drives
+// generated multi-user traffic through the concurrent RenderService and
+// reports throughput/latency. `report` prints the headline
+// paper-reproduction summary.
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
 #include <string_view>
+#include <thread>
+#include <vector>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
@@ -29,6 +40,8 @@
 #include "core/trace.hpp"
 #include "gpu/config.hpp"
 #include "gpu/cost_model.hpp"
+#include "runtime/service.hpp"
+#include "runtime/workload.hpp"
 #include "scene/generator.hpp"
 #include "scene/ply_io.hpp"
 
@@ -58,38 +71,130 @@ core::RasterizerConfig config_from_flag(const CliParser& cli) {
                       : core::load_config(path);
 }
 
-int cmd_render(const CliParser& cli) {
-  // Fail on an unwritable --out before spending time rendering (append mode
-  // so probing never truncates an existing file).
-  const std::string out = cli.get_string("out");
-  if (!out.empty() && !std::ofstream(out, std::ios::app).good()) {
-    throw CliParseError("cannot write --out file '" + out + "'");
+bool flag_was_set(const CliParser& cli, const std::string& name) {
+  const std::vector<std::string> set = cli.set_flags();
+  return std::find(set.begin(), set.end(), name) != set.end();
+}
+
+/// Probes that an output path is writable (append mode, so an existing file
+/// is never truncated) and, if the probe had to create the file, removes it
+/// again on any error path so a failed run leaves no stray empty artifact.
+class OutputFileProbe {
+ public:
+  OutputFileProbe(std::string path, const std::string& flag)
+      : path_(std::move(path)) {
+    if (path_.empty()) return;
+    std::error_code ec;
+    created_ = !std::filesystem::exists(path_, ec);
+    if (!std::ofstream(path_, std::ios::app).good()) {
+      throw CliParseError("cannot write --" + flag + " file '" + path_ + "'");
+    }
   }
-  scene::GaussianScene gscene = [&] {
-    const std::string ply = readable_file_flag(cli, "ply");
-    if (!ply.empty()) return scene::load_ply(ply);
-    scene::GeneratorParams params;
-    params.gaussian_count =
-        static_cast<std::uint64_t>(cli.get_positive_int("synthetic"));
-    return scene::generate_scene(params);
-  }();
-  const scene::Camera camera = scene::default_camera(
-      {}, cli.get_positive_int("width"), cli.get_positive_int("height"));
-  const core::GauRastDevice device(config_from_flag(cli));
-  const core::DeviceGaussianFrame frame = device.render(gscene, camera);
+
+  ~OutputFileProbe() {
+    if (armed_ && created_) {
+      std::error_code ec;
+      std::filesystem::remove(path_, ec);
+    }
+  }
+
+  /// Call once the real content has been written.
+  void disarm() { armed_ = false; }
+
+ private:
+  std::string path_;
+  bool created_ = false;
+  bool armed_ = true;
+};
+
+// Re-raises runtime enum-parse errors as CLI errors so a bad --backend or
+// --arrival value gets the standard one-line flag diagnostic.
+template <typename Fn>
+auto flag_value(const std::string& flag, Fn&& parse) {
+  try {
+    return parse();
+  } catch (const Error& e) {
+    throw CliParseError(std::string("--") + flag + ": " + e.what());
+  }
+}
+
+int cmd_render(const CliParser& cli) {
+  const runtime::Backend backend = flag_value("backend", [&] {
+    return runtime::backend_from_string(cli.get_string("backend"));
+  });
+  pipeline::RendererConfig pipeline_config;
+  pipeline_config.num_threads = cli.get_positive_int("threads");
+  // A flag whose value cannot take effect on the chosen backend is a user
+  // error, not a silent no-op: only the software Step-3 rasterizer fans
+  // tiles across threads, and only the gaurast backend takes an external
+  // rasterizer config (gscore derives its own FP16 deployment).
+  if (backend != runtime::Backend::kSoftware && flag_was_set(cli, "threads")) {
+    throw CliParseError(
+        "--threads only applies to --backend sw (the hardware model "
+        "rasterizes sequentially)");
+  }
+  if (backend != runtime::Backend::kGauRast && flag_was_set(cli, "config")) {
+    throw CliParseError("--config only applies to --backend gaurast");
+  }
+  // Validate every remaining flag (and input-path readability) before the
+  // --out probe so a rejected run cannot leave a stray empty output file.
+  const int width = cli.get_positive_int("width");
+  const int height = cli.get_positive_int("height");
+  const std::string ply = readable_file_flag(cli, "ply");
+  scene::GeneratorParams generator_params;
+  generator_params.gaussian_count =
+      static_cast<std::uint64_t>(cli.get_positive_int("synthetic"));
+  generator_params.seed = cli.get_uint64("seed");
+
+  const std::string out = cli.get_string("out");
+  OutputFileProbe out_probe(out, "out");
+  scene::GaussianScene gscene = ply.empty() ? scene::generate_scene(
+                                                  generator_params)
+                                            : scene::load_ply(ply);
+  const scene::Camera camera = scene::default_camera({}, width, height);
 
   TablePrinter table({"Metric", "Value"});
   table.add_row({"Gaussians", std::to_string(gscene.size())});
-  table.add_row({"Pairs evaluated", std::to_string(frame.pairs_evaluated)});
-  table.add_row({"GauRast raster", format_time_ms(frame.raster_model_ms)});
-  table.add_row({"Stages 1-2 (host)", format_time_ms(frame.stage12_model_ms)});
-  table.add_row({"Pipelined FPS", format_fixed(frame.pipelined_fps(), 1)});
-  table.add_row({"Utilization", format_percent(frame.utilization)});
-  table.add_row({"Step-3 energy @SoC",
-                 format_energy_mj(frame.energy_soc.total_mj())});
+  const Image* image = nullptr;
+  pipeline::FrameResult sw_frame;
+  core::DeviceGaussianFrame hw_frame;
+  if (backend == runtime::Backend::kSoftware) {
+    // Reference software pipeline; Step 3 fans tiles across --threads with
+    // bit-identical output for any thread count.
+    const pipeline::GaussianRenderer renderer(pipeline_config);
+    const auto start = std::chrono::steady_clock::now();
+    sw_frame = renderer.render(gscene, camera);
+    const double wall_ms =
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    image = &sw_frame.image;
+    table.add_row({"Pairs evaluated",
+                   std::to_string(sw_frame.raster_stats.pairs_evaluated)});
+    table.add_row({"Pairs per pixel",
+                   format_fixed(sw_frame.pairs_per_pixel(), 2)});
+    table.add_row({"Raster threads",
+                   std::to_string(pipeline_config.num_threads)});
+    table.add_row({"Frame wall time", format_time_ms(wall_ms)});
+  } else {
+    const core::GauRastDevice device(runtime::rasterizer_for_backend(
+        backend, config_from_flag(cli)));
+    hw_frame = device.render(gscene, camera, pipeline_config);
+    image = &hw_frame.image;
+    table.add_row({"Pairs evaluated",
+                   std::to_string(hw_frame.pairs_evaluated)});
+    table.add_row({"GauRast raster", format_time_ms(hw_frame.raster_model_ms)});
+    table.add_row({"Stages 1-2 (host)",
+                   format_time_ms(hw_frame.stage12_model_ms)});
+    table.add_row({"Pipelined FPS", format_fixed(hw_frame.pipelined_fps(), 1)});
+    table.add_row({"Utilization", format_percent(hw_frame.utilization)});
+    table.add_row({"Step-3 energy @SoC",
+                   format_energy_mj(hw_frame.energy_soc.total_mj())});
+  }
   table.print(std::cout);
   if (!out.empty()) {
-    frame.image.save_ppm(out);
+    image->save_ppm(out);
+    out_probe.disarm();
     std::cout << "Wrote " << out << '\n';
   }
   return 0;
@@ -148,6 +253,71 @@ int cmd_replay(const CliParser& cli) {
   return 0;
 }
 
+int cmd_serve(const CliParser& cli) {
+  runtime::ServiceConfig service_config;
+  const int workers_flag = cli.get_int("workers");
+  if (workers_flag < 0) {
+    throw CliParseError("--workers must be >= 0 (0 = one per hardware core)");
+  }
+  service_config.workers =
+      workers_flag > 0
+          ? workers_flag
+          : static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  service_config.queue_capacity =
+      static_cast<std::size_t>(cli.get_positive_int("queue"));
+  service_config.backend = flag_value("backend", [&] {
+    return runtime::backend_from_string(cli.get_string("backend"));
+  });
+  service_config.renderer.num_threads = cli.get_positive_int("threads");
+  if (service_config.backend != runtime::Backend::kSoftware &&
+      flag_was_set(cli, "threads")) {
+    throw CliParseError(
+        "--threads only applies to --backend sw (the hardware model "
+        "rasterizes sequentially)");
+  }
+
+  runtime::WorkloadConfig workload;
+  workload.seed = cli.get_uint64("seed");
+  workload.jobs = cli.get_positive_int("jobs");
+  workload.width = cli.get_positive_int("width");
+  workload.height = cli.get_positive_int("height");
+  workload.arrival = flag_value("arrival", [&] {
+    return runtime::arrival_from_string(cli.get_string("arrival"));
+  });
+  workload.rate_hz = cli.get_double("rate");
+  if (workload.arrival == runtime::ArrivalModel::kPoisson &&
+      workload.rate_hz <= 0.0) {
+    throw CliParseError("--rate must be > 0 for --arrival poisson");
+  }
+  // Probe --json writability up front; the probe removes any file it had
+  // to create if the run fails, so error paths leave no stray empty report.
+  const std::string json_path = cli.get_string("json");
+  OutputFileProbe json_probe(json_path, "json");
+
+  runtime::RenderService service(service_config);
+  print_banner(std::cout,
+               "Serving " + std::to_string(workload.jobs) + " jobs on " +
+                   std::to_string(service_config.workers) +
+                   " workers (backend " + to_string(service_config.backend) +
+                   ", arrival " + to_string(workload.arrival) + ")");
+  const runtime::WorkloadRunResult run = run_workload(service, workload);
+  runtime::print_service_stats(std::cout, run.stats);
+
+  if (!json_path.empty()) {
+    std::ofstream os(json_path, std::ios::trunc);
+    os << "{\"command\":\"serve\",\"workers\":" << service_config.workers
+       << ",\"queue\":" << service_config.queue_capacity << ",\"backend\":\""
+       << to_string(service_config.backend) << "\",\"arrival\":\""
+       << to_string(workload.arrival) << "\",\"jobs\":" << workload.jobs
+       << ",\"seed\":" << workload.seed
+       << ",\"threads\":" << service_config.renderer.num_threads
+       << ",\"stats\":" << runtime::service_stats_json(run.stats) << "}\n";
+    json_probe.disarm();
+    std::cout << "Wrote " << json_path << '\n';
+  }
+  return 0;
+}
+
 int cmd_report() {
   const gpu::CudaCostModel cuda(gpu::orin_nx_10w());
   const core::ProfileSimulator sim(core::RasterizerConfig::scaled300());
@@ -174,11 +344,39 @@ int cmd_report() {
   return 0;
 }
 
-constexpr std::array<std::string_view, 4> kCommands = {"render", "simulate",
-                                                       "replay", "report"};
+constexpr std::array<std::string_view, 5> kCommands = {
+    "render", "simulate", "replay", "serve", "report"};
+
+/// Flags each command actually consumes. Flags are declared once globally
+/// (so every help screen is complete), but a flag set for a command that
+/// ignores it is a user error, not a silent no-op.
+const std::vector<std::string>& command_flags(const std::string& command) {
+  static const std::map<std::string, std::vector<std::string>> kByCommand = {
+      {"render",
+       {"ply", "synthetic", "width", "height", "out", "config", "threads",
+        "seed", "backend"}},
+      {"simulate", {"scene", "variant", "config"}},
+      {"replay", {"trace", "config"}},
+      {"serve",
+       {"jobs", "workers", "queue", "arrival", "rate", "backend", "threads",
+        "seed", "width", "height", "json"}},
+      {"report", {}},
+  };
+  return kByCommand.at(command);
+}
+
+void reject_foreign_flags(const CliParser& cli, const std::string& command) {
+  const std::vector<std::string>& allowed = command_flags(command);
+  for (const std::string& name : cli.set_flags()) {
+    if (std::find(allowed.begin(), allowed.end(), name) == allowed.end()) {
+      throw CliParseError("flag --" + name + " is not used by '" + command +
+                          "'; see 'gaurast_cli " + command + " --help'");
+    }
+  }
+}
 
 void print_top_usage(std::ostream& os) {
-  os << "usage: gaurast_cli <render|simulate|replay|report> [flags]\n"
+  os << "usage: gaurast_cli <render|simulate|replay|serve|report> [flags]\n"
         "       gaurast_cli <command> --help\n"
         "\n"
         "Commands:\n"
@@ -186,6 +384,8 @@ void print_top_usage(std::ostream& os) {
         "GauRast device model\n"
         "  simulate  evaluate a full-scale NeRF-360 workload profile\n"
         "  replay    re-time a captured tile-load trace (.gtr)\n"
+        "  serve     run generated traffic through the concurrent render "
+        "service\n"
         "  report    print the headline paper-reproduction summary\n";
 }
 
@@ -220,15 +420,27 @@ int main(int argc, char** argv) {
   cli.add_flag("scene", "bicycle", "NeRF-360 scene profile name");
   cli.add_flag("variant", "original", "pipeline variant: original or mini");
   cli.add_flag("trace", "", "tile-load trace (.gtr) to replay");
+  cli.add_flag("threads", "1", "per-frame Step-3 raster threads (render/serve)");
+  cli.add_flag("seed", "42", "PRNG seed for generated scenes (render/serve)");
+  cli.add_flag("jobs", "32", "serve: number of frame requests to generate");
+  cli.add_flag("workers", "0", "serve: worker threads (0 = one per core)");
+  cli.add_flag("queue", "64", "serve: bounded request-queue capacity");
+  cli.add_flag("arrival", "closed", "serve: arrival model, closed or poisson");
+  cli.add_flag("rate", "120", "serve: offered load in jobs/s (poisson)");
+  cli.add_flag("backend", "gaurast",
+               "Step-3 executor, sw|gaurast|gscore (render/serve)");
+  cli.add_flag("json", "", "serve: also write a machine-readable JSON report");
   try {
     if (!cli.parse(argc - 1, argv + 1)) return 0;
     if (!cli.positional().empty()) {
       throw CliParseError("unexpected argument '" + cli.positional().front() +
                           "'; flags are passed as --name value");
     }
+    reject_foreign_flags(cli, command);
     if (command == "render") return cmd_render(cli);
     if (command == "simulate") return cmd_simulate(cli);
     if (command == "replay") return cmd_replay(cli);
+    if (command == "serve") return cmd_serve(cli);
     if (command == "report") return cmd_report();
     // Unreachable while kCommands and the chain above stay in sync.
     std::cerr << "gaurast_cli: unhandled command '" << command << "'\n";
