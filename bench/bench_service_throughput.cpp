@@ -8,9 +8,11 @@
 // multi-core host. `--json out.json` emits the same rows machine-readably so
 // the trajectory can be tracked across PRs.
 //
-//   bench_service_throughput [--jobs N] [--backend sw|gaurast|gscore]
+//   bench_service_throughput [--jobs N] [--backend NAME]
 //                            [--width W] [--height H] [--seed S]
 //                            [--json out.json]
+//
+// --backend takes any name in the engine registry (`gaurast_cli backends`).
 
 #include <fstream>
 #include <iostream>
@@ -21,6 +23,7 @@
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "engine/registry.hpp"
 #include "runtime/service.hpp"
 #include "runtime/workload.hpp"
 #include "scene/generator.hpp"
@@ -43,7 +46,8 @@ std::vector<int> worker_sweep() {
 int main(int argc, char** argv) {
   CliParser cli("bench_service_throughput");
   cli.add_flag("jobs", "24", "frame requests per sweep point");
-  cli.add_flag("backend", "sw", "Step-3 executor: sw|gaurast|gscore");
+  cli.add_flag("backend", "sw",
+               "Step-3 executor: " + engine::join_names(engine::names(), "|"));
   cli.add_flag("width", "128", "render width");
   cli.add_flag("height", "96", "render height");
   cli.add_flag("seed", "42", "workload seed");
@@ -51,8 +55,10 @@ int main(int argc, char** argv) {
   try {
     if (!cli.parse(argc, argv)) return 0;
 
-    const runtime::Backend backend =
-        runtime::backend_from_string(cli.get_string("backend"));
+    // Resolve --backend against the registry up front so a typo fails with
+    // the enumerating diagnostic before any scene generation.
+    const std::string backend = cli.get_string("backend");
+    const engine::BackendInfo backend_info = engine::registry().info(backend);
     runtime::WorkloadConfig workload;
     workload.seed = cli.get_uint64("seed");
     workload.jobs = cli.get_positive_int("jobs");
@@ -60,8 +66,8 @@ int main(int argc, char** argv) {
     workload.height = cli.get_positive_int("height");
     workload.arrival = runtime::ArrivalModel::kClosedLoop;
 
-    print_banner(std::cout, "Service throughput, backend " +
-                                std::string(to_string(backend)) + ", " +
+    print_banner(std::cout, "Service throughput, backend " + backend + " (" +
+                                backend_info.description + "), " +
                                 std::to_string(workload.jobs) +
                                 " jobs per point");
     TablePrinter table({"Workers", "Throughput", "Speedup", "p50", "p95",
@@ -114,8 +120,8 @@ int main(int argc, char** argv) {
       if (!os.good()) {
         throw CliParseError("cannot write --json file '" + json_path + "'");
       }
-      os << "{\"bench\":\"service_throughput\",\"backend\":\""
-         << to_string(backend) << "\",\"jobs\":" << workload.jobs
+      os << "{\"bench\":\"service_throughput\",\"backend\":\"" << backend
+         << "\",\"jobs\":" << workload.jobs
          << ",\"width\":" << workload.width
          << ",\"height\":" << workload.height
          << ",\"seed\":" << workload.seed << ",\"points\":[";

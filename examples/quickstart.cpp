@@ -1,22 +1,23 @@
-// Quickstart: render a synthetic 3D Gaussian scene with the software
-// reference pipeline, then hand Step 3 to the GauRast hardware model, verify
-// the images match exactly, and report the modeled cycle count and energy.
+// Quickstart: render a synthetic 3D Gaussian scene through the engine
+// backend API — the one seam every execution path in this repo goes
+// through. Creates the reference software backend and the GauRast
+// hardware-model backend from the registry, verifies their images match
+// bit-exactly (FP32), then sweeps every registered hardware operating point
+// and reports its modeled Step-3 runtime, FPS and energy.
 //
 //   ./quickstart [--gaussians N] [--width W] [--height H] [--out prefix]
 
 #include <iostream>
+#include <memory>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
-#include "core/device.hpp"
-#include "core/energy.hpp"
-#include "core/hw_rasterizer.hpp"
-#include "pipeline/renderer.hpp"
+#include "engine/registry.hpp"
 #include "scene/generator.hpp"
 
 int main(int argc, char** argv) {
   using namespace gaurast;
-  CliParser cli("GauRast quickstart: software vs hardware-model rendering");
+  CliParser cli("GauRast quickstart: one scene through every engine backend");
   cli.add_flag("gaussians", "20000", "number of synthetic Gaussians");
   cli.add_flag("width", "400", "image width");
   cli.add_flag("height", "300", "image height");
@@ -32,54 +33,56 @@ int main(int argc, char** argv) {
   std::cout << "Scene: " << gscene.size() << " Gaussians, camera "
             << camera.width() << "x" << camera.height() << "\n";
 
-  // 2. Software reference: Steps 1-3 on the "CUDA cores".
-  const pipeline::GaussianRenderer renderer;
-  const pipeline::FrameResult sw = renderer.render(gscene, camera);
-  std::cout << "Software pipeline: " << sw.splats.size() << " splats, "
-            << sw.workload.instance_count() << " tile instances, "
-            << sw.raster_stats.pairs_evaluated << " pairs ("
-            << format_fixed(sw.pairs_per_pixel(), 1) << " per pixel)\n";
+  // 2. The registry is the single catalogue of execution paths; any name
+  // here works for `--backend` everywhere (CLI, serve, benches).
+  std::cout << "\nRegistered backends:\n";
+  for (const engine::BackendInfo& info : engine::list()) {
+    std::cout << "  " << info.name << " — " << info.description << "\n";
+  }
 
-  // 3. Hardware model: Step 3 on the GauRast 16-PE prototype.
-  const core::RasterizerConfig config = core::RasterizerConfig::prototype16();
-  const core::HardwareRasterizer hw(config);
-  const core::HwRasterResult hwres = hw.rasterize_gaussians(
-      sw.splats, sw.workload, renderer.config().blend);
-
-  const float diff = hwres.image.max_abs_diff(sw.image);
+  // 3. Software reference vs GauRast hardware model, both through the same
+  // interface. In FP32 the enhanced rasterizer is bit-exact.
+  const engine::FrameOptions options;
+  const std::unique_ptr<engine::RenderBackend> sw = engine::create("sw");
+  const std::unique_ptr<engine::RenderBackend> hw = engine::create("gaurast");
+  const engine::FrameOutput sw_out = sw->render(gscene, camera, options);
+  const engine::FrameOutput hw_out = hw->render(gscene, camera, options);
+  std::cout << "\nSoftware pipeline: " << sw_out.frame.splats.size()
+            << " splats, " << sw_out.frame.workload.instance_count()
+            << " tile instances, "
+            << sw_out.frame.raster_stats.pairs_evaluated << " pairs ("
+            << format_fixed(sw_out.frame.pairs_per_pixel(), 1)
+            << " per pixel)\n";
+  const float diff = hw_out.frame.image.max_abs_diff(sw_out.frame.image);
   std::cout << "Hardware vs software image max abs diff: " << diff
             << (diff == 0.0f ? "  (bit-exact)" : "") << "\n";
 
-  const core::EnergyModel energy(config);
-  const core::EnergyBreakdown e =
-      energy.from_counters(hwres.counters, hwres.runtime_ms());
-  TablePrinter table({"Metric", "Value"});
-  table.add_row({"Cycles", std::to_string(hwres.timing.makespan_cycles)});
-  table.add_row({"Runtime @1GHz", format_time_ms(hwres.runtime_ms())});
-  table.add_row({"PE utilization", format_percent(hwres.utilization())});
-  table.add_row({"Energy (28nm)", format_energy_mj(e.total_mj())});
-  table.add_row({"Avg power", format_fixed(e.average_power_w(hwres.runtime_ms()), 2) + " W"});
+  // 4. Every registered hardware operating point serves the same frame;
+  // the rows differ only in the modeled deployment metrics.
+  TablePrinter table({"Backend", "Precision", "PEs", "Step-3 raster",
+                      "Pipelined FPS", "Utilization", "Energy @SoC"});
+  for (const engine::BackendInfo& info : engine::list()) {
+    if (!info.capabilities.is_hardware_model) continue;
+    // The gaurast frame is already in hand from step 3.
+    const engine::FrameOutput out =
+        info.name == "gaurast"
+            ? hw_out
+            : engine::create(info.name)->render(gscene, camera, options);
+    table.add_row({info.name,
+                   engine::precision_name(info.capabilities.default_precision),
+                   std::to_string(info.rasterizer->total_pes()),
+                   format_time_ms(out.hw->raster_model_ms),
+                   format_fixed(out.hw->pipelined_fps(), 1),
+                   format_percent(out.hw->utilization),
+                   format_energy_mj(out.hw->energy_soc_mj)});
+  }
+  std::cout << "\nHardware operating points on this frame:\n";
   table.print(std::cout);
 
   const std::string prefix = cli.get_string("out");
-  sw.image.save_ppm(prefix + "_software.ppm");
-  hwres.image.save_ppm(prefix + "_gaurast.ppm");
+  sw_out.frame.image.save_ppm(prefix + "_software.ppm");
+  hw_out.frame.image.save_ppm(prefix + "_gaurast.ppm");
   std::cout << "Wrote " << prefix << "_software.ppm and " << prefix
             << "_gaurast.ppm\n";
-
-  // The same flow through the one-object public API: a Jetson-class device
-  // whose rasterizer carries the paper's scaled 300-PE enhancement.
-  const core::GauRastDevice device;
-  const core::DeviceGaussianFrame dev = device.render(gscene, camera);
-  std::cout << "\nGauRastDevice (scaled 300-PE deployment):\n"
-            << "  raster " << format_time_ms(dev.raster_model_ms)
-            << ", stages 1-2 " << format_time_ms(dev.stage12_model_ms)
-            << ", pipelined " << format_fixed(dev.pipelined_fps(), 1)
-            << " FPS\n"
-            << "  enhancement silicon: "
-            << format_fixed(device.enhancement_area_mm2(), 2) << " mm2 ("
-            << format_percent(device.enhancement_soc_fraction(), 2)
-            << " of the SoC), module power "
-            << format_fixed(device.module_power_w(), 2) << " W\n";
   return 0;
 }

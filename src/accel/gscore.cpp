@@ -38,4 +38,10 @@ AreaEfficiencyComparison compare_area_efficiency(
   return cmp;
 }
 
+core::RasterizerConfig gscore_matched_config(const gpu::GpuConfig& host) {
+  const AreaEfficiencyComparison cmp = compare_area_efficiency(
+      host, scene::profile_by_name("bicycle", scene::PipelineVariant::kOriginal));
+  return core::RasterizerConfig::fp16(cmp.gaurast_fp16_pes);
+}
+
 }  // namespace gaurast::accel

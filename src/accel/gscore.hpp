@@ -43,4 +43,9 @@ AreaEfficiencyComparison compare_area_efficiency(
     const gpu::GpuConfig& host, const scene::SceneProfile& reference_scene,
     const GScoreSpec& spec = gscore_published());
 
+/// The FP16 GauRast configuration sized to GSCore's published throughput on
+/// `host` over the standard reference workload (bicycle, original 3DGS) —
+/// the operating point the engine registry exposes as backend "gscore".
+core::RasterizerConfig gscore_matched_config(const gpu::GpuConfig& host);
+
 }  // namespace gaurast::accel

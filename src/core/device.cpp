@@ -1,5 +1,7 @@
 #include "core/device.hpp"
 
+#include <utility>
+
 #include "common/error.hpp"
 
 namespace gaurast::core {
@@ -37,13 +39,15 @@ double GauRastDevice::stage12_ms_for(const pipeline::FrameResult& frame,
 
 DeviceGaussianFrame GauRastDevice::render(
     const scene::GaussianScene& scene, const scene::Camera& camera,
-    const pipeline::RendererConfig& pipeline_config) const {
+    const pipeline::RendererConfig& pipeline_config,
+    pipeline::FrameResult* out_frame) const {
   const pipeline::GaussianRenderer renderer(pipeline_config);
   // Steps 1-2 on the "CUDA cores" (functionally here on the CPU).
   pipeline::FrameResult frame = renderer.prepare(scene, camera);
-  // Step 3 on the enhanced rasterizer.
-  const HwRasterResult hw = hw_.rasterize_gaussians(
-      frame.splats, frame.workload, pipeline_config.blend);
+  // Step 3 on the enhanced rasterizer. Non-const so the image can be moved
+  // into out_frame below instead of copied a second time.
+  HwRasterResult hw = hw_.rasterize_gaussians(frame.splats, frame.workload,
+                                              pipeline_config.blend);
 
   DeviceGaussianFrame out;
   out.image = hw.image;
@@ -57,6 +61,12 @@ DeviceGaussianFrame GauRastDevice::render(
   const EnergyBreakdown proto =
       energy_.from_counters(hw.counters, hw.runtime_ms());
   out.energy_soc = energy_.at_soc_node(proto);
+  if (out_frame != nullptr) {
+    frame.image = std::move(hw.image);
+    frame.raster_stats.pairs_evaluated = hw.pairs_evaluated;
+    frame.raster_stats.pairs_blended = hw.pairs_blended;
+    *out_frame = std::move(frame);
+  }
   return out;
 }
 

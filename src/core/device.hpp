@@ -64,11 +64,16 @@ class GauRastDevice {
 
   /// Renders a Gaussian scene end-to-end (Steps 1-3). The image is the
   /// functional hardware-model output (bit-exact vs the software pipeline
-  /// in FP32).
+  /// in FP32). When `out_frame` is non-null it receives the full pipeline
+  /// FrameResult — splats, tile workload and per-step stats, with the
+  /// Step-3 image and pair counters coming from the hardware model — so
+  /// engine::RenderBackend consumers get workload stats without a second
+  /// pipeline pass.
   DeviceGaussianFrame render(const scene::GaussianScene& scene,
                              const scene::Camera& camera,
                              const pipeline::RendererConfig& pipeline_config =
-                                 pipeline::RendererConfig{}) const;
+                                 pipeline::RendererConfig{},
+                             pipeline::FrameResult* out_frame = nullptr) const;
 
   /// Renders a triangle mesh through the same enhanced rasterizer
   /// (preserved original functionality).

@@ -1,0 +1,160 @@
+#include "engine/registry.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "engine/backends.hpp"
+
+namespace gaurast::engine {
+
+std::string join_names(const std::vector<std::string>& names,
+                       const std::string& sep) {
+  std::string out;
+  for (const std::string& name : names) {
+    if (!out.empty()) out += sep;
+    out += name;
+  }
+  return out;
+}
+
+void BackendRegistry::add(const std::string& name, BackendFactory factory) {
+  if (name.empty()) throw Error("backend name must be non-empty");
+  if (!factory) throw Error("backend '" + name + "' needs a factory");
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!factories_.emplace(name, std::move(factory)).second) {
+    throw Error("backend '" + name +
+                "' is already registered; names are the public API and "
+                "cannot be silently replaced");
+  }
+}
+
+bool BackendRegistry::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.count(name) > 0;
+}
+
+std::size_t BackendRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.size();
+}
+
+std::vector<std::string> BackendRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;  // std::map iterates in lexicographic order
+}
+
+BackendFactory BackendRegistry::factory_for(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    std::vector<std::string> known;
+    known.reserve(factories_.size());
+    for (const auto& [key, factory] : factories_) known.push_back(key);
+    throw Error("unknown backend '" + name +
+                "' (registered backends: " + join_names(known) + ")");
+  }
+  return it->second;
+}
+
+std::vector<std::string> BackendRegistry::names_where(
+    const std::function<bool(const Capabilities&)>& pred) const {
+  // Instantiate outside the lock: factories are caller-supplied code.
+  std::vector<std::string> out;
+  for (const std::string& name : names()) {
+    if (pred(factory_for(name)(BackendOptions{})->capabilities())) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<RenderBackend> BackendRegistry::create(
+    const std::string& name, const BackendOptions& options) const {
+  std::unique_ptr<RenderBackend> backend = factory_for(name)(options);
+  if (options.rasterizer &&
+      !backend->capabilities().accepts_external_rasterizer_config) {
+    throw Error(
+        "backend '" + name +
+        "' derives its own rasterizer configuration and does not accept an "
+        "external one (backends that do: " +
+        join_names(names_where([](const Capabilities& caps) {
+          return caps.accepts_external_rasterizer_config;
+        })) +
+        ")");
+  }
+  return backend;
+}
+
+BackendInfo BackendRegistry::info(const std::string& name) const {
+  const std::unique_ptr<RenderBackend> backend = create(name);
+  BackendInfo info;
+  info.name = backend->name();
+  info.description = backend->describe();
+  info.capabilities = backend->capabilities();
+  info.rasterizer = backend->rasterizer_config();
+  return info;
+}
+
+std::vector<BackendInfo> BackendRegistry::list() const {
+  std::vector<BackendInfo> out;
+  for (const std::string& name : names()) out.push_back(info(name));
+  return out;
+}
+
+void register_builtin_backends(BackendRegistry& registry) {
+  registry.add("sw", [](const BackendOptions&) {
+    return std::make_unique<SoftwareBackend>();
+  });
+  registry.add("gaurast", [](const BackendOptions& options) {
+    GauRastBackend::Spec spec;
+    spec.name = "gaurast";
+    spec.accepts_external_rasterizer_config = true;
+    if (options.rasterizer) spec.rasterizer = *options.rasterizer;
+    return std::make_unique<GauRastBackend>(std::move(spec));
+  });
+  registry.add("gscore", [](const BackendOptions&) {
+    return std::make_unique<GScoreBackend>();
+  });
+  // Two non-default operating points registered up front both as useful
+  // presets and as living proof that a new deployment is one registration.
+  registry.add("edge-fp16", [](const BackendOptions&) {
+    GauRastBackend::Spec spec;
+    spec.name = "edge-fp16";
+    spec.rasterizer = core::RasterizerConfig::fp16(30, 5);  // 150 PEs
+    spec.description =
+        "small-silicon edge deployment: 150 FP16 PEs (5x30) at 1 GHz on "
+        "Jetson Orin NX (10W)";
+    return std::make_unique<GauRastBackend>(std::move(spec));
+  });
+  registry.add("orin-agx", [](const BackendOptions& options) {
+    GauRastBackend::Spec spec;
+    spec.name = "orin-agx";
+    spec.host = gpu::orin_agx_32w();
+    spec.accepts_external_rasterizer_config = true;
+    if (options.rasterizer) spec.rasterizer = *options.rasterizer;
+    return std::make_unique<GauRastBackend>(std::move(spec));
+  });
+}
+
+BackendRegistry& registry() {
+  static BackendRegistry* global = [] {
+    auto* r = new BackendRegistry();
+    register_builtin_backends(*r);
+    return r;
+  }();
+  return *global;
+}
+
+std::unique_ptr<RenderBackend> create(const std::string& name,
+                                      const BackendOptions& options) {
+  return registry().create(name, options);
+}
+
+std::vector<BackendInfo> list() { return registry().list(); }
+
+std::vector<std::string> names() { return registry().names(); }
+
+}  // namespace gaurast::engine

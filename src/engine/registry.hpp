@@ -1,0 +1,102 @@
+// String-keyed backend registry — the single dispatch seam.
+//
+// Every consumer (CLI, RenderService, benches, examples) resolves backends
+// by name through a BackendRegistry; nothing outside src/engine switches on
+// a backend enum. The process-wide registry() comes seeded with the five
+// built-in operating points:
+//
+//   sw        reference software pipeline
+//   gaurast   scaled 300-PE FP32 deployment on the Jetson Orin NX host
+//   gscore    FP16 deployment sized to GSCore's published throughput
+//   edge-fp16 150-PE FP16 edge config (small-silicon operating point)
+//   orin-agx  scaled 300-PE FP32 deployment on the Jetson AGX Orin host
+//
+// and accepts further registrations at any time (a new operating point is
+// one registry().add(...) call). Unknown-name errors enumerate the names
+// that are currently registered.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/backend.hpp"
+
+namespace gaurast::engine {
+
+/// Builds a backend at the given creation options. Factories must ignore
+/// option fields their backend's capabilities() does not advertise;
+/// BackendRegistry::create() rejects those before the caller sees them.
+using BackendFactory =
+    std::function<std::unique_ptr<RenderBackend>(const BackendOptions&)>;
+
+/// Listing row: everything a consumer needs to render help text, tables,
+/// or JSON without holding a live backend.
+struct BackendInfo {
+  std::string name;
+  std::string description;
+  Capabilities capabilities;
+  std::optional<core::RasterizerConfig> rasterizer;
+};
+
+/// Thread-safe name -> factory map. Instantiable so tests can exercise
+/// registration semantics in isolation; production code uses the seeded
+/// process-wide registry().
+class BackendRegistry {
+ public:
+  /// Registers a factory; throws gaurast::Error on an empty or duplicate
+  /// name (names are the public API — silently replacing one would change
+  /// what every consumer gets).
+  void add(const std::string& name, BackendFactory factory);
+
+  bool contains(const std::string& name) const;
+  std::size_t size() const;
+
+  /// Registered names in lexicographic order.
+  std::vector<std::string> names() const;
+
+  /// Names whose default-constructed backend satisfies `pred` — e.g. "which
+  /// backends accept --threads" for capability-driven diagnostics.
+  std::vector<std::string> names_where(
+      const std::function<bool(const Capabilities&)>& pred) const;
+
+  /// Builds the named backend. Throws gaurast::Error (a) for unknown names,
+  /// enumerating the registered ones, and (b) when `options` carries fields
+  /// the backend's capabilities do not accept, naming the backends that do.
+  std::unique_ptr<RenderBackend> create(const std::string& name,
+                                        const BackendOptions& options = {}) const;
+
+  /// Metadata for one backend (same unknown-name diagnostics as create()).
+  BackendInfo info(const std::string& name) const;
+
+  /// Metadata for every registered backend, sorted by name.
+  std::vector<BackendInfo> list() const;
+
+ private:
+  BackendFactory factory_for(const std::string& name) const;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, BackendFactory> factories_;
+};
+
+/// Seeds `registry` with the five built-in operating points listed above.
+void register_builtin_backends(BackendRegistry& registry);
+
+/// The process-wide registry, built-ins seeded on first use.
+BackendRegistry& registry();
+
+/// Conveniences over registry().
+std::unique_ptr<RenderBackend> create(const std::string& name,
+                                      const BackendOptions& options = {});
+std::vector<BackendInfo> list();
+std::vector<std::string> names();
+
+/// "a, b, c" (or "a|b|c", ...) — the one joiner every diagnostic and help
+/// string uses, so backend enumerations read the same everywhere.
+std::string join_names(const std::vector<std::string>& names,
+                       const std::string& sep = ", ");
+
+}  // namespace gaurast::engine

@@ -36,6 +36,23 @@ GpuConfig xavier_nx() {
   return c;
 }
 
+GpuConfig orin_agx_32w() {
+  GpuConfig c;
+  c.name = "Jetson AGX Orin (32W)";
+  // 2048 CUDA cores at ~930 MHz sustained in the 32 W power mode.
+  c.fma_rate_gfma = 1905.0;
+  c.mem_bw_gbps = 204.8;  // 256-bit LPDDR5
+  c.mem_efficiency = 0.70;
+  c.sw_raster_overhead = 1.0;
+  c.tdp_w = 32.0;
+  c.active_power_w = 24.0;
+  // The full Orin die; its GPC rasterizer budget scales with the doubled
+  // GPC count relative to the NX configuration.
+  c.soc_area_mm2 = 455.0;
+  c.rasterizer_area_mm2 = 4.8;
+  return c;
+}
+
 GpuConfig m2_pro() {
   GpuConfig c;
   c.name = "Apple M2 Pro GPU";

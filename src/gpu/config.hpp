@@ -47,6 +47,11 @@ GpuConfig orin_nx_10w();
 /// Jetson Xavier NX (15 W): 384 CUDA cores at ~1.1 GHz. GSCore's host.
 GpuConfig xavier_nx();
 
+/// Jetson AGX Orin (32 W mode): the larger Orin sibling — roughly 3x the
+/// Orin NX 10 W sustained FP32 rate with double the DRAM bandwidth. Host of
+/// the engine registry's "orin-agx" operating point.
+GpuConfig orin_agx_32w();
+
 /// Apple M2 Pro GPU: 2.6x the Orin NX FP32 rate (paper Sec. V-D), with the
 /// OpenSplat software stack overhead on its rasterization kernel.
 GpuConfig m2_pro();

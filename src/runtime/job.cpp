@@ -4,43 +4,16 @@
 
 namespace gaurast::runtime {
 
-Backend backend_from_string(const std::string& name) {
-  if (name == "sw") return Backend::kSoftware;
-  if (name == "gaurast") return Backend::kGauRast;
-  if (name == "gscore") return Backend::kGScore;
-  throw Error("unknown backend '" + name + "' (expected sw|gaurast|gscore)");
-}
-
-const char* to_string(Backend backend) {
-  switch (backend) {
-    case Backend::kSoftware: return "sw";
-    case Backend::kGauRast: return "gaurast";
-    case Backend::kGScore: return "gscore";
+JobResult FrameJob::execute() const {
+  GAURAST_CHECK(request_.scene != nullptr);
+  JobResult result;
+  engine::FrameOutput out =
+      backend_->render(*request_.scene, request_.camera, options_);
+  result.frame = std::move(out.frame);
+  if (out.hw) {
+    result.raster_model_ms = out.hw->raster_model_ms;
+    result.hw_utilization = out.hw->utilization;
   }
-  return "?";
-}
-
-JobResult RenderJob::execute() const {
-  GAURAST_CHECK(request_.scene != nullptr);
-  JobResult result;
-  result.frame = renderer_->render(*request_.scene, request_.camera);
-  result.job_id = request_.id;
-  return result;
-}
-
-JobResult SimulateJob::execute() const {
-  GAURAST_CHECK(request_.scene != nullptr);
-  JobResult result;
-  // Steps 1-2 on this worker (the "CUDA cores" of the collaborative split).
-  result.frame = renderer_->prepare(*request_.scene, request_.camera);
-  // Step 3 on the shared hardware model, consuming the sorted workload.
-  const core::HwRasterResult hw = hw_->rasterize_gaussians(
-      result.frame.splats, result.frame.workload, renderer_->config().blend);
-  result.frame.image = hw.image;
-  result.frame.raster_stats.pairs_evaluated = hw.pairs_evaluated;
-  result.frame.raster_stats.pairs_blended = hw.pairs_blended;
-  result.raster_model_ms = hw.runtime_ms();
-  result.hw_utilization = hw.utilization();
   result.job_id = request_.id;
   return result;
 }

@@ -1,48 +1,31 @@
-// Schedulable units of rendering work.
+// Schedulable unit of rendering work.
 //
-// A job wraps one frame's worth of the existing pipeline so the service can
-// run it on a pooled worker and hand the caller a future. Two kinds mirror
-// the repo's two execution paths:
+// A FrameJob wraps one frame request against an engine::RenderBackend so
+// the service can run it on a pooled worker and hand the caller a future.
+// Which executor serves Step 3 — the reference software rasterizer, the
+// GauRast hardware model, or any other registered operating point — is
+// entirely the backend's concern; the job is the same shape for all of
+// them. (The paper's CUDA-collaborative split lives inside the hardware
+// backends: Steps 1-2 in software on the worker, the depth-sorted
+// TileWorkload handed to the enhanced-rasterizer model for Step 3.)
 //
-//  * RenderJob   — all three pipeline steps in software on the worker
-//                  (the reference renderer; backend "sw").
-//  * SimulateJob — Steps 1-2 (prepare) in software on the worker, then the
-//                  depth-sorted TileWorkload is handed to the GauRast
-//                  hardware model for Step 3, exactly the paper's
-//                  CUDA-collaborative split (backends "gaurast"/"gscore";
-//                  the latter is the FP16 GSCore-throughput-matched config).
-//
-// Both paths are deterministic functions of the request: images are
-// bit-identical no matter which worker runs the job or how many workers the
-// service has.
+// Jobs are deterministic functions of the request: images are bit-identical
+// no matter which worker runs the job or how many workers the service has.
 #pragma once
 
 #include <cstdint>
 #include <memory>
-#include <string>
 
-#include "core/hw_rasterizer.hpp"
-#include "pipeline/renderer.hpp"
+#include "engine/backend.hpp"
 #include "scene/camera.hpp"
 #include "scene/gaussian.hpp"
 
 namespace gaurast::runtime {
 
 /// Scenes are shared immutably between the cache and in-flight jobs; all
-/// pipeline entry points take const references, so concurrent readers are
+/// backend entry points take const references, so concurrent readers are
 /// safe without copies.
 using ScenePtr = std::shared_ptr<const scene::GaussianScene>;
-
-/// Which Step-3 executor serves requests.
-enum class Backend {
-  kSoftware,  ///< reference CPU rasterizer (pipeline::rasterize)
-  kGauRast,   ///< GauRast hardware model, paper's scaled 300-PE deployment
-  kGScore,    ///< FP16 GauRast sized to GSCore's published throughput
-};
-
-/// Parses "sw" | "gaurast" | "gscore"; throws gaurast::Error otherwise.
-Backend backend_from_string(const std::string& name);
-const char* to_string(Backend backend);
 
 /// One frame request: an immutable shared scene plus a camera.
 struct RenderRequest {
@@ -55,10 +38,10 @@ struct RenderRequest {
 struct JobResult {
   pipeline::FrameResult frame;  ///< image + workload + per-step stats
 
-  /// Modeled Step-3 time on the hardware rasterizer (SimulateJob only;
-  /// 0 for RenderJob, whose Step 3 ran in software).
+  /// Modeled Step-3 time on the hardware rasterizer (hardware-model
+  /// backends only; 0 when Step 3 ran in software).
   double raster_model_ms = 0.0;
-  double hw_utilization = 0.0;  ///< PE utilization (SimulateJob only)
+  double hw_utilization = 0.0;  ///< PE utilization (hardware models only)
 
   std::uint64_t job_id = 0;
   double queue_wait_ms = 0.0;  ///< submit -> job start
@@ -66,32 +49,22 @@ struct JobResult {
   double latency_ms = 0.0;     ///< submit -> job end
 };
 
-/// Software path: scene + camera -> FrameResult, all steps on the worker.
-class RenderJob {
+/// One frame through one backend. The backend is const-shared across
+/// workers (engine::RenderBackend's thread-safety contract); the options
+/// are held by value so a job never outlives a caller's temporary.
+class FrameJob {
  public:
-  RenderJob(const pipeline::GaussianRenderer& renderer, RenderRequest request)
-      : renderer_(&renderer), request_(std::move(request)) {}
+  FrameJob(const engine::RenderBackend& backend, engine::FrameOptions options,
+           RenderRequest request)
+      : backend_(&backend),
+        options_(std::move(options)),
+        request_(std::move(request)) {}
 
   JobResult execute() const;
 
  private:
-  const pipeline::GaussianRenderer* renderer_;
-  RenderRequest request_;
-};
-
-/// Collaborative path: prepare() on the CPU worker, Step 3 on the hardware
-/// model. The HardwareRasterizer is const-shared across workers.
-class SimulateJob {
- public:
-  SimulateJob(const pipeline::GaussianRenderer& renderer,
-              const core::HardwareRasterizer& hw, RenderRequest request)
-      : renderer_(&renderer), hw_(&hw), request_(std::move(request)) {}
-
-  JobResult execute() const;
-
- private:
-  const pipeline::GaussianRenderer* renderer_;
-  const core::HardwareRasterizer* hw_;
+  const engine::RenderBackend* backend_;
+  engine::FrameOptions options_;
   RenderRequest request_;
 };
 

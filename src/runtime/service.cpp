@@ -6,11 +6,8 @@
 #include <sstream>
 #include <utility>
 
-#include "accel/gscore.hpp"
 #include "common/error.hpp"
 #include "common/table.hpp"
-#include "gpu/config.hpp"
-#include "scene/profile.hpp"
 
 namespace gaurast::runtime {
 
@@ -33,41 +30,27 @@ double percentile_sorted(const std::vector<double>& sorted, double q) {
   return sorted[rank];
 }
 
-/// The hardware model a backend choice stands for; null for pure software.
-std::unique_ptr<core::HardwareRasterizer> make_hw(const ServiceConfig& cfg) {
-  if (cfg.backend == Backend::kSoftware) return nullptr;
-  return std::make_unique<core::HardwareRasterizer>(
-      rasterizer_for_backend(cfg.backend, cfg.rasterizer));
+/// The backend every job runs through: the injected instance when the
+/// caller supplied one, otherwise a registry creation of the named key.
+std::shared_ptr<const engine::RenderBackend> resolve_backend(
+    const ServiceConfig& cfg) {
+  if (cfg.backend_instance) return cfg.backend_instance;
+  return engine::create(cfg.backend, cfg.backend_options);
+}
+
+engine::FrameOptions frame_options_for(const ServiceConfig& cfg) {
+  engine::FrameOptions options;
+  options.pipeline = cfg.renderer;
+  return options;
 }
 
 }  // namespace
 
-core::RasterizerConfig rasterizer_for_backend(
-    Backend backend, const core::RasterizerConfig& base) {
-  switch (backend) {
-    case Backend::kSoftware:
-      throw Error("the sw backend has no hardware-model configuration");
-    case Backend::kGauRast:
-      return base;
-    case Backend::kGScore: {
-      // Size an FP16 GauRast deployment to GSCore's published throughput on
-      // the standard host/reference workload (paper Sec. V-C arithmetic).
-      const accel::AreaEfficiencyComparison cmp =
-          accel::compare_area_efficiency(
-              gpu::orin_nx_10w(),
-              scene::profile_by_name("bicycle",
-                                     scene::PipelineVariant::kOriginal));
-      return core::RasterizerConfig::fp16(cmp.gaurast_fp16_pes);
-    }
-  }
-  throw Error("unhandled backend");
-}
-
 RenderService::RenderService(ServiceConfig config)
-    : config_(config),
-      renderer_(config.renderer),
-      hw_(make_hw(config)),
-      pool_(ThreadPoolConfig{config.workers, config.queue_capacity}) {}
+    : config_(std::move(config)),
+      backend_(resolve_backend(config_)),
+      frame_options_(frame_options_for(config_)),
+      pool_(ThreadPoolConfig{config_.workers, config_.queue_capacity}) {}
 
 RenderService::~RenderService() { shutdown(); }
 
@@ -96,8 +79,8 @@ std::size_t RenderService::cached_scene_count() const {
 JobResult RenderService::execute(RenderRequest request,
                                  Clock::time_point enqueue_time) {
   const Clock::time_point start = Clock::now();
-  JobResult result = hw_ ? SimulateJob(renderer_, *hw_, request).execute()
-                         : RenderJob(renderer_, request).execute();
+  JobResult result =
+      FrameJob(*backend_, frame_options_, std::move(request)).execute();
   const Clock::time_point end = Clock::now();
   result.queue_wait_ms = to_ms(start - enqueue_time);
   result.service_ms = to_ms(end - start);

@@ -1,7 +1,8 @@
 // RenderService — the concurrent render-serving front end.
 //
 // Owns a ThreadPool, a per-scene cache, and the shared (const, therefore
-// thread-safe) renderer + hardware-model objects. Callers resolve a scene
+// thread-safe) engine::RenderBackend serving every job. Callers resolve a
+// scene
 // through the cache, submit() RenderRequests, and get futures back; the
 // bounded pool queue provides backpressure (submit blocks, try_submit
 // rejects). Every completion feeds the aggregated service statistics:
@@ -22,7 +23,8 @@
 #include <string>
 #include <vector>
 
-#include "core/config.hpp"
+#include "engine/backend.hpp"
+#include "engine/registry.hpp"
 #include "runtime/job.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -31,14 +33,20 @@ namespace gaurast::runtime {
 struct ServiceConfig {
   int workers = 1;
   std::size_t queue_capacity = 64;
-  Backend backend = Backend::kGauRast;
+  /// Registry key resolved through engine::create() at service
+  /// construction — any registered backend serves, built-in or not.
+  std::string backend = "gaurast";
+  /// Creation-time backend options (e.g. an external rasterizer config for
+  /// backends whose capabilities accept one).
+  engine::BackendOptions backend_options;
   /// Per-job pipeline settings. num_threads here is intra-frame (Step-3
-  /// tile) parallelism on the software backend, multiplying with the
-  /// worker-level inter-frame parallelism.
+  /// tile) parallelism on backends that support raster threads, multiplying
+  /// with the worker-level inter-frame parallelism.
   pipeline::RendererConfig renderer;
-  /// Hardware model config for Backend::kGauRast. Backend::kGScore derives
-  /// its own FP16 configuration and ignores this field.
-  core::RasterizerConfig rasterizer = core::RasterizerConfig::scaled300();
+  /// When set, served directly instead of resolving `backend` in the
+  /// registry — for injecting a caller-constructed (e.g. test-double)
+  /// backend.
+  std::shared_ptr<const engine::RenderBackend> backend_instance;
 };
 
 /// Aggregated snapshot; all latencies in milliseconds.
@@ -65,13 +73,6 @@ struct ServiceStats {
   std::uint64_t scene_cache_misses = 0;
 };
 
-/// The hardware-model configuration a backend choice stands for: `base`
-/// unchanged for kGauRast, the FP16 deployment sized to GSCore's published
-/// throughput (paper Sec. V-C) for kGScore. kSoftware has no hardware model
-/// and throws.
-core::RasterizerConfig rasterizer_for_backend(
-    Backend backend, const core::RasterizerConfig& base);
-
 /// Renders the stats as an aligned two-column table (common/table idiom).
 void print_service_stats(std::ostream& os, const ServiceStats& stats);
 
@@ -90,6 +91,10 @@ class RenderService {
 
   const ServiceConfig& config() const { return config_; }
   int worker_count() const { return pool_.worker_count(); }
+
+  /// The backend every job is served through (registry-created from
+  /// config().backend unless an instance was injected).
+  const engine::RenderBackend& backend() const { return *backend_; }
 
   /// Returns the cached scene for `key`, invoking `loader` only on the
   /// first request for that key. Loading holds the cache lock, so identical
@@ -125,8 +130,8 @@ class RenderService {
   void record_completion(const JobResult& result);
 
   ServiceConfig config_;
-  pipeline::GaussianRenderer renderer_;
-  std::unique_ptr<core::HardwareRasterizer> hw_;  ///< null for kSoftware
+  std::shared_ptr<const engine::RenderBackend> backend_;
+  engine::FrameOptions frame_options_;
   ThreadPool pool_;
 
   mutable std::mutex scene_mutex_;

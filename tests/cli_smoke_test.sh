@@ -174,11 +174,17 @@ run 1 render --synthetic 100 --threads 0 || true
 expect_contains "$ERR" "must be a positive integer" "--threads 0 rejected"
 expect_clean "$ERR" "--threads 0 diagnostic"
 # Flags that cannot take effect on the chosen backend are user errors,
-# and a rejected render must not leave a stray empty --out file.
+# and a rejected render must not leave a stray empty --out file. The
+# capability-driven diagnostics name the offending backend and enumerate
+# the backends that do accept the flag.
 run 1 render --synthetic 100 --threads 2 || true
-expect_contains "$ERR" "--threads only applies to --backend sw" "threads on hw backend rejected"
+expect_contains "$ERR" "--threads does not apply to --backend gaurast" "threads on hw backend rejected"
+expect_contains "$ERR" "backends that accept it: sw" "threads diagnostic lists capable backends"
 run 1 render --backend sw --synthetic 100 --config /dev/null || true
-expect_contains "$ERR" "--config only applies to --backend gaurast" "config on sw backend rejected"
+expect_contains "$ERR" "--config does not apply to --backend sw" "config on sw backend rejected"
+expect_contains "$ERR" "gaurast" "config diagnostic lists capable backends"
+run 1 serve --backend gscore --threads 2 || true
+expect_contains "$ERR" "--threads does not apply to --backend gscore" "serve shares the capability check"
 run 1 render --synthetic 100 --threads 0 --out "$TMP/stray.ppm" || true
 if [[ -e "$TMP/stray.ppm" ]]; then
   echo "FAIL: failed render left an empty --out file behind" >&2
@@ -218,6 +224,8 @@ expect_contains "$ERR" "--variant is not used by 'serve'" "serve foreign flag re
 # one-line diagnostics.
 run 1 serve --backend vulkan || true
 expect_contains "$ERR" "unknown backend 'vulkan'" "bad backend named"
+expect_contains "$ERR" "registered backends:" "bad backend enumerates names"
+expect_contains "$ERR" "gaurast" "bad backend lists gaurast"
 expect_clean "$ERR" "bad backend diagnostic"
 run 1 serve --arrival bursty || true
 expect_contains "$ERR" "unknown arrival model 'bursty'" "bad arrival named"
@@ -234,6 +242,43 @@ if [[ -e "$TMP/stray.json" ]]; then
   echo "FAIL: failed serve left an empty --json file behind" >&2
   FAILURES=$((FAILURES + 1))
 fi
+
+# 15. backends: the registry listing drives everything --backend related.
+run 0 backends || true
+for b in sw gaurast gscore edge-fp16 orin-agx; do
+  expect_contains "$STDOUT" "$b" "backends lists '$b'"
+done
+expect_contains "$STDOUT" "hardware model" "backends shows backend types"
+run 0 backends --json - || true
+expect_contains "$STDOUT" '"supports_raster_threads"' "backends --json - emits capabilities"
+expect_contains "$STDOUT" '"name":"edge-fp16"' "backends --json - lists operating points"
+BACKENDS_JSON="$TMP/backends.json"
+run 0 backends --json "$BACKENDS_JSON" || true
+if [[ ! -s "$BACKENDS_JSON" ]]; then
+  echo "FAIL: backends did not write $BACKENDS_JSON" >&2
+  FAILURES=$((FAILURES + 1))
+else
+  expect_contains "$(cat "$BACKENDS_JSON")" '"accepts_external_rasterizer_config"' "backends JSON file has capabilities"
+fi
+# --backend help text is generated from the registry, not hard-coded.
+run 0 serve --help && expect_contains "$STDOUT" "edge-fp16" "serve --help lists registered backends"
+
+# 16. Every registered backend serves traffic end-to-end: the acceptance
+# bar for the registry being the single dispatch seam.
+for b in sw gaurast gscore edge-fp16 orin-agx; do
+  run 0 serve --backend "$b" --jobs 2 --workers 1 --width 48 --height 36 || true
+  expect_contains "$STDOUT" "backend $b" "serve --backend $b banner"
+  expect_contains "$STDOUT" "Jobs completed" "serve --backend $b completed"
+done
+# An external rasterizer config is accepted exactly where capabilities say.
+CFG="$TMP/proto.cfg"
+cat > "$CFG" <<'EOF'
+pes_per_module = 16
+module_count = 1
+EOF
+run 0 serve --backend gaurast --config "$CFG" --jobs 2 --workers 1 --width 48 --height 36 || true
+run 1 serve --backend gscore --config "$CFG" --jobs 2 || true
+expect_contains "$ERR" "--config does not apply to --backend gscore" "serve config capability check"
 
 if [[ "$FAILURES" -ne 0 ]]; then
   echo "cli_smoke_test: $FAILURES failure(s)" >&2

@@ -1,18 +1,23 @@
 // Tests for the concurrent render-service runtime (src/runtime): thread-pool
 // semantics (bounded queue, backpressure, graceful shutdown), service-level
 // determinism (images must be bit-identical for any worker count), per-scene
-// caching, and load-generator reproducibility.
+// caching, load-generator reproducibility, and the engine seam — every
+// service job runs over a registry-created (or injected)
+// engine::RenderBackend.
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
+#include "engine/backends.hpp"
+#include "engine/registry.hpp"
 #include "runtime/service.hpp"
 #include "runtime/thread_pool.hpp"
 #include "runtime/workload.hpp"
@@ -140,7 +145,7 @@ TEST(RenderService, ImagesBitIdenticalAcrossWorkerCounts) {
   const std::vector<scene::Camera> cameras = test_cameras(6);
   ServiceConfig one;
   one.workers = 1;
-  one.backend = Backend::kSoftware;
+  one.backend = "sw";
   ServiceConfig four = one;
   four.workers = 4;
   const std::vector<Image> serial = render_all(one, cameras);
@@ -157,7 +162,7 @@ TEST(RenderService, ImagesBitIdenticalAcrossRasterThreadCounts) {
   const std::vector<scene::Camera> cameras = test_cameras(3);
   ServiceConfig one_thread;
   one_thread.workers = 2;
-  one_thread.backend = Backend::kSoftware;
+  one_thread.backend = "sw";
   one_thread.renderer.num_threads = 1;
   ServiceConfig four_threads = one_thread;
   four_threads.renderer.num_threads = 4;
@@ -174,9 +179,9 @@ TEST(RenderService, GauRastBackendMatchesSoftwareBitExactly) {
   const std::vector<scene::Camera> cameras = test_cameras(2);
   ServiceConfig sw;
   sw.workers = 2;
-  sw.backend = Backend::kSoftware;
+  sw.backend = "sw";
   ServiceConfig hw = sw;
-  hw.backend = Backend::kGauRast;
+  hw.backend = "gaurast";
   const std::vector<Image> sw_images = render_all(sw, cameras);
   const std::vector<Image> hw_images = render_all(hw, cameras);
   ASSERT_EQ(sw_images.size(), hw_images.size());
@@ -189,7 +194,7 @@ TEST(RenderService, GauRastBackendMatchesSoftwareBitExactly) {
 TEST(RenderService, GScoreBackendServesFrames) {
   ServiceConfig config;
   config.workers = 1;
-  config.backend = Backend::kGScore;
+  config.backend = "gscore";
   RenderService service(config);
   const ScenePtr scene = service.scene("s", [] { return small_scene(300); });
   const JobResult result =
@@ -201,7 +206,7 @@ TEST(RenderService, GScoreBackendServesFrames) {
 TEST(RenderService, SceneCacheLoadsEachKeyOnce) {
   ServiceConfig config;
   config.workers = 1;
-  config.backend = Backend::kSoftware;
+  config.backend = "sw";
   RenderService service(config);
   std::atomic<int> loads{0};
   const auto loader = [&loads] {
@@ -224,7 +229,7 @@ TEST(RenderService, TrySubmitShedsLoadOnFullQueue) {
   ServiceConfig config;
   config.workers = 1;
   config.queue_capacity = 1;
-  config.backend = Backend::kSoftware;
+  config.backend = "sw";
   RenderService service(config);
   // A deliberately heavy frame pins the worker for long enough that the
   // immediate follow-up submissions observe worker-busy + queue-full.
@@ -255,7 +260,7 @@ TEST(RenderService, TrySubmitShedsLoadOnFullQueue) {
 TEST(RenderService, StatsAreConsistent) {
   ServiceConfig config;
   config.workers = 2;
-  config.backend = Backend::kSoftware;
+  config.backend = "sw";
   RenderService service(config);
   const ScenePtr scene = service.scene("s", [] { return small_scene(400); });
   std::vector<std::future<JobResult>> futures;
@@ -281,6 +286,80 @@ TEST(RenderService, StatsAreConsistent) {
   const std::string json = service_stats_json(stats);
   EXPECT_NE(json.find("\"completed\":5"), std::string::npos);
   EXPECT_NE(json.find("\"latency_p99_ms\":"), std::string::npos);
+}
+
+TEST(RenderService, ServesOverAnyRegistryCreatedBackend) {
+  // The service resolves its backend through the engine registry, so every
+  // registered operating point — including the non-default ones — serves
+  // without any runtime-side dispatch code.
+  for (const char* name : {"edge-fp16", "orin-agx"}) {
+    ServiceConfig config;
+    config.workers = 1;
+    config.backend = name;
+    RenderService service(config);
+    EXPECT_EQ(service.backend().name(), name);
+    const ScenePtr scene =
+        service.scene("s", [] { return small_scene(300); });
+    const JobResult result =
+        service.submit({scene, test_cameras(1)[0]}).get();
+    EXPECT_GT(result.frame.image.mean_luminance(), 0.0) << name;
+    EXPECT_GT(result.raster_model_ms, 0.0)
+        << name << " is a hardware model; jobs must carry modeled metrics";
+  }
+}
+
+TEST(RenderService, UnknownBackendNameFailsAtConstruction) {
+  ServiceConfig config;
+  config.backend = "gsocre";
+  try {
+    RenderService service(config);
+    FAIL() << "service constructed over an unknown backend";
+  } catch (const Error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("unknown backend 'gsocre'"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("gscore"), std::string::npos)
+        << "diagnostic does not enumerate registered names: " << message;
+  }
+}
+
+TEST(RenderService, InjectedBackendInstanceIsUsed) {
+  // A caller-constructed backend (here a counting wrapper over the software
+  // path) bypasses the registry entirely — the extension seam for tests and
+  // embedders.
+  class CountingBackend : public engine::RenderBackend {
+   public:
+    explicit CountingBackend(std::atomic<int>& calls) : calls_(&calls) {}
+    std::string name() const override { return "counting"; }
+    std::string describe() const override { return "test double"; }
+    engine::Capabilities capabilities() const override {
+      return engine::SoftwareBackend{}.capabilities();
+    }
+    engine::FrameOutput render(const scene::GaussianScene& scene,
+                               const scene::Camera& camera,
+                               const engine::FrameOptions& options)
+        const override {
+      ++*calls_;
+      return engine::SoftwareBackend{}.render(scene, camera, options);
+    }
+
+   private:
+    std::atomic<int>* calls_;
+  };
+
+  std::atomic<int> calls{0};
+  ServiceConfig config;
+  config.workers = 2;
+  config.backend_instance = std::make_shared<const CountingBackend>(calls);
+  RenderService service(config);
+  EXPECT_EQ(service.backend().name(), "counting");
+  const ScenePtr scene = service.scene("s", [] { return small_scene(200); });
+  std::vector<std::future<JobResult>> futures;
+  for (const scene::Camera& camera : test_cameras(3)) {
+    futures.push_back(service.submit({scene, camera}));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(calls.load(), 3);
 }
 
 TEST(Workload, GenerationIsDeterministicInSeed) {
@@ -343,7 +422,7 @@ TEST(Workload, MixedScenesExerciseTheCache) {
 TEST(Workload, RunAccountsForEveryRequest) {
   ServiceConfig service_config;
   service_config.workers = 2;
-  service_config.backend = Backend::kSoftware;
+  service_config.backend = "sw";
   RenderService service(service_config);
   WorkloadConfig config;
   config.jobs = 6;

@@ -2,30 +2,39 @@
 //
 //   gaurast_cli render   --ply scene.ply | --synthetic N   [--width W]
 //                        [--height H] [--out img.ppm] [--config rast.cfg]
-//                        [--threads T] [--seed S]
+//                        [--threads T] [--seed S] [--backend NAME]
 //   gaurast_cli simulate --scene bicycle [--variant original|mini]
 //                        [--config rast.cfg]
 //   gaurast_cli replay   --trace loads.gtr [--config rast.cfg]
 //   gaurast_cli serve    [--jobs N] [--workers W] [--queue Q]
 //                        [--arrival closed|poisson] [--rate HZ]
-//                        [--backend sw|gaurast|gscore] [--threads T]
+//                        [--backend NAME] [--config rast.cfg] [--threads T]
 //                        [--seed S] [--json out.json]
+//   gaurast_cli backends [--json out.json|-]
 //   gaurast_cli report
 //
-// `render` runs a real scene end-to-end through the GauRastDevice (images
-// are the hardware-model output). `simulate` evaluates a full-scale NeRF-360
+// `render` runs a real scene end-to-end through any registered
+// engine::RenderBackend. `simulate` evaluates a full-scale NeRF-360
 // workload profile. `replay` re-times a captured tile trace. `serve` drives
 // generated multi-user traffic through the concurrent RenderService and
-// reports throughput/latency. `report` prints the headline
-// paper-reproduction summary.
+// reports throughput/latency. `backends` lists the engine registry —
+// every --backend value, its capabilities and operating point. `report`
+// prints the headline paper-reproduction summary.
+//
+// Backend names, help text and flag validation all come from the engine
+// registry (engine/registry.hpp); registering a new operating point there
+// makes it usable everywhere here with no CLI edits.
 
 #include <algorithm>
 #include <array>
 #include <chrono>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -34,10 +43,10 @@
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/config_io.hpp"
-#include "core/device.hpp"
 #include "core/profile_sim.hpp"
 #include "core/scheduler.hpp"
 #include "core/trace.hpp"
+#include "engine/registry.hpp"
 #include "gpu/config.hpp"
 #include "gpu/cost_model.hpp"
 #include "runtime/service.hpp"
@@ -74,6 +83,74 @@ core::RasterizerConfig config_from_flag(const CliParser& cli) {
 bool flag_was_set(const CliParser& cli, const std::string& name) {
   const std::vector<std::string> set = cli.set_flags();
   return std::find(set.begin(), set.end(), name) != set.end();
+}
+
+// The one capability-driven flag check shared by `render` and `serve`: a
+// flag whose value cannot take effect on the chosen backend is a user
+// error, not a silent no-op. Diagnostics name the offending backend and the
+// registered backends that do accept the flag.
+void reject_incapable_flags(const CliParser& cli,
+                            const engine::RenderBackend& backend) {
+  const engine::Capabilities caps = backend.capabilities();
+  const auto incapable = [&](const std::string& flag, const char* why,
+                             bool(engine::Capabilities::*bit)) {
+    if (!flag_was_set(cli, flag) || caps.*bit) return;
+    const std::vector<std::string> accepting =
+        engine::registry().names_where(
+            [bit](const engine::Capabilities& c) { return c.*bit; });
+    throw CliParseError("--" + flag + " does not apply to --backend " +
+                        backend.name() + " (" + why +
+                        "); backends that accept it: " +
+                        engine::join_names(accepting));
+  };
+  incapable("threads", "its Step 3 does not fan tiles across host threads",
+            &engine::Capabilities::supports_raster_threads);
+  incapable("config", "it derives its own rasterizer configuration",
+            &engine::Capabilities::accepts_external_rasterizer_config);
+}
+
+// Resolves --backend against the engine registry (at its default operating
+// point; call sites rebuild with options only when --config was given, so
+// the common path constructs the backend exactly once). Unknown names get
+// the registry's enumerating diagnostic re-raised as a flag error.
+std::unique_ptr<engine::RenderBackend> backend_from_flag(const CliParser& cli) {
+  try {
+    return engine::create(cli.get_string("backend"));
+  } catch (const Error& e) {
+    throw CliParseError(std::string("--backend: ") + e.what());
+  }
+}
+
+// Registered backend names/descriptions are arbitrary caller strings, so
+// they must be escaped before landing in a JSON report.
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Creation-time backend options from the flags (currently just --config).
+engine::BackendOptions backend_options_from_flags(const CliParser& cli) {
+  engine::BackendOptions options;
+  const std::string path = readable_file_flag(cli, "config");
+  if (!path.empty()) options.rasterizer = core::load_config(path);
+  return options;
 }
 
 /// Probes that an output path is writable (append mode, so an existing file
@@ -119,23 +196,13 @@ auto flag_value(const std::string& flag, Fn&& parse) {
 }
 
 int cmd_render(const CliParser& cli) {
-  const runtime::Backend backend = flag_value("backend", [&] {
-    return runtime::backend_from_string(cli.get_string("backend"));
-  });
-  pipeline::RendererConfig pipeline_config;
-  pipeline_config.num_threads = cli.get_positive_int("threads");
-  // A flag whose value cannot take effect on the chosen backend is a user
-  // error, not a silent no-op: only the software Step-3 rasterizer fans
-  // tiles across threads, and only the gaurast backend takes an external
-  // rasterizer config (gscore derives its own FP16 deployment).
-  if (backend != runtime::Backend::kSoftware && flag_was_set(cli, "threads")) {
-    throw CliParseError(
-        "--threads only applies to --backend sw (the hardware model "
-        "rasterizes sequentially)");
-  }
-  if (backend != runtime::Backend::kGauRast && flag_was_set(cli, "config")) {
-    throw CliParseError("--config only applies to --backend gaurast");
-  }
+  std::unique_ptr<engine::RenderBackend> backend = backend_from_flag(cli);
+  engine::FrameOptions frame_options;
+  // Value errors (--threads 0) before capability errors (--threads on a
+  // backend that cannot use it): the former are malformed regardless of
+  // backend choice.
+  frame_options.pipeline.num_threads = cli.get_positive_int("threads");
+  reject_incapable_flags(cli, *backend);
   // Validate every remaining flag (and input-path readability) before the
   // --out probe so a rejected run cannot leave a stray empty output file.
   const int width = cli.get_positive_int("width");
@@ -145,6 +212,11 @@ int cmd_render(const CliParser& cli) {
   generator_params.gaussian_count =
       static_cast<std::uint64_t>(cli.get_positive_int("synthetic"));
   generator_params.seed = cli.get_uint64("seed");
+  const engine::BackendOptions backend_options = backend_options_from_flags(cli);
+  if (backend_options.rasterizer) {
+    // Rebuild at the external operating point (capabilities allowed it).
+    backend = engine::create(backend->name(), backend_options);
+  }
 
   const std::string out = cli.get_string("out");
   OutputFileProbe out_probe(out, "out");
@@ -153,49 +225,99 @@ int cmd_render(const CliParser& cli) {
                                             : scene::load_ply(ply);
   const scene::Camera camera = scene::default_camera({}, width, height);
 
+  const auto start = std::chrono::steady_clock::now();
+  const engine::FrameOutput result =
+      backend->render(gscene, camera, frame_options);
+  const double wall_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+
   TablePrinter table({"Metric", "Value"});
+  table.add_row({"Backend", backend->name()});
   table.add_row({"Gaussians", std::to_string(gscene.size())});
-  const Image* image = nullptr;
-  pipeline::FrameResult sw_frame;
-  core::DeviceGaussianFrame hw_frame;
-  if (backend == runtime::Backend::kSoftware) {
-    // Reference software pipeline; Step 3 fans tiles across --threads with
-    // bit-identical output for any thread count.
-    const pipeline::GaussianRenderer renderer(pipeline_config);
-    const auto start = std::chrono::steady_clock::now();
-    sw_frame = renderer.render(gscene, camera);
-    const double wall_ms =
-        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
-            std::chrono::steady_clock::now() - start)
-            .count();
-    image = &sw_frame.image;
-    table.add_row({"Pairs evaluated",
-                   std::to_string(sw_frame.raster_stats.pairs_evaluated)});
-    table.add_row({"Pairs per pixel",
-                   format_fixed(sw_frame.pairs_per_pixel(), 2)});
-    table.add_row({"Raster threads",
-                   std::to_string(pipeline_config.num_threads)});
-    table.add_row({"Frame wall time", format_time_ms(wall_ms)});
-  } else {
-    const core::GauRastDevice device(runtime::rasterizer_for_backend(
-        backend, config_from_flag(cli)));
-    hw_frame = device.render(gscene, camera, pipeline_config);
-    image = &hw_frame.image;
-    table.add_row({"Pairs evaluated",
-                   std::to_string(hw_frame.pairs_evaluated)});
-    table.add_row({"GauRast raster", format_time_ms(hw_frame.raster_model_ms)});
+  table.add_row({"Pairs evaluated",
+                 std::to_string(result.frame.raster_stats.pairs_evaluated)});
+  table.add_row({"Pairs per pixel",
+                 format_fixed(result.frame.pairs_per_pixel(), 2)});
+  if (result.hw) {
+    table.add_row({"GauRast raster", format_time_ms(result.hw->raster_model_ms)});
     table.add_row({"Stages 1-2 (host)",
-                   format_time_ms(hw_frame.stage12_model_ms)});
-    table.add_row({"Pipelined FPS", format_fixed(hw_frame.pipelined_fps(), 1)});
-    table.add_row({"Utilization", format_percent(hw_frame.utilization)});
+                   format_time_ms(result.hw->stage12_model_ms)});
+    table.add_row({"Pipelined FPS", format_fixed(result.hw->pipelined_fps(), 1)});
+    table.add_row({"Utilization", format_percent(result.hw->utilization)});
     table.add_row({"Step-3 energy @SoC",
-                   format_energy_mj(hw_frame.energy_soc.total_mj())});
+                   format_energy_mj(result.hw->energy_soc_mj)});
+  } else {
+    // Pure software path; Step 3 fanned tiles across --threads with
+    // bit-identical output for any thread count.
+    table.add_row({"Raster threads",
+                   std::to_string(frame_options.pipeline.num_threads)});
+    table.add_row({"Frame wall time", format_time_ms(wall_ms)});
   }
   table.print(std::cout);
   if (!out.empty()) {
-    image->save_ppm(out);
+    result.frame.image.save_ppm(out);
     out_probe.disarm();
     std::cout << "Wrote " << out << '\n';
+  }
+  return 0;
+}
+
+// One row per registered backend, straight from the registry — no
+// hard-coded names anywhere in this binary.
+int cmd_backends(const CliParser& cli) {
+  const std::string json_path = cli.get_string("json");
+  const bool json_to_stdout = json_path == "-";
+  OutputFileProbe json_probe(json_to_stdout ? "" : json_path, "json");
+  const std::vector<engine::BackendInfo> backends = engine::list();
+
+  std::ostringstream json;
+  json << "{\"backends\":[";
+  TablePrinter table(
+      {"Name", "Type", "Precision", "PEs", "Accepts", "Description"});
+  bool first = true;
+  for (const engine::BackendInfo& info : backends) {
+    const engine::Capabilities& caps = info.capabilities;
+    std::vector<std::string> accepts;
+    if (caps.supports_raster_threads) accepts.push_back("--threads");
+    if (caps.accepts_external_rasterizer_config) accepts.push_back("--config");
+    table.add_row({info.name,
+                   caps.is_hardware_model ? "hardware model" : "software",
+                   engine::precision_name(caps.default_precision),
+                   info.rasterizer
+                       ? std::to_string(info.rasterizer->total_pes())
+                       : "-",
+                   accepts.empty() ? "-" : engine::join_names(accepts),
+                   info.description});
+    json << (first ? "" : ",") << "{\"name\":\"" << json_escape(info.name)
+         << "\",\"description\":\"" << json_escape(info.description)
+         << "\",\"is_hardware_model\":"
+         << (caps.is_hardware_model ? "true" : "false")
+         << ",\"supports_raster_threads\":"
+         << (caps.supports_raster_threads ? "true" : "false")
+         << ",\"accepts_external_rasterizer_config\":"
+         << (caps.accepts_external_rasterizer_config ? "true" : "false")
+         << ",\"default_precision\":\""
+         << engine::precision_name(caps.default_precision) << "\"";
+    if (info.rasterizer) {
+      json << ",\"total_pes\":" << info.rasterizer->total_pes();
+    }
+    json << "}";
+    first = false;
+  }
+  json << "]}";
+
+  if (json_to_stdout) {
+    std::cout << json.str() << '\n';
+    return 0;
+  }
+  table.print(std::cout);
+  if (!json_path.empty()) {
+    std::ofstream os(json_path, std::ios::trunc);
+    os << json.str() << '\n';
+    json_probe.disarm();
+    std::cout << "Wrote " << json_path << '\n';
   }
   return 0;
 }
@@ -265,15 +387,16 @@ int cmd_serve(const CliParser& cli) {
           : static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
   service_config.queue_capacity =
       static_cast<std::size_t>(cli.get_positive_int("queue"));
-  service_config.backend = flag_value("backend", [&] {
-    return runtime::backend_from_string(cli.get_string("backend"));
-  });
+  std::unique_ptr<engine::RenderBackend> backend = backend_from_flag(cli);
   service_config.renderer.num_threads = cli.get_positive_int("threads");
-  if (service_config.backend != runtime::Backend::kSoftware &&
-      flag_was_set(cli, "threads")) {
-    throw CliParseError(
-        "--threads only applies to --backend sw (the hardware model "
-        "rasterizes sequentially)");
+  reject_incapable_flags(cli, *backend);
+  service_config.backend = backend->name();
+  service_config.backend_options = backend_options_from_flags(cli);
+  // Hand the already-built backend to the service unless --config asks for
+  // a different operating point — either way the backend is constructed
+  // exactly once per invocation.
+  if (!service_config.backend_options.rasterizer) {
+    service_config.backend_instance = std::move(backend);
   }
 
   runtime::WorkloadConfig workload;
@@ -298,7 +421,7 @@ int cmd_serve(const CliParser& cli) {
   print_banner(std::cout,
                "Serving " + std::to_string(workload.jobs) + " jobs on " +
                    std::to_string(service_config.workers) +
-                   " workers (backend " + to_string(service_config.backend) +
+                   " workers (backend " + service_config.backend +
                    ", arrival " + to_string(workload.arrival) + ")");
   const runtime::WorkloadRunResult run = run_workload(service, workload);
   runtime::print_service_stats(std::cout, run.stats);
@@ -307,7 +430,7 @@ int cmd_serve(const CliParser& cli) {
     std::ofstream os(json_path, std::ios::trunc);
     os << "{\"command\":\"serve\",\"workers\":" << service_config.workers
        << ",\"queue\":" << service_config.queue_capacity << ",\"backend\":\""
-       << to_string(service_config.backend) << "\",\"arrival\":\""
+       << service_config.backend << "\",\"arrival\":\""
        << to_string(workload.arrival) << "\",\"jobs\":" << workload.jobs
        << ",\"seed\":" << workload.seed
        << ",\"threads\":" << service_config.renderer.num_threads
@@ -344,8 +467,8 @@ int cmd_report() {
   return 0;
 }
 
-constexpr std::array<std::string_view, 5> kCommands = {
-    "render", "simulate", "replay", "serve", "report"};
+constexpr std::array<std::string_view, 6> kCommands = {
+    "render", "simulate", "replay", "serve", "backends", "report"};
 
 /// Flags each command actually consumes. Flags are declared once globally
 /// (so every help screen is complete), but a flag set for a command that
@@ -358,8 +481,9 @@ const std::vector<std::string>& command_flags(const std::string& command) {
       {"simulate", {"scene", "variant", "config"}},
       {"replay", {"trace", "config"}},
       {"serve",
-       {"jobs", "workers", "queue", "arrival", "rate", "backend", "threads",
-        "seed", "width", "height", "json"}},
+       {"jobs", "workers", "queue", "arrival", "rate", "backend", "config",
+        "threads", "seed", "width", "height", "json"}},
+      {"backends", {"json"}},
       {"report", {}},
   };
   return kByCommand.at(command);
@@ -376,16 +500,19 @@ void reject_foreign_flags(const CliParser& cli, const std::string& command) {
 }
 
 void print_top_usage(std::ostream& os) {
-  os << "usage: gaurast_cli <render|simulate|replay|serve|report> [flags]\n"
+  os << "usage: gaurast_cli "
+        "<render|simulate|replay|serve|backends|report> [flags]\n"
         "       gaurast_cli <command> --help\n"
         "\n"
         "Commands:\n"
-        "  render    render a .ply or synthetic scene through the "
-        "GauRast device model\n"
+        "  render    render a .ply or synthetic scene through any "
+        "registered backend\n"
         "  simulate  evaluate a full-scale NeRF-360 workload profile\n"
         "  replay    re-time a captured tile-load trace (.gtr)\n"
         "  serve     run generated traffic through the concurrent render "
         "service\n"
+        "  backends  list the registered engine backends and their "
+        "capabilities\n"
         "  report    print the headline paper-reproduction summary\n";
 }
 
@@ -427,9 +554,13 @@ int main(int argc, char** argv) {
   cli.add_flag("queue", "64", "serve: bounded request-queue capacity");
   cli.add_flag("arrival", "closed", "serve: arrival model, closed or poisson");
   cli.add_flag("rate", "120", "serve: offered load in jobs/s (poisson)");
+  // --backend help is generated from the registry, never hard-coded.
   cli.add_flag("backend", "gaurast",
-               "Step-3 executor, sw|gaurast|gscore (render/serve)");
-  cli.add_flag("json", "", "serve: also write a machine-readable JSON report");
+               "Step-3 executor: " + engine::join_names(engine::names()) +
+                   " (render/serve; see 'gaurast_cli backends')");
+  cli.add_flag("json", "",
+               "serve/backends: also write a machine-readable JSON report "
+               "('-' for stdout with 'backends')");
   try {
     if (!cli.parse(argc - 1, argv + 1)) return 0;
     if (!cli.positional().empty()) {
@@ -441,6 +572,7 @@ int main(int argc, char** argv) {
     if (command == "simulate") return cmd_simulate(cli);
     if (command == "replay") return cmd_replay(cli);
     if (command == "serve") return cmd_serve(cli);
+    if (command == "backends") return cmd_backends(cli);
     if (command == "report") return cmd_report();
     // Unreachable while kCommands and the chain above stay in sync.
     std::cerr << "gaurast_cli: unhandled command '" << command << "'\n";
