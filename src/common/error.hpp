@@ -48,3 +48,19 @@ namespace detail {
                                              gaurast_check_os_.str());    \
     }                                                                     \
   } while (false)
+
+/// Debug-only contract check for per-element invariants inside hot loops.
+/// Active in Debug builds (same throw-on-failure semantics as
+/// GAURAST_CHECK); compiles to nothing in Release so validated-once data
+/// (e.g. splat depths checked at workload build) is not re-checked per
+/// instance on the hot path.
+#ifdef NDEBUG
+// sizeof keeps expr's operands odr-referenced without evaluating them, so a
+// variable used only in a DCHECK doesn't become -Wunused in Release.
+#define GAURAST_DCHECK(expr)     \
+  do {                           \
+    (void)sizeof((expr) ? 1 : 0); \
+  } while (false)
+#else
+#define GAURAST_DCHECK(expr) GAURAST_CHECK(expr)
+#endif

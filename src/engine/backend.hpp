@@ -33,6 +33,11 @@ struct Capabilities {
   /// Step 3 runs in host software and fans tiles across
   /// FrameOptions::pipeline.num_threads (bit-identical for any count).
   bool supports_raster_threads = false;
+  /// FrameOptions::pipeline.kernel selects the Step-3 software kernel
+  /// (reference scalar oracle vs the optimized fast kernel, bit-identical
+  /// by contract). Hardware-model backends run Step 3 on the modeled
+  /// rasterizer and reject the flag.
+  bool supports_kernel_select = false;
   /// BackendOptions::rasterizer is honored; backends that derive their own
   /// operating point (e.g. the GSCore-matched FP16 sizing) reject it.
   bool accepts_external_rasterizer_config = false;

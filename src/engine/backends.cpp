@@ -13,12 +13,14 @@ const char* precision_name(core::Precision precision) {
 
 std::string SoftwareBackend::describe() const {
   return "reference software 3DGS pipeline; Steps 1-3 on the host CPU, "
-         "Step 3 fans tiles across raster threads";
+         "Step 3 fans tiles across raster threads and selects the "
+         "reference or fast kernel";
 }
 
 Capabilities SoftwareBackend::capabilities() const {
   Capabilities caps;
   caps.supports_raster_threads = true;
+  caps.supports_kernel_select = true;
   caps.accepts_external_rasterizer_config = false;
   caps.is_hardware_model = false;
   caps.default_precision = core::Precision::kFp32;

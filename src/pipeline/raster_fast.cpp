@@ -1,0 +1,233 @@
+// The optimized Step-3 host kernel (RasterKernel::kFast).
+//
+// Same arithmetic as the reference kernel, restructured for host-CPU
+// throughput:
+//
+//  * Per-tile SoA staging: each tile's splats are gathered once through the
+//    instances[i].splat_index indirection into flat scratch arrays, so the
+//    pixel loops stream contiguous floats instead of re-chasing a 48-byte
+//    AoS record per (pixel, splat) pair.
+//  * Row batches: pixels are processed kRasterLaneWidth at a time with
+//    per-lane transmittance/accumulator arrays and a branch-light lane loop
+//    the compiler can auto-vectorize; a batch early-outs of the splat walk
+//    as soon as every lane has saturated.
+//  * exp() cutoff: alpha_cutoff_power() gives a conservative power bound
+//    below which the reference kernel provably discards the pair
+//    (alpha < alpha_min), so the transcendental is skipped for pairs that
+//    cannot contribute.
+//
+// Bit-identity with the reference kernel is a hard contract (the fast
+// kernel must remain a drop-in for the oracle the hardware model is
+// validated against): blended pairs execute the exact reference operation
+// sequence — acc += color * (alpha * T); T *= (1 - alpha) — and the skip
+// conditions only ever drop pairs the reference discards. Stats totals
+// (pairs_evaluated, pairs_blended, pixels_terminated, pairs_per_tile) also
+// match exactly; the stats-off instantiation carries no accounting at all.
+
+#include <algorithm>
+#include <cmath>
+
+#include "gsmath/fastmath.hpp"
+#include "pipeline/rasterize.hpp"
+
+namespace gaurast::pipeline {
+
+void RasterScratch::ensure(std::size_t n) {
+  if (mean_x.size() >= n) return;
+  mean_x.resize(n);
+  mean_y.resize(n);
+  conic_a.resize(n);
+  conic_b.resize(n);
+  conic_c.resize(n);
+  opacity.resize(n);
+  cutoff.resize(n);
+  color_r.resize(n);
+  color_g.resize(n);
+  color_b.resize(n);
+}
+
+RasterScratch& thread_raster_scratch() {
+  thread_local RasterScratch scratch;
+  return scratch;
+}
+
+namespace {
+
+template <bool kCollectStats>
+void raster_tile_fast(const std::vector<Splat2D>& splats,
+                      const TileWorkload& work, const BlendParams& params,
+                      const float* splat_cutoffs, std::uint32_t tile_id,
+                      Image& image, RasterStats* stats,
+                      RasterScratch& scratch) {
+  const TileGrid& grid = work.grid;
+  const TileRange range = work.ranges[tile_id];
+  const std::size_t count = range.size();
+  if (count == 0) return;
+
+  // Stage the tile's splats once: after this, the pixel loops never touch
+  // the instance list or the AoS splat records again.
+  scratch.ensure(count);
+  float* const mx = scratch.mean_x.data();
+  float* const my = scratch.mean_y.data();
+  float* const ca = scratch.conic_a.data();
+  float* const cb = scratch.conic_b.data();
+  float* const cc = scratch.conic_c.data();
+  float* const op = scratch.opacity.data();
+  float* const cut = scratch.cutoff.data();
+  float* const cr = scratch.color_r.data();
+  float* const cg = scratch.color_g.data();
+  float* const cbl = scratch.color_b.data();
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint32_t index = work.instances[range.begin + i].splat_index;
+    const Splat2D& sp = splats[index];
+    mx[i] = sp.mean.x;
+    my[i] = sp.mean.y;
+    ca[i] = sp.conic.a;
+    cb[i] = sp.conic.b;
+    cc[i] = sp.conic.c;
+    op[i] = sp.opacity;
+    cut[i] = splat_cutoffs[index];
+    cr[i] = sp.color.x;
+    cg[i] = sp.color.y;
+    cbl[i] = sp.color.z;
+  }
+
+  const int tiles_x = grid.tiles_x();
+  const int tx = static_cast<int>(tile_id) % tiles_x;
+  const int ty = static_cast<int>(tile_id) / tiles_x;
+  const int px0 = tx * grid.tile_size;
+  const int py0 = ty * grid.tile_size;
+  const int px1 = std::min(px0 + grid.tile_size, grid.width);
+  const int py1 = std::min(py0 + grid.tile_size, grid.height);
+
+  constexpr int kW = kRasterLaneWidth;
+  const float t_min = params.transmittance_min;
+  const float alpha_min = params.alpha_min;
+  const float alpha_max = params.alpha_max;
+  // alpha_min <= 0 changes the discard semantics: a guarded (power > 0)
+  // pair has alpha == 0, which then still *blends* (0 < alpha_min is
+  // false). The lane loop handles that branch explicitly so the kernel
+  // stays exact for every BlendParams, not just the defaults.
+  const bool blend_zero_alpha = !(alpha_min > 0.0f);
+
+  for (int py = py0; py < py1; ++py) {
+    const float pyc = static_cast<float>(py) + 0.5f;
+    for (int bx = px0; bx < px1; bx += kW) {
+      const int lanes = std::min(kW, px1 - bx);
+      float acc_r[kW] = {};
+      float acc_g[kW] = {};
+      float acc_b[kW] = {};
+      float tr[kW];
+      float pxc[kW];
+      bool counted[kW] = {};  // pixels_terminated bookkeeping (stats only)
+      for (int j = 0; j < lanes; ++j) {
+        tr[j] = 1.0f;
+        pxc[j] = static_cast<float>(bx + j) + 0.5f;
+      }
+
+      for (std::size_t i = 0; i < count; ++i) {
+        // Saturation check first, exactly as the reference kernel checks
+        // transmittance before evaluating each pair. A lane that crossed
+        // the threshold with splats still pending counts as terminated
+        // (once); when every lane is saturated the batch abandons the
+        // remaining splats.
+        int live = 0;
+        for (int j = 0; j < lanes; ++j) {
+          if (tr[j] < t_min) {
+            if constexpr (kCollectStats) {
+              if (!counted[j]) {
+                counted[j] = true;
+                ++stats->pixels_terminated;
+              }
+            }
+          } else {
+            ++live;
+          }
+        }
+        if (live == 0) break;
+        if constexpr (kCollectStats) {
+          stats->pairs_evaluated += static_cast<std::uint64_t>(live);
+          stats->pairs_per_tile[tile_id] += static_cast<std::uint64_t>(live);
+        }
+
+        const float smx = mx[i];
+        const float sa = ca[i];
+        const float sb = cb[i];
+        const float sc = cc[i];
+        const float sop = op[i];
+        const float scut = cut[i];
+        const float sr = cr[i];
+        const float sg = cg[i];
+        const float sbl = cbl[i];
+        const float dy = pyc - my[i];
+        const float dy2 = dy * dy;
+
+        for (int j = 0; j < lanes; ++j) {
+          const float t = tr[j];
+          if (t < t_min) continue;  // saturated lane: reference broke out
+          const float dx = pxc[j] - smx;
+          const float dx2 = dx * dx;
+          const float dxdy = dx * dy;
+          // Same association as gsmath::gaussian_power — bit-equal power.
+          const float power = -0.5f * (sa * dx2 + sc * dy2) - sb * dxdy;
+          if (power > 0.0f) {
+            // Reference numerical guard: alpha = 0. Only blends (as an
+            // exact no-op product) when alpha_min <= 0.
+            if (blend_zero_alpha) {
+              const float w = 0.0f * t;
+              acc_r[j] += sr * w;
+              acc_g[j] += sg * w;
+              acc_b[j] += sbl * w;
+              tr[j] = t * 1.0f;
+              if constexpr (kCollectStats) ++stats->pairs_blended;
+            }
+            continue;
+          }
+          if (power < scut) continue;  // provably alpha < alpha_min: no exp
+          const float alpha = std::min(alpha_max, sop * std::exp(power));
+          if (alpha < alpha_min) continue;
+          const float w = alpha * t;
+          acc_r[j] += sr * w;
+          acc_g[j] += sg * w;
+          acc_b[j] += sbl * w;
+          tr[j] = t * (1.0f - alpha);
+          if constexpr (kCollectStats) ++stats->pairs_blended;
+        }
+      }
+
+      for (int j = 0; j < lanes; ++j) {
+        Vec3f& out = image.at(bx + j, py);
+        out.x = acc_r[j] + params.background.x * tr[j];
+        out.y = acc_g[j] + params.background.y * tr[j];
+        out.z = acc_b[j] + params.background.z * tr[j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+void raster_span_fast(const std::vector<Splat2D>& splats,
+                      const TileWorkload& work, const BlendParams& params,
+                      const float* splat_cutoffs, std::uint32_t tile_begin,
+                      std::uint32_t tile_end, Image& image,
+                      RasterStats* stats) {
+  RasterScratch& scratch = thread_raster_scratch();
+  if (stats) {
+    for (std::uint32_t t = tile_begin; t < tile_end; ++t) {
+      raster_tile_fast<true>(splats, work, params, splat_cutoffs, t, image,
+                             stats, scratch);
+    }
+  } else {
+    for (std::uint32_t t = tile_begin; t < tile_end; ++t) {
+      raster_tile_fast<false>(splats, work, params, splat_cutoffs, t, image,
+                              nullptr, scratch);
+    }
+  }
+}
+
+}  // namespace detail
+
+}  // namespace gaurast::pipeline

@@ -6,8 +6,20 @@
 
 #include "common/error.hpp"
 #include "gsmath/conic.hpp"
+#include "gsmath/fastmath.hpp"
 
 namespace gaurast::pipeline {
+
+const char* to_string(RasterKernel kernel) {
+  return kernel == RasterKernel::kFast ? "fast" : "reference";
+}
+
+RasterKernel raster_kernel_from_string(const std::string& name) {
+  if (name == "reference") return RasterKernel::kReference;
+  if (name == "fast") return RasterKernel::kFast;
+  throw Error("unknown raster kernel '" + name +
+              "'; expected 'reference' or 'fast'");
+}
 
 float eval_splat_alpha(const Splat2D& splat, Vec2f pixel,
                        const BlendParams& params) {
@@ -29,11 +41,15 @@ bool accumulate(PixelBlendState& state, float alpha, Vec3f color,
 namespace {
 
 /// Rasterizes tiles [tile_begin, tile_end) into `image`, accumulating stats
-/// into `local`. Tiles write disjoint pixels, so concurrent workers are safe.
+/// into `*stats` when kCollectStats. Tiles write disjoint pixels, so
+/// concurrent workers are safe. Templating hoists the stats bookkeeping out
+/// of the stats-off instantiation entirely — when the caller passed no
+/// RasterStats, the inner loop carries zero accounting overhead.
+template <bool kCollectStats>
 void rasterize_tile_span(const std::vector<Splat2D>& splats,
                          const TileWorkload& work, const BlendParams& params,
                          std::uint32_t tile_begin, std::uint32_t tile_end,
-                         Image& image, RasterStats& local) {
+                         Image& image, RasterStats* stats) {
   const TileGrid& grid = work.grid;
   const int tiles_x = grid.tiles_x();
   for (std::uint32_t tile_id = tile_begin; tile_id < tile_end; ++tile_id) {
@@ -55,15 +71,17 @@ void rasterize_tile_span(const std::vector<Splat2D>& splats,
                           static_cast<float>(py) + 0.5f};
         for (std::uint32_t i = range.begin; i < range.end; ++i) {
           if (st.transmittance < params.transmittance_min) {
-            ++local.pixels_terminated;
+            if constexpr (kCollectStats) ++stats->pixels_terminated;
             break;
           }
           const Splat2D& sp = splats[work.instances[i].splat_index];
-          ++local.pairs_evaluated;
-          ++local.pairs_per_tile[tile_id];
+          if constexpr (kCollectStats) {
+            ++stats->pairs_evaluated;
+            ++stats->pairs_per_tile[tile_id];
+          }
           const float alpha = eval_splat_alpha(sp, pixel, params);
           if (accumulate(st, alpha, sp.color, params)) {
-            ++local.pairs_blended;
+            if constexpr (kCollectStats) ++stats->pairs_blended;
           }
         }
         image.at(px, py) =
@@ -75,25 +93,67 @@ void rasterize_tile_span(const std::vector<Splat2D>& splats,
 
 }  // namespace
 
+namespace detail {
+
+void raster_span_reference(const std::vector<Splat2D>& splats,
+                           const TileWorkload& work, const BlendParams& params,
+                           std::uint32_t tile_begin, std::uint32_t tile_end,
+                           Image& image, RasterStats* stats) {
+  if (stats) {
+    rasterize_tile_span<true>(splats, work, params, tile_begin, tile_end,
+                              image, stats);
+  } else {
+    rasterize_tile_span<false>(splats, work, params, tile_begin, tile_end,
+                               image, nullptr);
+  }
+}
+
+}  // namespace detail
+
 Image rasterize(const std::vector<Splat2D>& splats, const TileWorkload& work,
-                const BlendParams& params, RasterStats* stats,
-                int num_threads) {
+                const BlendParams& params, RasterStats* stats, int num_threads,
+                RasterKernel kernel) {
   GAURAST_CHECK(num_threads >= 1);
   const TileGrid& grid = work.grid;
   Image image(grid.width, grid.height, params.background);
   const std::uint32_t tiles = grid.tile_count();
 
+  // The fast kernel's exp()-skip bound depends only on frame-constant
+  // inputs (alpha_min, opacity), so compute it once per splat here rather
+  // than per duplicated tile instance during staging.
+  std::vector<float> cutoffs;
+  if (kernel == RasterKernel::kFast) {
+    cutoffs.resize(splats.size());
+    for (std::size_t i = 0; i < splats.size(); ++i) {
+      cutoffs[i] = alpha_cutoff_power(params.alpha_min, splats[i].opacity);
+    }
+  }
+  const auto span = [&](std::uint32_t begin, std::uint32_t end,
+                        RasterStats* local) {
+    if (kernel == RasterKernel::kFast) {
+      detail::raster_span_fast(splats, work, params, cutoffs.data(), begin,
+                               end, image, local);
+    } else {
+      detail::raster_span_reference(splats, work, params, begin, end, image,
+                                    local);
+    }
+  };
+
   if (num_threads == 1 || tiles < 2) {
-    RasterStats local;
-    local.pairs_per_tile.assign(tiles, 0);
-    rasterize_tile_span(splats, work, params, 0, tiles, image, local);
-    if (stats) *stats = std::move(local);
+    if (stats) {
+      RasterStats local;
+      local.pairs_per_tile.assign(tiles, 0);
+      span(0, tiles, &local);
+      *stats = std::move(local);
+    } else {
+      span(0, tiles, nullptr);
+    }
     return image;
   }
 
   const auto workers = static_cast<std::uint32_t>(
       std::min<std::uint32_t>(static_cast<std::uint32_t>(num_threads), tiles));
-  std::vector<RasterStats> per_thread(workers);
+  std::vector<RasterStats> per_thread(stats ? workers : 0);
   for (auto& st : per_thread) st.pairs_per_tile.assign(tiles, 0);
   std::vector<std::thread> threads;
   threads.reserve(workers);
@@ -101,8 +161,7 @@ Image rasterize(const std::vector<Splat2D>& splats, const TileWorkload& work,
     const std::uint32_t begin = tiles * w / workers;
     const std::uint32_t end = tiles * (w + 1) / workers;
     threads.emplace_back([&, w, begin, end] {
-      rasterize_tile_span(splats, work, params, begin, end, image,
-                          per_thread[w]);
+      span(begin, end, stats ? &per_thread[w] : nullptr);
     });
   }
   for (auto& t : threads) t.join();

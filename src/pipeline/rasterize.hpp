@@ -7,12 +7,34 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "gsmath/image.hpp"
 #include "pipeline/sort.hpp"
 
 namespace gaurast::pipeline {
+
+/// Which Step-3 software kernel executes the tile workload.
+///
+/// kReference is the scalar oracle: per-pixel front-to-back blending exactly
+/// as the paper's CUDA kernel (and the GauRast PE datapath) computes it.
+/// kFast is the optimized host kernel: it stages each tile's splats once
+/// into SoA scratch arrays, walks pixels in fixed-width row batches the
+/// compiler can auto-vectorize, and skips exp() for pairs provably below
+/// the blend threshold — while remaining bit-identical to kReference
+/// (enforced by the raster_fast_test golden matrix).
+enum class RasterKernel {
+  kReference,
+  kFast,
+};
+
+/// "reference" | "fast" — the spelling used by CLI flags and JSON reports.
+const char* to_string(RasterKernel kernel);
+
+/// Parses "reference" | "fast"; throws gaurast::Error (naming the valid
+/// spellings) otherwise.
+RasterKernel raster_kernel_from_string(const std::string& name);
 
 /// Blending constants of the reference implementation.
 struct BlendParams {
@@ -57,14 +79,59 @@ struct RasterStats {
   }
 };
 
+/// Per-thread scratch arena for the fast kernel's SoA tile staging. The
+/// vectors only ever grow, so a long-lived thread (a serve worker, the CLI
+/// main thread) stops allocating after its first frame — staging becomes a
+/// copy into already-warm buffers instead of a per-tile malloc.
+struct RasterScratch {
+  std::vector<float> mean_x, mean_y;
+  std::vector<float> conic_a, conic_b, conic_c;
+  std::vector<float> opacity, cutoff;
+  std::vector<float> color_r, color_g, color_b;
+
+  /// Grows every array to hold at least `n` splats; never shrinks.
+  void ensure(std::size_t n);
+
+  /// Staged capacity in splats (what ensure() has grown to so far).
+  std::size_t capacity() const { return mean_x.size(); }
+};
+
+/// The calling thread's scratch arena, reused across frames for the
+/// lifetime of the thread (this is what lets the runtime serve loop render
+/// job after job without per-job staging allocations).
+RasterScratch& thread_raster_scratch();
+
+namespace detail {
+/// Reference (scalar oracle) kernel over tiles [tile_begin, tile_end).
+/// `stats` may be null, in which case no counter is touched (the stats-off
+/// instantiation carries zero bookkeeping in the inner loop).
+void raster_span_reference(const std::vector<Splat2D>& splats,
+                           const TileWorkload& work, const BlendParams& params,
+                           std::uint32_t tile_begin, std::uint32_t tile_end,
+                           Image& image, RasterStats* stats);
+
+/// Fast kernel over tiles [tile_begin, tile_end); bit-identical images and
+/// identical stats totals to raster_span_reference. Uses the calling
+/// thread's RasterScratch. `splat_cutoffs` holds one precomputed
+/// gsmath::alpha_cutoff_power value per splat (computed once per frame by
+/// rasterize(), not per duplicated tile instance).
+void raster_span_fast(const std::vector<Splat2D>& splats,
+                      const TileWorkload& work, const BlendParams& params,
+                      const float* splat_cutoffs, std::uint32_t tile_begin,
+                      std::uint32_t tile_end, Image& image,
+                      RasterStats* stats);
+}  // namespace detail
+
 /// Rasterizes the sorted tile workload over all pixels. Mirrors the
 /// reference CUDA kernel: every pixel of a tile walks the tile's
 /// depth-sorted splat list, evaluating alpha and accumulating until the
 /// transmittance threshold. Tiles are independent, so `num_threads` > 1
 /// splits them across host threads with bit-identical results (per-thread
-/// statistics are merged deterministically).
+/// statistics are merged deterministically). `kernel` selects the Step-3
+/// software kernel; both produce bit-identical images and stats.
 Image rasterize(const std::vector<Splat2D>& splats, const TileWorkload& work,
                 const BlendParams& params, RasterStats* stats = nullptr,
-                int num_threads = 1);
+                int num_threads = 1,
+                RasterKernel kernel = RasterKernel::kReference);
 
 }  // namespace gaurast::pipeline

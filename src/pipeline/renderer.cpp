@@ -18,7 +18,8 @@ FrameResult GaussianRenderer::prepare(const scene::GaussianScene& scene,
   grid.width = camera.width();
   grid.height = camera.height();
   result.workload = sort_splats(result.splats, grid, &result.sort_stats,
-                                config_.culling, config_.blend.alpha_min);
+                                config_.culling, config_.blend.alpha_min,
+                                config_.num_threads);
   result.image = Image(camera.width(), camera.height(),
                        config_.blend.background);
   return result;
@@ -30,7 +31,7 @@ FrameResult GaussianRenderer::render(const scene::GaussianScene& scene,
   result.image =
       rasterize(result.splats, result.workload, config_.blend,
                 config_.collect_stats ? &result.raster_stats : nullptr,
-                config_.num_threads);
+                config_.num_threads, config_.kernel);
   return result;
 }
 

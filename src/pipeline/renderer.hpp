@@ -25,9 +25,15 @@ struct RendererConfig {
   /// extension (see pipeline/sort.hpp), off by default to match the
   /// reference pipeline.
   CullingMode culling = CullingMode::kBoundingBox;
-  /// Host threads for the Step-3 software rasterizer (tiles are
-  /// independent; results are bit-identical for any thread count).
+  /// Host threads for Steps 2-3: Step 2 switches to parallel tile binning
+  /// and Step 3 fans tiles across threads when > 1. Both stages are
+  /// bit-identical for any thread count.
   int num_threads = 1;
+  /// Which Step-3 software kernel runs (see pipeline/rasterize.hpp);
+  /// kReference is the scalar oracle, kFast the optimized bit-identical
+  /// kernel. Hardware-model backends ignore this (their Step 3 is the
+  /// modeled rasterizer).
+  RasterKernel kernel = RasterKernel::kReference;
 };
 
 /// Everything produced while rendering one frame.

@@ -75,8 +75,17 @@ enum class CullingMode {
   kTightEllipse,
 };
 
-/// Order-preserving key for a positive depth: monotone in depth.
+/// Order-preserving key for a positive depth: monotone in depth. Depth
+/// validity (>= 0, not NaN) is checked once per workload build by
+/// validate_splat_depths(), not per call — this is hot-loop code, so it
+/// carries only a debug assert.
 std::uint32_t depth_key_bits(float depth);
+
+/// One-time validation at workload build: every splat depth must be
+/// non-negative (and not NaN) for depth_key_bits' bit-pattern ordering to
+/// hold. Throws gaurast::Error naming the first offending splat index.
+/// Called by duplicate_to_tiles/sort_splats before any key is built.
+void validate_splat_depths(const std::vector<Splat2D>& splats);
 
 /// Builds tile instances for all splats (duplication step).
 std::vector<TileInstance> duplicate_to_tiles(
@@ -93,9 +102,20 @@ bool tight_splat_extent(const Splat2D& splat, float alpha_min, float& rx,
 void radix_sort_instances(std::vector<TileInstance>& instances);
 
 /// Runs duplication + sort + range identification.
+///
+/// num_threads == 1 is the serial reference path (global radix sort over
+/// the full 64-bit key). num_threads > 1 switches to parallel binning:
+/// each thread duplicates a contiguous splat chunk and histograms it per
+/// tile, a merge turns the histograms into exact per-tile write offsets
+/// (which double as the final TileRanges), threads scatter their instances
+/// straight into tile buckets, and each tile's bucket is depth-sorted with
+/// a stable per-tile counting sort over the 32 depth-key bits. The result
+/// is bit-identical to the serial path — same instances, same ranges, same
+/// per-tile depth order — for any thread count (enforced by
+/// raster_fast_test).
 TileWorkload sort_splats(const std::vector<Splat2D>& splats,
                          const TileGrid& grid, SortStats* stats = nullptr,
                          CullingMode mode = CullingMode::kBoundingBox,
-                         float alpha_min = 1.0f / 255.0f);
+                         float alpha_min = 1.0f / 255.0f, int num_threads = 1);
 
 }  // namespace gaurast::pipeline

@@ -39,9 +39,14 @@ struct ServiceConfig {
   /// Creation-time backend options (e.g. an external rasterizer config for
   /// backends whose capabilities accept one).
   engine::BackendOptions backend_options;
-  /// Per-job pipeline settings. num_threads here is intra-frame (Step-3
-  /// tile) parallelism on backends that support raster threads, multiplying
-  /// with the worker-level inter-frame parallelism.
+  /// Per-job pipeline settings. num_threads here is intra-frame (Step-2
+  /// binning + Step-3 tile) parallelism on backends that support raster
+  /// threads, multiplying with the worker-level inter-frame parallelism.
+  /// `renderer.kernel` selects the Step-3 software kernel on backends whose
+  /// capabilities advertise kernel selection; with the fast kernel, each
+  /// pool worker reuses its thread-local pipeline::RasterScratch arena
+  /// across jobs (workers are long-lived threads), so sustained serving
+  /// performs no per-job SoA staging allocations after warm-up.
   pipeline::RendererConfig renderer;
   /// When set, served directly instead of resolving `backend` in the
   /// registry — for injecting a caller-constructed (e.g. test-double)

@@ -173,6 +173,22 @@ fi
 run 1 render --synthetic 100 --threads 0 || true
 expect_contains "$ERR" "must be a positive integer" "--threads 0 rejected"
 expect_clean "$ERR" "--threads 0 diagnostic"
+# 12b. --kernel: the fast kernel renders bit-identically on the software
+# backend; bad values and incapable backends are rejected with clean
+# one-line diagnostics.
+PPM_KF="$TMP/kfast.ppm"
+run 0 render --backend sw --synthetic 100 --width 32 --height 24 --seed 7 --kernel fast --out "$PPM_KF" || true
+expect_contains "$STDOUT" "fast" "render reports the selected kernel"
+if ! cmp -s "$PPM_T1" "$PPM_KF"; then
+  echo "FAIL: --kernel fast render differs from the reference kernel" >&2
+  FAILURES=$((FAILURES + 1))
+fi
+run 1 render --backend sw --synthetic 100 --kernel turbo || true
+expect_contains "$ERR" "unknown raster kernel 'turbo'" "bad kernel named"
+expect_clean "$ERR" "bad kernel diagnostic"
+run 1 render --synthetic 100 --kernel fast || true
+expect_contains "$ERR" "--kernel does not apply to --backend gaurast" "kernel on hw backend rejected"
+expect_contains "$ERR" "backends that accept it: sw" "kernel diagnostic lists capable backends"
 # Flags that cannot take effect on the chosen backend are user errors,
 # and a rejected render must not leave a stray empty --out file. The
 # capability-driven diagnostics name the offending backend and enumerate
@@ -212,6 +228,13 @@ else
   expect_contains "$(cat "$SERVE_JSON")" '"workers":2' "serve JSON echoes config"
 fi
 
+# 13a. serve with the fast kernel completes on the software backend and is
+# capability-checked on hardware-model backends.
+run 0 serve --backend sw --kernel fast --jobs 2 --workers 1 --width 48 --height 36 || true
+expect_contains "$STDOUT" "Jobs completed" "serve --kernel fast completes"
+run 1 serve --kernel fast --jobs 2 || true
+expect_contains "$ERR" "--kernel does not apply to --backend gaurast" "serve shares the kernel capability check"
+
 # 13b. A flag belonging to another command is rejected, not silently
 # ignored (flags are declared globally; consumption is per-command).
 run 1 render --synthetic 100 --workers 8 || true
@@ -249,8 +272,10 @@ for b in sw gaurast gscore edge-fp16 orin-agx; do
   expect_contains "$STDOUT" "$b" "backends lists '$b'"
 done
 expect_contains "$STDOUT" "hardware model" "backends shows backend types"
+expect_contains "$STDOUT" "--kernel" "backends lists kernel selection for sw"
 run 0 backends --json - || true
 expect_contains "$STDOUT" '"supports_raster_threads"' "backends --json - emits capabilities"
+expect_contains "$STDOUT" '"supports_kernel_select"' "backends --json - emits kernel capability"
 expect_contains "$STDOUT" '"name":"edge-fp16"' "backends --json - lists operating points"
 BACKENDS_JSON="$TMP/backends.json"
 run 0 backends --json "$BACKENDS_JSON" || true

@@ -121,6 +121,7 @@ TEST(BackendRegistry, RegisterCreateListRoundTrip) {
 TEST(BackendCapabilities, BuiltinsAdvertiseTheirContracts) {
   const BackendInfo sw = registry().info("sw");
   EXPECT_TRUE(sw.capabilities.supports_raster_threads);
+  EXPECT_TRUE(sw.capabilities.supports_kernel_select);
   EXPECT_FALSE(sw.capabilities.accepts_external_rasterizer_config);
   EXPECT_FALSE(sw.capabilities.is_hardware_model);
   EXPECT_EQ(sw.capabilities.default_precision, core::Precision::kFp32);
@@ -128,6 +129,7 @@ TEST(BackendCapabilities, BuiltinsAdvertiseTheirContracts) {
 
   const BackendInfo gaurast_info = registry().info("gaurast");
   EXPECT_FALSE(gaurast_info.capabilities.supports_raster_threads);
+  EXPECT_FALSE(gaurast_info.capabilities.supports_kernel_select);
   EXPECT_TRUE(gaurast_info.capabilities.accepts_external_rasterizer_config);
   EXPECT_TRUE(gaurast_info.capabilities.is_hardware_model);
   EXPECT_EQ(gaurast_info.capabilities.default_precision,
@@ -243,6 +245,26 @@ TEST(SoftwareBackendTest, RasterThreadCountDoesNotChangeTheImage) {
   const FrameOutput a = backend->render(gscene, camera, one);
   const FrameOutput b = backend->render(gscene, camera, four);
   EXPECT_EQ(a.frame.image.max_abs_diff(b.frame.image), 0.0f);
+}
+
+TEST(SoftwareBackendTest, FastKernelSelectionIsBitIdentical) {
+  // The kernel knob advertised by supports_kernel_select: selecting the
+  // fast kernel through the engine interface changes nothing observable
+  // about the frame (image bits and raster stats alike).
+  const scene::GaussianScene gscene = small_scene(500);
+  const scene::Camera camera = small_camera();
+  const std::unique_ptr<RenderBackend> backend = create("sw");
+  FrameOptions reference;
+  FrameOptions fast;
+  fast.pipeline.kernel = pipeline::RasterKernel::kFast;
+  fast.pipeline.num_threads = 2;
+  const FrameOutput a = backend->render(gscene, camera, reference);
+  const FrameOutput b = backend->render(gscene, camera, fast);
+  EXPECT_EQ(a.frame.image.max_abs_diff(b.frame.image), 0.0f);
+  EXPECT_EQ(a.frame.raster_stats.pairs_evaluated,
+            b.frame.raster_stats.pairs_evaluated);
+  EXPECT_EQ(a.frame.raster_stats.pairs_blended,
+            b.frame.raster_stats.pairs_blended);
 }
 
 }  // namespace

@@ -97,7 +97,13 @@ TEST(DepthKey, MonotoneInDepth) {
       EXPECT_LT(depth_key_bits(a), depth_key_bits(b));
     }
   }
-  EXPECT_THROW(depth_key_bits(-1.0f), Error);
+  // Negative depths are rejected once at workload build (see
+  // validate_splat_depths / raster_fast_test), not per key in the hot loop.
+  std::vector<Splat2D> bad(1);
+  bad[0].mean = {8.0f, 8.0f};
+  bad[0].radius = 2.0f;
+  bad[0].depth = -1.0f;
+  EXPECT_THROW(duplicate_to_tiles(bad, TileGrid{16, 64, 64}), Error);
 }
 
 TEST(Duplicate, SingleTileSplat) {

@@ -175,6 +175,25 @@ TEST(RenderService, ImagesBitIdenticalAcrossRasterThreadCounts) {
   }
 }
 
+TEST(RenderService, FastKernelServesBitIdenticalFrames) {
+  // The serving configuration of the fast kernel: pool workers render job
+  // after job reusing their thread-local scratch arenas; every frame must
+  // stay bit-identical to the reference kernel, for any worker count.
+  const std::vector<scene::Camera> cameras = test_cameras(4);
+  ServiceConfig reference;
+  reference.workers = 2;
+  reference.backend = "sw";
+  ServiceConfig fast = reference;
+  fast.renderer.kernel = pipeline::RasterKernel::kFast;
+  const std::vector<Image> a = render_all(reference, cameras);
+  const std::vector<Image> b = render_all(fast, cameras);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].max_abs_diff(b[i]), 0.0f)
+        << "fast-kernel frame " << i << " deviates from reference";
+  }
+}
+
 TEST(RenderService, GauRastBackendMatchesSoftwareBitExactly) {
   const std::vector<scene::Camera> cameras = test_cameras(2);
   ServiceConfig sw;

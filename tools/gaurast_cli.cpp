@@ -2,14 +2,16 @@
 //
 //   gaurast_cli render   --ply scene.ply | --synthetic N   [--width W]
 //                        [--height H] [--out img.ppm] [--config rast.cfg]
-//                        [--threads T] [--seed S] [--backend NAME]
+//                        [--threads T] [--kernel reference|fast] [--seed S]
+//                        [--backend NAME]
 //   gaurast_cli simulate --scene bicycle [--variant original|mini]
 //                        [--config rast.cfg]
 //   gaurast_cli replay   --trace loads.gtr [--config rast.cfg]
 //   gaurast_cli serve    [--jobs N] [--workers W] [--queue Q]
 //                        [--arrival closed|poisson] [--rate HZ]
 //                        [--backend NAME] [--config rast.cfg] [--threads T]
-//                        [--seed S] [--json out.json]
+//                        [--kernel reference|fast] [--seed S]
+//                        [--json out.json]
 //   gaurast_cli backends [--json out.json|-]
 //   gaurast_cli report
 //
@@ -49,6 +51,7 @@
 #include "engine/registry.hpp"
 #include "gpu/config.hpp"
 #include "gpu/cost_model.hpp"
+#include "pipeline/rasterize.hpp"
 #include "runtime/service.hpp"
 #include "runtime/workload.hpp"
 #include "scene/generator.hpp"
@@ -105,6 +108,8 @@ void reject_incapable_flags(const CliParser& cli,
   };
   incapable("threads", "its Step 3 does not fan tiles across host threads",
             &engine::Capabilities::supports_raster_threads);
+  incapable("kernel", "its Step 3 does not run the software raster kernels",
+            &engine::Capabilities::supports_kernel_select);
   incapable("config", "it derives its own rasterizer configuration",
             &engine::Capabilities::accepts_external_rasterizer_config);
 }
@@ -198,10 +203,13 @@ auto flag_value(const std::string& flag, Fn&& parse) {
 int cmd_render(const CliParser& cli) {
   std::unique_ptr<engine::RenderBackend> backend = backend_from_flag(cli);
   engine::FrameOptions frame_options;
-  // Value errors (--threads 0) before capability errors (--threads on a
-  // backend that cannot use it): the former are malformed regardless of
-  // backend choice.
+  // Value errors (--threads 0, --kernel bogus) before capability errors
+  // (--threads on a backend that cannot use it): the former are malformed
+  // regardless of backend choice.
   frame_options.pipeline.num_threads = cli.get_positive_int("threads");
+  frame_options.pipeline.kernel = flag_value("kernel", [&] {
+    return pipeline::raster_kernel_from_string(cli.get_string("kernel"));
+  });
   reject_incapable_flags(cli, *backend);
   // Validate every remaining flag (and input-path readability) before the
   // --out probe so a rejected run cannot leave a stray empty output file.
@@ -250,7 +258,9 @@ int cmd_render(const CliParser& cli) {
                    format_energy_mj(result.hw->energy_soc_mj)});
   } else {
     // Pure software path; Step 3 fanned tiles across --threads with
-    // bit-identical output for any thread count.
+    // bit-identical output for any thread count and kernel.
+    table.add_row({"Raster kernel",
+                   pipeline::to_string(frame_options.pipeline.kernel)});
     table.add_row({"Raster threads",
                    std::to_string(frame_options.pipeline.num_threads)});
     table.add_row({"Frame wall time", format_time_ms(wall_ms)});
@@ -281,6 +291,7 @@ int cmd_backends(const CliParser& cli) {
     const engine::Capabilities& caps = info.capabilities;
     std::vector<std::string> accepts;
     if (caps.supports_raster_threads) accepts.push_back("--threads");
+    if (caps.supports_kernel_select) accepts.push_back("--kernel");
     if (caps.accepts_external_rasterizer_config) accepts.push_back("--config");
     table.add_row({info.name,
                    caps.is_hardware_model ? "hardware model" : "software",
@@ -296,6 +307,8 @@ int cmd_backends(const CliParser& cli) {
          << (caps.is_hardware_model ? "true" : "false")
          << ",\"supports_raster_threads\":"
          << (caps.supports_raster_threads ? "true" : "false")
+         << ",\"supports_kernel_select\":"
+         << (caps.supports_kernel_select ? "true" : "false")
          << ",\"accepts_external_rasterizer_config\":"
          << (caps.accepts_external_rasterizer_config ? "true" : "false")
          << ",\"default_precision\":\""
@@ -389,6 +402,9 @@ int cmd_serve(const CliParser& cli) {
       static_cast<std::size_t>(cli.get_positive_int("queue"));
   std::unique_ptr<engine::RenderBackend> backend = backend_from_flag(cli);
   service_config.renderer.num_threads = cli.get_positive_int("threads");
+  service_config.renderer.kernel = flag_value("kernel", [&] {
+    return pipeline::raster_kernel_from_string(cli.get_string("kernel"));
+  });
   reject_incapable_flags(cli, *backend);
   service_config.backend = backend->name();
   service_config.backend_options = backend_options_from_flags(cli);
@@ -477,12 +493,12 @@ const std::vector<std::string>& command_flags(const std::string& command) {
   static const std::map<std::string, std::vector<std::string>> kByCommand = {
       {"render",
        {"ply", "synthetic", "width", "height", "out", "config", "threads",
-        "seed", "backend"}},
+        "kernel", "seed", "backend"}},
       {"simulate", {"scene", "variant", "config"}},
       {"replay", {"trace", "config"}},
       {"serve",
        {"jobs", "workers", "queue", "arrival", "rate", "backend", "config",
-        "threads", "seed", "width", "height", "json"}},
+        "threads", "kernel", "seed", "width", "height", "json"}},
       {"backends", {"json"}},
       {"report", {}},
   };
@@ -548,6 +564,10 @@ int main(int argc, char** argv) {
   cli.add_flag("variant", "original", "pipeline variant: original or mini");
   cli.add_flag("trace", "", "tile-load trace (.gtr) to replay");
   cli.add_flag("threads", "1", "per-frame Step-3 raster threads (render/serve)");
+  cli.add_flag("kernel", "reference",
+               "Step-3 software raster kernel: reference or fast "
+               "(render/serve, backends with kernel selection; bit-identical "
+               "output)");
   cli.add_flag("seed", "42", "PRNG seed for generated scenes (render/serve)");
   cli.add_flag("jobs", "32", "serve: number of frame requests to generate");
   cli.add_flag("workers", "0", "serve: worker threads (0 = one per core)");
