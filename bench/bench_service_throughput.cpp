@@ -1,39 +1,58 @@
 // Render-service throughput scaling benchmark.
 //
-// Drives the same closed-loop generated workload through RenderService at a
-// sweep of worker counts and reports frames/sec, tail latency, and worker
-// utilization per point, plus the speedup over the 1-worker baseline. This
-// is the serving-side counterpart of the paper's per-frame FPS tables: it
-// measures how far inter-frame parallelism takes the reference pipeline on a
-// multi-core host.
+// Default mode drives the same closed-loop generated workload through
+// RenderService at a sweep of worker counts and reports frames/sec, tail
+// latency, and worker utilization per point, plus the speedup over the
+// 1-worker baseline. This is the serving-side counterpart of the paper's
+// per-frame FPS tables: it measures how far inter-frame parallelism takes
+// the reference pipeline on a multi-core host.
 //
-// Each sweep point runs `--warmup` unmeasured full workload passes followed
-// by `--repeat` measured passes (every pass on a fresh, scene-prewarmed
-// service, so pass timing measures serving, not scene generation or stale
-// queue state); the reported throughput is the mean across measured passes
-// and the latency columns come from the best-throughput pass. `--json`
-// emits the gaurast-bench-service/v1 schema consumed by
-// tools/bench_pipeline.sh:
+// --pipeline switches to the execution-mode comparison: the same workload
+// runs once monolithic and once stage-pipelined at EQUAL total worker
+// count (monolithic gets stage_workers.total() pool workers), reporting
+// both modes plus the pipelined/monolithic throughput ratio and the
+// pipelined run's per-stage breakdown. --scene-size pins every request to
+// one scene class (e.g. the canonical 20000-Gaussian scene) so the
+// comparison isolates execution mode, not scene mix.
 //
-//   {"schema":"gaurast-bench-service/v1","backend":...,"kernel":...,
-//    "jobs":...,"width":...,"height":...,"seed":...,"warmup":...,
-//    "repeat":...,
-//    "points":[{"workers":N,"throughput_mean_fps":...,
-//               "throughput_best_fps":...,"speedup":...,"stats":{...}}]}
+// Each measured point runs `--warmup` unmeasured full workload passes
+// followed by `--repeat` measured passes (every pass on a fresh,
+// scene-prewarmed service, so pass timing measures serving, not scene
+// generation or stale queue state); the reported throughput is the mean
+// across measured passes and the latency columns come from the
+// best-throughput pass. `--json` emits machine-readable reports consumed
+// by tools/bench_pipeline.sh:
+//
+//   default:    {"schema":"gaurast-bench-service/v1","backend":...,
+//                "kernel":...,"jobs":...,"width":...,"height":...,
+//                "seed":...,"warmup":...,"repeat":...,
+//                "points":[{"workers":N,"throughput_mean_fps":...,
+//                           "throughput_best_fps":...,"speedup":...,
+//                           "stats":{...}}]}
+//   --pipeline: {"schema":"gaurast-bench-service-pipeline/v1",
+//                ...same config fields...,"scene_size":...,
+//                "stage_workers":"P,S,R","total_workers":N,
+//                "modes":[{"mode":"monolithic",...},
+//                         {"mode":"pipelined",...}],
+//                "derived":{"pipelined_speedup":...}}
 //
 //   bench_service_throughput [--jobs N] [--backend NAME]
 //                            [--kernel reference|fast]
 //                            [--warmup N] [--repeat N]
 //                            [--width W] [--height H] [--seed S]
+//                            [--scene-size G]
+//                            [--pipeline] [--stage-workers P,S,R]
 //                            [--json out.json]
 //
 // --backend takes any name in the engine registry (`gaurast_cli backends`);
 // --kernel selects the Step-3 software kernel on backends whose
-// capabilities support kernel selection.
+// capabilities support kernel selection; --pipeline requires a backend
+// whose capabilities support stage-pipelined execution.
 
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -74,6 +93,18 @@ int main(int argc, char** argv) {
   cli.add_flag("width", "128", "render width");
   cli.add_flag("height", "96", "render height");
   cli.add_flag("seed", "42", "workload seed");
+  cli.add_flag("scene-size", "0",
+               "pin every request to one scene class of this many Gaussians "
+               "(0 = default mixed sizes)");
+  cli.add_flag("pipeline", "false",
+               "compare monolithic vs stage-pipelined execution at equal "
+               "total worker count instead of sweeping worker counts");
+  cli.add_flag("stage-workers", "1,1,2",
+               "pipelined worker split preprocess,sort,raster "
+               "(with --pipeline; monolithic runs with the same total)");
+  cli.add_flag("queue", "64",
+               "service queue capacity (request queue; per-stage queues "
+               "under --pipeline)");
   cli.add_flag("json", "", "write machine-readable results to this path");
   try {
     if (!cli.parse(argc, argv)) return 0;
@@ -98,6 +129,22 @@ int main(int argc, char** argv) {
     const int warmup = cli.get_int("warmup");
     if (warmup < 0) throw CliParseError("--warmup must be >= 0");
     const int repeat = cli.get_positive_int("repeat");
+    const bool compare_pipeline = cli.get_bool("pipeline");
+    const runtime::StageWorkers stage_workers =
+        runtime::stage_workers_from_string(cli.get_string("stage-workers"));
+    if (compare_pipeline &&
+        !backend_info.capabilities.supports_stage_pipeline) {
+      const std::vector<std::string> accepting = engine::registry().names_where(
+          [](const engine::Capabilities& c) {
+            return c.supports_stage_pipeline;
+          });
+      throw CliParseError("--pipeline does not apply to --backend " + backend +
+                          " (its stages cannot be invoked separately); "
+                          "backends that accept it: " +
+                          engine::join_names(accepting));
+    }
+    const int scene_size = cli.get_int("scene-size");
+    if (scene_size < 0) throw CliParseError("--scene-size must be >= 0");
 
     runtime::WorkloadConfig workload;
     workload.seed = cli.get_uint64("seed");
@@ -105,15 +152,10 @@ int main(int argc, char** argv) {
     workload.width = cli.get_positive_int("width");
     workload.height = cli.get_positive_int("height");
     workload.arrival = runtime::ArrivalModel::kClosedLoop;
+    if (scene_size > 0) {
+      workload.scene_sizes = {static_cast<std::uint64_t>(scene_size)};
+    }
 
-    print_banner(std::cout,
-                 "Service throughput, backend " + backend + " (" +
-                     backend_info.description + "), kernel " +
-                     pipeline::to_string(kernel) + ", " +
-                     std::to_string(workload.jobs) + " jobs x " +
-                     std::to_string(repeat) + " passes per point");
-    TablePrinter table({"Workers", "Throughput", "Speedup", "p50", "p95",
-                        "p99", "Utilization"});
     // Generate each scene class once up front; per-pass services get their
     // caches pre-warmed with copies so pass timing measures serving, not
     // repeated scene generation.
@@ -128,68 +170,182 @@ int main(int argc, char** argv) {
                             gaurast::scene::generate_scene(params));
     }
 
-    std::vector<std::string> json_rows;
-    double baseline_fps = 0.0;
-    for (const int workers : worker_sweep()) {
+    // One full workload pass over a fresh, scene-prewarmed service.
+    const auto run_pass = [&](const runtime::ServiceConfig& base_config) {
+      runtime::RenderService service(base_config);
+      for (const auto& [key, master] : master_scenes) {
+        service.scene(key, [&master = master] { return master; });
+      }
+      return run_workload(service, workload).stats;
+    };
+
+    // One measured point: warmup + repeat passes accumulated into
+    // mean/best throughput, latency columns from the best pass.
+    struct MeasuredPoint {
       double fps_sum = 0.0;
+      double fps_mean = 0.0;
       double fps_best = 0.0;
       runtime::ServiceStats best_stats;
+
+      void add_pass(const runtime::ServiceStats& stats) {
+        fps_sum += stats.throughput_fps;
+        if (stats.throughput_fps >= fps_best) {
+          fps_best = stats.throughput_fps;
+          best_stats = stats;
+        }
+      }
+      void finalize(int passes) {
+        fps_mean = fps_sum / static_cast<double>(passes);
+      }
+    };
+    const auto measure = [&](const runtime::ServiceConfig& base_config) {
+      MeasuredPoint point;
       for (int pass = -warmup; pass < repeat; ++pass) {
+        const runtime::ServiceStats stats = run_pass(base_config);
+        if (pass < 0) continue;  // warmup pass: timing discarded
+        point.add_pass(stats);
+      }
+      point.finalize(repeat);
+      return point;
+    };
+
+    const std::string json_path = cli.get_string("json");
+    std::ostringstream json;
+
+    if (compare_pipeline) {
+      print_banner(std::cout,
+                   "Execution modes, backend " + backend + ", kernel " +
+                       pipeline::to_string(kernel) + ", " +
+                       std::to_string(workload.jobs) + " jobs x " +
+                       std::to_string(repeat) + " passes, " +
+                       std::to_string(stage_workers.total()) +
+                       " total workers (pipelined split " +
+                       to_string(stage_workers) + ")");
+      runtime::ServiceConfig monolithic;
+      monolithic.workers = stage_workers.total();
+      monolithic.backend = backend;
+      monolithic.renderer.kernel = kernel;
+      monolithic.queue_capacity =
+          static_cast<std::size_t>(cli.get_positive_int("queue"));
+      runtime::ServiceConfig pipelined = monolithic;
+      pipelined.mode = runtime::ExecutionMode::kPipelined;
+      pipelined.stage_workers = stage_workers;
+
+      // The two modes run in interleaved pairs (mono, pipe, mono, pipe, …)
+      // rather than as two grouped blocks, so slow machine-state drift
+      // (frequency scaling, page cache) lands on both sides of the ratio
+      // instead of biasing whichever mode ran last.
+      MeasuredPoint mono_point;
+      MeasuredPoint pipe_point;
+      for (int pass = -warmup; pass < repeat; ++pass) {
+        const runtime::ServiceStats mono_stats = run_pass(monolithic);
+        const runtime::ServiceStats pipe_stats = run_pass(pipelined);
+        if (pass < 0) continue;
+        mono_point.add_pass(mono_stats);
+        pipe_point.add_pass(pipe_stats);
+      }
+      mono_point.finalize(repeat);
+      pipe_point.finalize(repeat);
+      const double speedup = mono_point.fps_mean > 0.0
+                                 ? pipe_point.fps_mean / mono_point.fps_mean
+                                 : 0.0;
+
+      TablePrinter table({"Mode", "Workers", "Throughput", "p50", "p95",
+                          "p99", "Utilization"});
+      const auto mode_row = [&table](const std::string& name, int workers,
+                                     const MeasuredPoint& point) {
+        table.add_row({name, std::to_string(workers),
+                       format_fixed(point.fps_mean, 1) + " fps",
+                       format_time_ms(point.best_stats.latency_p50_ms),
+                       format_time_ms(point.best_stats.latency_p95_ms),
+                       format_time_ms(point.best_stats.latency_p99_ms),
+                       format_percent(point.best_stats.worker_utilization)});
+      };
+      mode_row("monolithic", stage_workers.total(), mono_point);
+      mode_row("pipelined", stage_workers.total(), pipe_point);
+      table.print(std::cout);
+      std::cout << "Pipelined/monolithic throughput: "
+                << format_ratio(speedup, 3) << '\n';
+
+      const auto mode_json = [](const std::string& name,
+                                const MeasuredPoint& point) {
+        return "{\"mode\":\"" + name + "\",\"throughput_mean_fps\":" +
+               format_fixed(point.fps_mean, 4) + ",\"throughput_best_fps\":" +
+               format_fixed(point.fps_best, 4) + ",\"stats\":" +
+               runtime::service_stats_json(point.best_stats) + "}";
+      };
+      json << "{\"schema\":\"gaurast-bench-service-pipeline/v1\","
+           << "\"backend\":\"" << backend << "\",\"kernel\":\""
+           << pipeline::to_string(kernel) << "\",\"jobs\":" << workload.jobs
+           << ",\"width\":" << workload.width
+           << ",\"height\":" << workload.height
+           << ",\"seed\":" << workload.seed << ",\"warmup\":" << warmup
+           << ",\"repeat\":" << repeat << ",\"scene_size\":" << scene_size
+           << ",\"stage_workers\":\"" << to_string(stage_workers)
+           << "\",\"total_workers\":" << stage_workers.total()
+           << ",\"modes\":[" << mode_json("monolithic", mono_point) << ","
+           << mode_json("pipelined", pipe_point) << "]"
+           << ",\"derived\":{\"pipelined_speedup\":"
+           << format_fixed(speedup, 4) << "}}";
+    } else {
+      print_banner(std::cout,
+                   "Service throughput, backend " + backend + " (" +
+                       backend_info.description + "), kernel " +
+                       pipeline::to_string(kernel) + ", " +
+                       std::to_string(workload.jobs) + " jobs x " +
+                       std::to_string(repeat) + " passes per point");
+      TablePrinter table({"Workers", "Throughput", "Speedup", "p50", "p95",
+                          "p99", "Utilization"});
+      std::vector<std::string> json_rows;
+      double baseline_fps = 0.0;
+      for (const int workers : worker_sweep()) {
         runtime::ServiceConfig config;
         config.workers = workers;
         config.backend = backend;
         config.renderer.kernel = kernel;
-        runtime::RenderService service(config);
-        for (const auto& [key, master] : master_scenes) {
-          service.scene(key, [&master = master] { return master; });
-        }
-        const runtime::WorkloadRunResult run = run_workload(service, workload);
-        if (pass < 0) continue;  // warmup pass: timing discarded
-        fps_sum += run.stats.throughput_fps;
-        if (run.stats.throughput_fps >= fps_best) {
-          fps_best = run.stats.throughput_fps;
-          best_stats = run.stats;
-        }
+        config.queue_capacity =
+            static_cast<std::size_t>(cli.get_positive_int("queue"));
+        const MeasuredPoint point = measure(config);
+        if (workers == 1) baseline_fps = point.fps_mean;
+        const double speedup =
+            baseline_fps > 0.0 ? point.fps_mean / baseline_fps : 0.0;
+        table.add_row({std::to_string(workers),
+                       format_fixed(point.fps_mean, 1) + " fps",
+                       format_ratio(speedup, 2),
+                       format_time_ms(point.best_stats.latency_p50_ms),
+                       format_time_ms(point.best_stats.latency_p95_ms),
+                       format_time_ms(point.best_stats.latency_p99_ms),
+                       format_percent(point.best_stats.worker_utilization)});
+        json_rows.push_back("{\"workers\":" + std::to_string(workers) +
+                            ",\"throughput_mean_fps\":" +
+                            format_fixed(point.fps_mean, 4) +
+                            ",\"throughput_best_fps\":" +
+                            format_fixed(point.fps_best, 4) +
+                            ",\"speedup\":" + format_fixed(speedup, 4) +
+                            ",\"stats\":" +
+                            runtime::service_stats_json(point.best_stats) +
+                            "}");
       }
-      const double fps_mean = fps_sum / static_cast<double>(repeat);
-      if (workers == 1) baseline_fps = fps_mean;
-      const double speedup =
-          baseline_fps > 0.0 ? fps_mean / baseline_fps : 0.0;
-      table.add_row({std::to_string(workers),
-                     format_fixed(fps_mean, 1) + " fps",
-                     format_ratio(speedup, 2),
-                     format_time_ms(best_stats.latency_p50_ms),
-                     format_time_ms(best_stats.latency_p95_ms),
-                     format_time_ms(best_stats.latency_p99_ms),
-                     format_percent(best_stats.worker_utilization)});
-      json_rows.push_back("{\"workers\":" + std::to_string(workers) +
-                          ",\"throughput_mean_fps\":" +
-                          format_fixed(fps_mean, 4) +
-                          ",\"throughput_best_fps\":" +
-                          format_fixed(fps_best, 4) +
-                          ",\"speedup\":" + format_fixed(speedup, 4) +
-                          ",\"stats\":" +
-                          runtime::service_stats_json(best_stats) + "}");
+      table.print(std::cout);
+      json << "{\"schema\":\"gaurast-bench-service/v1\",\"backend\":\""
+           << backend << "\",\"kernel\":\"" << pipeline::to_string(kernel)
+           << "\",\"jobs\":" << workload.jobs
+           << ",\"width\":" << workload.width
+           << ",\"height\":" << workload.height
+           << ",\"seed\":" << workload.seed << ",\"warmup\":" << warmup
+           << ",\"repeat\":" << repeat << ",\"points\":[";
+      for (std::size_t i = 0; i < json_rows.size(); ++i) {
+        json << (i ? "," : "") << json_rows[i];
+      }
+      json << "]}";
     }
-    table.print(std::cout);
 
-    const std::string json_path = cli.get_string("json");
     if (!json_path.empty()) {
       std::ofstream os(json_path, std::ios::trunc);
       if (!os.good()) {
         throw CliParseError("cannot write --json file '" + json_path + "'");
       }
-      os << "{\"schema\":\"gaurast-bench-service/v1\",\"backend\":\""
-         << backend << "\",\"kernel\":\"" << pipeline::to_string(kernel)
-         << "\",\"jobs\":" << workload.jobs
-         << ",\"width\":" << workload.width
-         << ",\"height\":" << workload.height
-         << ",\"seed\":" << workload.seed << ",\"warmup\":" << warmup
-         << ",\"repeat\":" << repeat << ",\"points\":[";
-      for (std::size_t i = 0; i < json_rows.size(); ++i) {
-        os << (i ? "," : "") << json_rows[i];
-      }
-      os << "]}\n";
+      os << json.str() << '\n';
       std::cout << "Wrote " << json_path << '\n';
     }
     return 0;

@@ -18,15 +18,14 @@ GauRastDevice::GauRastDevice(RasterizerConfig rasterizer, gpu::GpuConfig host,
   rasterizer_.validate();
 }
 
-double GauRastDevice::stage12_ms_for(const pipeline::FrameResult& frame,
-                                     const scene::Camera& camera) const {
+double GauRastDevice::stage12_ms_for(const pipeline::FrameResult& frame) const {
   // Build an ad-hoc profile from the frame's *measured* workload so the
   // CUDA model prices exactly what this frame did.
   scene::SceneProfile p;
   p.name = "frame";
   p.gaussian_count = frame.preprocess_stats.gaussians_in;
-  p.width = camera.width();
-  p.height = camera.height();
+  p.width = frame.workload.grid.width;
+  p.height = frame.workload.grid.height;
   p.sh_degree = 3;
   p.tile_instances_per_gaussian =
       frame.preprocess_stats.gaussians_in == 0
@@ -37,15 +36,11 @@ double GauRastDevice::stage12_ms_for(const pipeline::FrameResult& frame,
   return cuda_.preprocess_ms(p) + cuda_.sort_ms(p);
 }
 
-DeviceGaussianFrame GauRastDevice::render(
-    const scene::GaussianScene& scene, const scene::Camera& camera,
-    const pipeline::RendererConfig& pipeline_config,
-    pipeline::FrameResult* out_frame) const {
-  const pipeline::GaussianRenderer renderer(pipeline_config);
-  // Steps 1-2 on the "CUDA cores" (functionally here on the CPU).
-  pipeline::FrameResult frame = renderer.prepare(scene, camera);
+DeviceGaussianFrame GauRastDevice::raster_prepared(
+    pipeline::FrameResult& frame,
+    const pipeline::RendererConfig& pipeline_config) const {
   // Step 3 on the enhanced rasterizer. Non-const so the image can be moved
-  // into out_frame below instead of copied a second time.
+  // into the frame below instead of copied a second time.
   HwRasterResult hw = hw_.rasterize_gaussians(frame.splats, frame.workload,
                                               pipeline_config.blend);
 
@@ -54,19 +49,28 @@ DeviceGaussianFrame GauRastDevice::render(
   out.pairs_evaluated = hw.pairs_evaluated;
   out.utilization = hw.utilization();
   out.raster_model_ms = hw.runtime_ms();
-  out.stage12_model_ms = stage12_ms_for(frame, camera);
+  out.stage12_model_ms = stage12_ms_for(frame);
   out.pipelined_frame_ms =
       out.stage12_model_ms > out.raster_model_ms ? out.stage12_model_ms
                                                  : out.raster_model_ms;
   const EnergyBreakdown proto =
       energy_.from_counters(hw.counters, hw.runtime_ms());
   out.energy_soc = energy_.at_soc_node(proto);
-  if (out_frame != nullptr) {
-    frame.image = std::move(hw.image);
-    frame.raster_stats.pairs_evaluated = hw.pairs_evaluated;
-    frame.raster_stats.pairs_blended = hw.pairs_blended;
-    *out_frame = std::move(frame);
-  }
+  frame.image = std::move(hw.image);
+  frame.raster_stats.pairs_evaluated = hw.pairs_evaluated;
+  frame.raster_stats.pairs_blended = hw.pairs_blended;
+  return out;
+}
+
+DeviceGaussianFrame GauRastDevice::render(
+    const scene::GaussianScene& scene, const scene::Camera& camera,
+    const pipeline::RendererConfig& pipeline_config,
+    pipeline::FrameResult* out_frame) const {
+  const pipeline::GaussianRenderer renderer(pipeline_config);
+  // Steps 1-2 on the "CUDA cores" (functionally here on the CPU).
+  pipeline::FrameResult frame = renderer.prepare(scene, camera);
+  DeviceGaussianFrame out = raster_prepared(frame, pipeline_config);
+  if (out_frame != nullptr) *out_frame = std::move(frame);
   return out;
 }
 

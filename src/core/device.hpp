@@ -75,6 +75,17 @@ class GauRastDevice {
                                  pipeline::RendererConfig{},
                              pipeline::FrameResult* out_frame = nullptr) const;
 
+  /// Step 3 only, over an already-prepared frame (GaussianRenderer
+  /// prepare() or the begin_frame/sort_frame stage path): runs the
+  /// enhanced-rasterizer model on the frame's sorted workload, writes the
+  /// hardware image and pair counters back into `frame`, and returns the
+  /// modeled metrics. render() is exactly prepare + raster_prepared, which
+  /// is what lets a stage-pipelined scheduler overlap Steps 1-2 of one
+  /// frame with Step 3 of another without a second execution path.
+  DeviceGaussianFrame raster_prepared(
+      pipeline::FrameResult& frame,
+      const pipeline::RendererConfig& pipeline_config) const;
+
   /// Renders a triangle mesh through the same enhanced rasterizer
   /// (preserved original functionality).
   DeviceMeshFrame render_mesh(const mesh::TriangleMesh& mesh,
@@ -94,8 +105,9 @@ class GauRastDevice {
 
  private:
   /// Prices Steps 1-2 for a frame's measured workload via the CUDA model.
-  double stage12_ms_for(const pipeline::FrameResult& frame,
-                        const scene::Camera& camera) const;
+  /// Frame dimensions come from frame.workload.grid — the image is not yet
+  /// allocated when a prepared (pre-raster) frame reaches this.
+  double stage12_ms_for(const pipeline::FrameResult& frame) const;
 
   RasterizerConfig rasterizer_;
   gpu::GpuConfig host_;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "gsmath/fastmath.hpp"
 #include "gsmath/sh.hpp"
 
 namespace gaurast::pipeline {
@@ -11,9 +12,27 @@ namespace {
 constexpr float kNearPlane = 0.2f;  // matches the reference implementation
 }
 
+ScenePrecompute precompute_scene(const scene::GaussianScene& scene,
+                                 float alpha_min) {
+  ScenePrecompute pre;
+  pre.cov3d.reserve(scene.size());
+  pre.raster_cutoff.reserve(scene.size());
+  pre.cutoff_alpha_min = alpha_min;
+  for (std::size_t i = 0; i < scene.size(); ++i) {
+    pre.cov3d.push_back(
+        covariance3d(scene.rotations()[i], scene.scales()[i]));
+    pre.raster_cutoff.push_back(
+        alpha_cutoff_power(alpha_min, scene.opacities()[i]));
+  }
+  return pre;
+}
+
 bool project_gaussian(const scene::GaussianScene& scene, std::size_t index,
-                      const scene::Camera& camera, Splat2D& out) {
+                      const scene::Camera& camera, Splat2D& out,
+                      const ScenePrecompute* precompute) {
   GAURAST_CHECK(index < scene.size());
+  GAURAST_CHECK(precompute == nullptr ||
+                precompute->cov3d.size() == scene.size());
   const Vec3f world = scene.positions()[index];
   const Vec3f view = camera.to_view(world);
   if (view.z <= kNearPlane) return false;
@@ -25,7 +44,9 @@ bool project_gaussian(const scene::GaussianScene& scene, std::size_t index,
   if (std::abs(view.x) > lim_x || std::abs(view.y) > lim_y) return false;
 
   const Mat3f cov3d =
-      covariance3d(scene.rotations()[index], scene.scales()[index]);
+      precompute != nullptr
+          ? precompute->cov3d[index]
+          : covariance3d(scene.rotations()[index], scene.scales()[index]);
   const Cov2 cov2d = project_covariance(
       cov3d, view, camera.focal_x(), camera.focal_y(), camera.tan_half_fov_x(),
       camera.tan_half_fov_y(), camera.view_rotation());
@@ -46,7 +67,8 @@ bool project_gaussian(const scene::GaussianScene& scene, std::size_t index,
 
 std::vector<Splat2D> preprocess(const scene::GaussianScene& scene,
                                 const scene::Camera& camera,
-                                PreprocessStats* stats) {
+                                PreprocessStats* stats,
+                                const ScenePrecompute* precompute) {
   std::vector<Splat2D> splats;
   splats.reserve(scene.size());
   PreprocessStats local;
@@ -58,7 +80,7 @@ std::vector<Splat2D> preprocess(const scene::GaussianScene& scene,
       ++local.culled_frustum;
       continue;
     }
-    if (!project_gaussian(scene, i, camera, s)) {
+    if (!project_gaussian(scene, i, camera, s, precompute)) {
       // project_gaussian re-checks the frustum; failures here beyond the
       // near-plane test are degenerate covariances or off-screen centers.
       const float lim_x = 1.3f * camera.tan_half_fov_x() * view.z;

@@ -129,9 +129,25 @@ void raster_span_fast(const std::vector<Splat2D>& splats,
 /// splits them across host threads with bit-identical results (per-thread
 /// statistics are merged deterministically). `kernel` selects the Step-3
 /// software kernel; both produce bit-identical images and stats.
+/// `precompute` (nullable) supplies the per-scene raster cutoffs the fast
+/// kernel otherwise recomputes each frame; it is consulted only when its
+/// cutoff_alpha_min matches params.alpha_min, so passing it is always safe.
 Image rasterize(const std::vector<Splat2D>& splats, const TileWorkload& work,
                 const BlendParams& params, RasterStats* stats = nullptr,
                 int num_threads = 1,
-                RasterKernel kernel = RasterKernel::kReference);
+                RasterKernel kernel = RasterKernel::kReference,
+                const ScenePrecompute* precompute = nullptr);
+
+/// Allocation-free variant: rasterizes into `image`, which must already
+/// have the workload's grid dimensions. Every pixel is overwritten
+/// (background fill, then blending), so the result is bit-identical to
+/// rasterize() whatever `image` held before. This is what lets a frame
+/// reuse the buffer its preprocess stage allocated instead of paying a
+/// second image allocation in Step 3.
+void rasterize_into(Image& image, const std::vector<Splat2D>& splats,
+                    const TileWorkload& work, const BlendParams& params,
+                    RasterStats* stats = nullptr, int num_threads = 1,
+                    RasterKernel kernel = RasterKernel::kReference,
+                    const ScenePrecompute* precompute = nullptr);
 
 }  // namespace gaurast::pipeline

@@ -46,13 +46,51 @@ engine::FrameOptions frame_options_for(const ServiceConfig& cfg) {
 
 }  // namespace
 
+ExecutionMode execution_mode_from_string(const std::string& name) {
+  if (name == "monolithic") return ExecutionMode::kMonolithic;
+  if (name == "pipelined") return ExecutionMode::kPipelined;
+  throw Error("unknown execution mode '" + name +
+              "' (expected monolithic|pipelined)");
+}
+
+const char* to_string(ExecutionMode mode) {
+  switch (mode) {
+    case ExecutionMode::kMonolithic: return "monolithic";
+    case ExecutionMode::kPipelined: return "pipelined";
+  }
+  return "?";
+}
+
 RenderService::RenderService(ServiceConfig config)
     : config_(std::move(config)),
       backend_(resolve_backend(config_)),
-      frame_options_(frame_options_for(config_)),
-      pool_(ThreadPoolConfig{config_.workers, config_.queue_capacity}) {}
+      frame_options_(frame_options_for(config_)) {
+  if (config_.mode == ExecutionMode::kPipelined) {
+    if (!backend_->capabilities().supports_stage_pipeline) {
+      const std::vector<std::string> accepting =
+          engine::registry().names_where([](const engine::Capabilities& c) {
+            return c.supports_stage_pipeline;
+          });
+      throw Error("backend '" + backend_->name() +
+                  "' does not support stage-pipelined execution; backends "
+                  "that do: " +
+                  engine::join_names(accepting));
+    }
+    pipeline_ = std::make_unique<StagePipeline>(
+        StagePipeline::Config{config_.stage_workers, config_.queue_capacity},
+        *backend_, frame_options_,
+        [this](const JobResult& result) { record_completion(result); });
+  } else {
+    pool_ = std::make_unique<ThreadPool>(
+        ThreadPoolConfig{config_.workers, config_.queue_capacity});
+  }
+}
 
 RenderService::~RenderService() { shutdown(); }
+
+int RenderService::worker_count() const {
+  return pool_ ? pool_->worker_count() : pipeline_->worker_count();
+}
 
 ScenePtr RenderService::scene(
     const std::string& key,
@@ -76,6 +114,25 @@ std::size_t RenderService::cached_scene_count() const {
   return scene_cache_.size();
 }
 
+std::shared_ptr<const pipeline::ScenePrecompute> RenderService::precompute_for(
+    const ScenePtr& scene) {
+  std::lock_guard<std::mutex> lock(precompute_mutex_);
+  const auto it = precompute_cache_.find(scene.get());
+  if (it != precompute_cache_.end()) return it->second.second;
+  // Computed under the lock, like scene loads: first-touch work is rare and
+  // front-loaded, and duplicating it for concurrent first requests would
+  // cost more than making the second requester wait.
+  auto precompute = std::make_shared<const pipeline::ScenePrecompute>(
+      pipeline::precompute_scene(*scene, config_.renderer.blend.alpha_min));
+  precompute_cache_.emplace(scene.get(), std::make_pair(scene, precompute));
+  return precompute;
+}
+
+std::size_t RenderService::cached_precompute_count() const {
+  std::lock_guard<std::mutex> lock(precompute_mutex_);
+  return precompute_cache_.size();
+}
+
 JobResult RenderService::execute(RenderRequest request,
                                  Clock::time_point enqueue_time) {
   const Clock::time_point start = Clock::now();
@@ -89,13 +146,15 @@ JobResult RenderService::execute(RenderRequest request,
   return result;
 }
 
-std::function<JobResult()> RenderService::make_task(RenderRequest request) {
+void RenderService::stamp_request(RenderRequest& request) {
   GAURAST_CHECK(request.scene != nullptr);
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  request.id = next_job_id_++;
+}
+
+std::function<JobResult()> RenderService::make_task(RenderRequest request) {
   const Clock::time_point enqueue_time = Clock::now();
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    request.id = next_job_id_++;
-  }
+  stamp_request(request);
   return [this, request = std::move(request), enqueue_time]() mutable {
     return execute(std::move(request), enqueue_time);
   };
@@ -123,17 +182,35 @@ void RenderService::record_completion(const JobResult& result) {
   last_completion_ = Clock::now();
 }
 
+std::size_t RenderService::entry_queue_depth() const {
+  return pool_ ? pool_->queue_depth() : pipeline_->entry_queue_depth();
+}
+
 std::future<JobResult> RenderService::submit(RenderRequest request) {
+  if (pipeline_) {
+    const Clock::time_point enqueue_time = Clock::now();
+    stamp_request(request);
+    auto precompute = precompute_for(request.scene);
+    const std::size_t depth = entry_queue_depth();
+    note_submitted(depth);
+    try {
+      return pipeline_->submit(std::move(request), std::move(precompute),
+                               enqueue_time);
+    } catch (...) {
+      retract_submitted(depth);
+      throw;
+    }
+  }
   auto task = std::make_shared<std::packaged_task<JobResult()>>(
       make_task(std::move(request)));
   std::future<JobResult> future = task->get_future();
   // Count the submission before the pool can run it, so a snapshot never
   // shows more completions than submissions; roll back if intake refuses
   // (pool already shut down).
-  const std::size_t depth = pool_.queue_depth();
+  const std::size_t depth = pool_->queue_depth();
   note_submitted(depth);
   try {
-    pool_.submit([task] { (*task)(); });
+    pool_->submit([task] { (*task)(); });
   } catch (...) {
     retract_submitted(depth);
     throw;
@@ -143,12 +220,27 @@ std::future<JobResult> RenderService::submit(RenderRequest request) {
 
 std::optional<std::future<JobResult>> RenderService::try_submit(
     RenderRequest request) {
+  if (pipeline_) {
+    const Clock::time_point enqueue_time = Clock::now();
+    stamp_request(request);
+    auto precompute = precompute_for(request.scene);
+    const std::size_t depth = entry_queue_depth();
+    note_submitted(depth);
+    auto future = pipeline_->try_submit(std::move(request),
+                                        std::move(precompute), enqueue_time);
+    if (!future) {
+      retract_submitted(depth);
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++rejected_;
+    }
+    return future;
+  }
   auto task = std::make_shared<std::packaged_task<JobResult()>>(
       make_task(std::move(request)));
   std::future<JobResult> future = task->get_future();
-  const std::size_t depth = pool_.queue_depth();
+  const std::size_t depth = pool_->queue_depth();
   note_submitted(depth);
-  if (!pool_.try_submit([task] { (*task)(); })) {
+  if (!pool_->try_submit([task] { (*task)(); })) {
     retract_submitted(depth);
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++rejected_;
@@ -157,9 +249,21 @@ std::optional<std::future<JobResult>> RenderService::try_submit(
   return future;
 }
 
-void RenderService::drain() { pool_.wait_idle(); }
+void RenderService::drain() {
+  if (pipeline_) {
+    pipeline_->drain();
+  } else {
+    pool_->wait_idle();
+  }
+}
 
-void RenderService::shutdown() { pool_.shutdown(); }
+void RenderService::shutdown() {
+  if (pipeline_) {
+    pipeline_->shutdown();
+  } else {
+    pool_->shutdown();
+  }
+}
 
 ServiceStats RenderService::stats() const {
   ServiceStats s;
@@ -203,10 +307,20 @@ ServiceStats RenderService::stats() const {
     s.latency_p95_ms = percentile_sorted(latencies, 0.95);
     s.latency_p99_ms = percentile_sorted(latencies, 0.99);
   }
-  if (s.wall_ms > 0.0 && pool_.worker_count() > 0) {
+  const double busy_ms = pool_ ? pool_->busy_ms() : pipeline_->busy_ms();
+  if (s.wall_ms > 0.0 && worker_count() > 0) {
     s.worker_utilization = std::min(
-        1.0, pool_.busy_ms() /
-                 (s.wall_ms * static_cast<double>(pool_.worker_count())));
+        1.0, busy_ms / (s.wall_ms * static_cast<double>(worker_count())));
+  }
+  if (pipeline_) {
+    s.stages = pipeline_->snapshots();
+    for (StageSnapshot& stage : s.stages) {
+      if (s.wall_ms > 0.0 && stage.workers > 0) {
+        stage.utilization = std::min(
+            1.0, stage.busy_ms /
+                     (s.wall_ms * static_cast<double>(stage.workers)));
+      }
+    }
   }
   return s;
 }
@@ -231,6 +345,13 @@ void print_service_stats(std::ostream& os, const ServiceStats& stats) {
       {"Mean queue depth", format_fixed(stats.mean_queue_depth, 2)});
   table.add_row(
       {"Worker utilization", format_percent(stats.worker_utilization)});
+  for (const StageSnapshot& stage : stats.stages) {
+    table.add_row({"Stage " + stage.name,
+                   std::to_string(stage.workers) + "w, " +
+                       format_time_ms(stage.service_mean_ms) + " mean, q " +
+                       format_fixed(stage.mean_queue_depth, 2) + ", " +
+                       format_percent(stage.utilization)});
+  }
   table.add_row({"Scene cache",
                  std::to_string(stats.scene_cache_hits) + " hits / " +
                      std::to_string(stats.scene_cache_misses) + " misses"});
@@ -253,7 +374,18 @@ std::string service_stats_json(const ServiceStats& stats) {
      << ",\"mean_queue_depth\":" << stats.mean_queue_depth
      << ",\"worker_utilization\":" << stats.worker_utilization
      << ",\"scene_cache_hits\":" << stats.scene_cache_hits
-     << ",\"scene_cache_misses\":" << stats.scene_cache_misses << "}";
+     << ",\"scene_cache_misses\":" << stats.scene_cache_misses
+     << ",\"stages\":[";
+  for (std::size_t i = 0; i < stats.stages.size(); ++i) {
+    const StageSnapshot& stage = stats.stages[i];
+    os << (i ? "," : "") << "{\"name\":\"" << stage.name
+       << "\",\"workers\":" << stage.workers
+       << ",\"completed\":" << stage.completed
+       << ",\"service_mean_ms\":" << stage.service_mean_ms
+       << ",\"mean_queue_depth\":" << stage.mean_queue_depth
+       << ",\"utilization\":" << stage.utilization << "}";
+  }
+  os << "]}";
   return os.str();
 }
 

@@ -1,14 +1,16 @@
 // RenderService — the concurrent render-serving front end.
 //
-// Owns a ThreadPool, a per-scene cache, and the shared (const, therefore
-// thread-safe) engine::RenderBackend serving every job. Callers resolve a
-// scene
-// through the cache, submit() RenderRequests, and get futures back; the
-// bounded pool queue provides backpressure (submit blocks, try_submit
-// rejects). Every completion feeds the aggregated service statistics:
-// throughput, p50/p95/p99 latency, queue wait, queue depth, and worker
-// utilization — the serving-side metrics the paper's FPS claims translate
-// into under sustained multi-user traffic.
+// Owns an executor (a monolithic ThreadPool or a stage-pipelined
+// StagePipeline, per ServiceConfig::mode), a per-scene cache, and the
+// shared (const, therefore thread-safe) engine::RenderBackend serving
+// every job. Callers resolve a scene through the cache, submit()
+// RenderRequests, and get futures back; the bounded queues provide
+// backpressure (submit blocks, try_submit rejects). Every completion feeds
+// the aggregated service statistics: throughput, p50/p95/p99 latency,
+// queue wait, queue depth, worker utilization, and — under pipelined
+// execution — the per-stage breakdown. These are the serving-side metrics
+// the paper's FPS claims translate into under sustained multi-user
+// traffic.
 #pragma once
 
 #include <chrono>
@@ -26,12 +28,36 @@
 #include "engine/backend.hpp"
 #include "engine/registry.hpp"
 #include "runtime/job.hpp"
+#include "runtime/stage_pipeline.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace gaurast::runtime {
 
+/// How the service turns a request into a finished frame.
+enum class ExecutionMode {
+  /// One pool worker runs all three stages of a job back to back — the
+  /// classic request/handler shape; inter-frame parallelism only.
+  kMonolithic,
+  /// A StagePipeline runs each stage on its own bounded-queue pool, so
+  /// stages of different frames overlap and workers are apportioned per
+  /// stage. Requires a backend whose capabilities advertise
+  /// supports_stage_pipeline; frames are bit-identical to monolithic.
+  kPipelined,
+};
+
+/// Parses "monolithic" | "pipelined"; throws gaurast::Error otherwise.
+ExecutionMode execution_mode_from_string(const std::string& name);
+const char* to_string(ExecutionMode mode);
+
 struct ServiceConfig {
+  /// Pool size under ExecutionMode::kMonolithic (ignored when pipelined —
+  /// stage_workers apportions the pipeline's workers instead).
   int workers = 1;
+  ExecutionMode mode = ExecutionMode::kMonolithic;
+  /// Per-stage worker apportionment under ExecutionMode::kPipelined; the
+  /// service's total worker count is stage_workers.total().
+  StageWorkers stage_workers;
+  /// Request-queue bound (monolithic) or per-stage queue bound (pipelined).
   std::size_t queue_capacity = 64;
   /// Registry key resolved through engine::create() at service
   /// construction — any registered backend serves, built-in or not.
@@ -76,6 +102,10 @@ struct ServiceStats {
 
   std::uint64_t scene_cache_hits = 0;
   std::uint64_t scene_cache_misses = 0;
+
+  /// Per-stage breakdown (latency, queue depth, utilization) in stage
+  /// order; empty under ExecutionMode::kMonolithic.
+  std::vector<StageSnapshot> stages;
 };
 
 /// Renders the stats as an aligned two-column table (common/table idiom).
@@ -95,7 +125,7 @@ class RenderService {
   RenderService& operator=(const RenderService&) = delete;
 
   const ServiceConfig& config() const { return config_; }
-  int worker_count() const { return pool_.worker_count(); }
+  int worker_count() const;
 
   /// The backend every job is served through (registry-created from
   /// config().backend unless an instance was injected).
@@ -108,6 +138,11 @@ class RenderService {
   ScenePtr scene(const std::string& key,
                  const std::function<scene::GaussianScene()>& loader);
   std::size_t cached_scene_count() const;
+
+  /// Scenes whose camera-independent precompute the pipelined executor has
+  /// built so far (one per distinct scene served; see
+  /// pipeline::precompute_scene). Always 0 under monolithic execution.
+  std::size_t cached_precompute_count() const;
 
   /// Schedules a request, blocking while the queue is full (closed-loop
   /// backpressure). Throws gaurast::Error after shutdown().
@@ -130,6 +165,14 @@ class RenderService {
 
   JobResult execute(RenderRequest request, Clock::time_point enqueue_time);
   std::function<JobResult()> make_task(RenderRequest request);
+  /// Assigns the request's job id (pipelined path; make_task does it for
+  /// the monolithic one).
+  void stamp_request(RenderRequest& request);
+  /// Camera-independent per-scene state, computed on the first pipelined
+  /// job for each distinct scene and shared by every later frame of it.
+  std::shared_ptr<const pipeline::ScenePrecompute> precompute_for(
+      const ScenePtr& scene);
+  std::size_t entry_queue_depth() const;
   void note_submitted(std::size_t queue_depth);
   void retract_submitted(std::size_t queue_depth);
   void record_completion(const JobResult& result);
@@ -137,10 +180,19 @@ class RenderService {
   ServiceConfig config_;
   std::shared_ptr<const engine::RenderBackend> backend_;
   engine::FrameOptions frame_options_;
-  ThreadPool pool_;
+  /// Exactly one executor exists, per config_.mode.
+  std::unique_ptr<ThreadPool> pool_;          ///< monolithic
+  std::unique_ptr<StagePipeline> pipeline_;   ///< pipelined
 
   mutable std::mutex scene_mutex_;
   std::map<std::string, ScenePtr> scene_cache_;
+
+  mutable std::mutex precompute_mutex_;
+  /// Keyed by scene address; the held ScenePtr pins the scene so a key can
+  /// never be reused by a different scene's allocation.
+  std::map<const scene::GaussianScene*,
+           std::pair<ScenePtr, std::shared_ptr<const pipeline::ScenePrecompute>>>
+      precompute_cache_;
 
   mutable std::mutex stats_mutex_;
   std::uint64_t next_job_id_ = 1;

@@ -1,0 +1,264 @@
+#include "runtime/stage_pipeline.hpp"
+
+#include <exception>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace gaurast::runtime {
+
+namespace {
+
+double to_ms(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+             d)
+      .count();
+}
+
+}  // namespace
+
+const char* stage_name(int stage) {
+  switch (stage) {
+    case 0: return "preprocess";
+    case 1: return "sort";
+    case 2: return "raster";
+  }
+  return "?";
+}
+
+int StageWorkers::at(int stage) const {
+  switch (stage) {
+    case 0: return preprocess;
+    case 1: return sort;
+    case 2: return raster;
+  }
+  return 0;
+}
+
+StageWorkers stage_workers_from_string(const std::string& spec) {
+  const auto malformed = [&spec]() -> Error {
+    return Error("malformed stage-worker spec '" + spec +
+                 "' (expected three comma-separated positive counts "
+                 "preprocess,sort,raster — e.g. '1,1,2')");
+  };
+  int counts[kStageCount];
+  std::istringstream is(spec);
+  for (int stage = 0; stage < kStageCount; ++stage) {
+    if (stage > 0) {
+      char comma = 0;
+      if (!(is >> comma) || comma != ',') throw malformed();
+    }
+    if (!(is >> counts[stage]) || counts[stage] < 1) throw malformed();
+  }
+  char trailing = 0;
+  if (is >> trailing) throw malformed();
+  return StageWorkers{counts[0], counts[1], counts[2]};
+}
+
+std::string to_string(const StageWorkers& workers) {
+  return std::to_string(workers.preprocess) + "," +
+         std::to_string(workers.sort) + "," + std::to_string(workers.raster);
+}
+
+/// One frame in flight. Travels between stages as a shared_ptr captured by
+/// the stage tasks; the promise resolves (value or error) exactly once.
+struct StagePipeline::Job {
+  Job(RenderRequest request_in, engine::FrameOptions options_in,
+      Clock::time_point enqueue_time_in)
+      : request(std::move(request_in)),
+        options(std::move(options_in)),
+        enqueue_time(enqueue_time_in) {}
+
+  RenderRequest request;
+  engine::FrameOptions options;  ///< per-job copy carrying the precompute
+  std::promise<JobResult> promise;
+  pipeline::FrameResult frame;   ///< stage 0 fills, 1 extends, 2 consumes
+  Clock::time_point enqueue_time;
+  double stage_ms[kStageCount] = {0.0, 0.0, 0.0};
+};
+
+StagePipeline::StagePipeline(Config config,
+                             const engine::RenderBackend& backend,
+                             engine::FrameOptions options,
+                             std::function<void(const JobResult&)> on_complete)
+    : config_(config),
+      backend_(&backend),
+      options_(std::move(options)),
+      on_complete_(std::move(on_complete)) {
+  GAURAST_CHECK(config_.queue_capacity >= 1);
+  for (int stage = 0; stage < kStageCount; ++stage) {
+    GAURAST_CHECK(config_.workers.at(stage) >= 1);
+    pools_[stage] = std::make_unique<ThreadPool>(ThreadPoolConfig{
+        config_.workers.at(stage), config_.queue_capacity});
+  }
+}
+
+StagePipeline::~StagePipeline() { shutdown(); }
+
+std::future<JobResult> StagePipeline::submit(
+    RenderRequest request,
+    std::shared_ptr<const pipeline::ScenePrecompute> precompute,
+    Clock::time_point enqueue_time) {
+  GAURAST_CHECK(request.scene != nullptr);
+  engine::FrameOptions options = options_;
+  options.scene_precompute = std::move(precompute);
+  auto job = std::make_shared<Job>(std::move(request), std::move(options),
+                                   enqueue_time);
+  std::future<JobResult> future = job->promise.get_future();
+  // Sample the depth first, count only after the pool accepts (submit can
+  // block on a full queue or throw after shutdown) — same order as
+  // try_submit, so the enqueue counters never include refused intake.
+  const std::size_t depth = pools_[0]->queue_depth();
+  pools_[0]->submit([this, job] { run_stage(0, job); });
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++counters_[0].enqueued;
+    counters_[0].queue_depth_sum += static_cast<double>(depth);
+  }
+  return future;
+}
+
+std::optional<std::future<JobResult>> StagePipeline::try_submit(
+    RenderRequest request,
+    std::shared_ptr<const pipeline::ScenePrecompute> precompute,
+    Clock::time_point enqueue_time) {
+  GAURAST_CHECK(request.scene != nullptr);
+  engine::FrameOptions options = options_;
+  options.scene_precompute = std::move(precompute);
+  auto job = std::make_shared<Job>(std::move(request), std::move(options),
+                                   enqueue_time);
+  std::future<JobResult> future = job->promise.get_future();
+  const std::size_t depth = pools_[0]->queue_depth();
+  if (!pools_[0]->try_submit([this, job] { run_stage(0, job); })) {
+    return std::nullopt;
+  }
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++counters_[0].enqueued;
+  counters_[0].queue_depth_sum += static_cast<double>(depth);
+  return future;
+}
+
+void StagePipeline::run_stage(int stage, const std::shared_ptr<Job>& job) {
+  const Clock::time_point start = Clock::now();
+  engine::FrameOutput output;
+  try {
+    switch (stage) {
+      case 0:
+        job->frame = backend_->stage_preprocess(*job->request.scene,
+                                                job->request.camera,
+                                                job->options);
+        break;
+      case 1:
+        backend_->stage_sort(job->frame, job->options);
+        break;
+      case 2:
+        output = backend_->stage_raster(std::move(job->frame), job->options);
+        break;
+    }
+  } catch (...) {
+    // A stage failure resolves the caller's future with the error; the job
+    // leaves the pipeline here and never reaches the later stages.
+    job->promise.set_exception(std::current_exception());
+    return;
+  }
+  job->stage_ms[stage] = to_ms(Clock::now() - start);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++counters_[stage].completed;
+    counters_[stage].service_sum_ms += job->stage_ms[stage];
+  }
+  if (stage + 1 < kStageCount) {
+    forward(stage + 1, job);
+  } else {
+    finish(*job, std::move(output));
+  }
+}
+
+void StagePipeline::forward(int stage, std::shared_ptr<Job> job) {
+  const std::size_t depth = pools_[stage]->queue_depth();
+  try {
+    // Blocking submit: a full downstream queue parks this (upstream) worker
+    // — the pipeline's backpressure. Only shutdown() ordering violations
+    // could make this throw, and shutdown() drains front to back precisely
+    // so it cannot; the catch is defense in depth for the caller's future.
+    pools_[stage]->submit([this, stage, job] { run_stage(stage, job); });
+  } catch (...) {
+    job->promise.set_exception(std::current_exception());
+    return;
+  }
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++counters_[stage].enqueued;
+  counters_[stage].queue_depth_sum += static_cast<double>(depth);
+}
+
+void StagePipeline::finish(Job& job, engine::FrameOutput output) {
+  JobResult result;
+  result.frame = std::move(output.frame);
+  if (output.hw) {
+    result.raster_model_ms = output.hw->raster_model_ms;
+    result.hw_utilization = output.hw->utilization;
+  }
+  result.job_id = job.request.id;
+  const Clock::time_point end = Clock::now();
+  result.latency_ms = to_ms(end - job.enqueue_time);
+  // In a pipeline "service" is time actually executing on some stage
+  // worker; the remainder of the latency is time parked in stage queues.
+  for (double ms : job.stage_ms) result.service_ms += ms;
+  result.queue_wait_ms = result.latency_ms - result.service_ms;
+  if (result.queue_wait_ms < 0.0) result.queue_wait_ms = 0.0;
+  if (on_complete_) on_complete_(result);
+  job.promise.set_value(std::move(result));
+}
+
+void StagePipeline::drain() {
+  // Front to back: a stage is fed only by its predecessor's workers (a
+  // worker blocked forwarding still counts as running), so once stage N
+  // reports idle nothing new can enter stage N+1 from upstream.
+  for (auto& pool : pools_) pool->wait_idle();
+}
+
+void StagePipeline::shutdown() {
+  for (auto& pool : pools_) pool->shutdown();
+}
+
+std::size_t StagePipeline::entry_queue_depth() const {
+  return pools_[0]->queue_depth();
+}
+
+double StagePipeline::busy_ms() const {
+  // From the measured per-stage execution times, NOT ThreadPool::busy_ms():
+  // a pool's task clock keeps running while an upstream worker is parked in
+  // forward() on a full downstream queue, and utilization derived from that
+  // would report a blocked stage as busy — exactly the signal an operator
+  // apportioning stage workers must not see.
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  double total = 0.0;
+  for (const StageCounters& counters : counters_) {
+    total += counters.service_sum_ms;
+  }
+  return total;
+}
+
+std::vector<StageSnapshot> StagePipeline::snapshots() const {
+  std::vector<StageSnapshot> stages(kStageCount);
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  for (int stage = 0; stage < kStageCount; ++stage) {
+    StageSnapshot& s = stages[static_cast<std::size_t>(stage)];
+    const StageCounters& c = counters_[static_cast<std::size_t>(stage)];
+    s.name = stage_name(stage);
+    s.workers = config_.workers.at(stage);
+    s.completed = c.completed;
+    if (c.completed > 0) {
+      s.service_mean_ms = c.service_sum_ms / static_cast<double>(c.completed);
+    }
+    if (c.enqueued > 0) {
+      s.mean_queue_depth =
+          c.queue_depth_sum / static_cast<double>(c.enqueued);
+    }
+    s.busy_ms = c.service_sum_ms;
+  }
+  return stages;
+}
+
+}  // namespace gaurast::runtime

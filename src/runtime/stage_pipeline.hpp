@@ -1,0 +1,170 @@
+// StagePipeline — the stage-pipelined frame scheduler.
+//
+// Decomposes every frame into the pipeline's three explicit stages
+// (preprocess -> sort -> raster, the engine::RenderBackend stage seam) and
+// runs each stage on its own bounded-queue ThreadPool, so stage N of frame
+// A overlaps stage N-1 of frame B — the staged, bounded-queue decomposition
+// high-rate acquisition systems use to turn per-item latency into sustained
+// throughput. The inter-stage queues reuse the ThreadPool's backpressure
+// semantics: a stage worker that finishes an item blocks handing it to a
+// full downstream queue, so a slow raster stage throttles preprocess
+// instead of ballooning memory. Workers are apportioned per stage
+// (StageWorkers), which is the scheduler's tuning knob: give the heaviest
+// stage the most workers.
+//
+// Output contract: a frame through the stage pipeline is bit-identical to
+// the same frame through RenderBackend::render() — the stage entry points
+// are the monolithic path's own factored-out pieces, never a second
+// implementation.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/backend.hpp"
+#include "runtime/job.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace gaurast::runtime {
+
+inline constexpr int kStageCount = 3;
+
+/// "preprocess" | "sort" | "raster" for stage index 0 | 1 | 2.
+const char* stage_name(int stage);
+
+/// Worker apportionment across the three stages. The default gives the
+/// raster stage two workers because Step 3 dominates per-frame cost on
+/// every recorded configuration (see BENCH_pipeline.json).
+struct StageWorkers {
+  int preprocess = 1;
+  int sort = 1;
+  int raster = 2;
+
+  int total() const { return preprocess + sort + raster; }
+  int at(int stage) const;
+};
+
+/// Parses "P,S,R" (three comma-separated positive ints, e.g. "1,1,2");
+/// throws gaurast::Error naming the expected shape otherwise.
+StageWorkers stage_workers_from_string(const std::string& spec);
+std::string to_string(const StageWorkers& workers);
+
+/// Aggregated per-stage statistics snapshot; latencies in milliseconds.
+struct StageSnapshot {
+  std::string name;
+  int workers = 0;
+  std::uint64_t completed = 0;    ///< stage executions finished
+  double service_mean_ms = 0.0;   ///< mean stage execution time
+  double mean_queue_depth = 0.0;  ///< stage queue depth, sampled per enqueue
+  /// Cumulative time executing this stage's work. Time a worker spends
+  /// parked on downstream backpressure is NOT busy time — utilization
+  /// derived from this tells you which stage needs workers, not which
+  /// stage is blocked.
+  double busy_ms = 0.0;
+  /// busy / (workers * observation wall); filled by whoever owns the wall
+  /// clock (RenderService::stats()), 0 until then.
+  double utilization = 0.0;
+};
+
+/// The scheduler itself. Owns one ThreadPool per stage; frames travel
+/// between stages as heap-allocated jobs whose promise resolves when the
+/// raster stage finishes. Thread-safe for any number of submitters.
+class StagePipeline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Config {
+    StageWorkers workers;
+    /// Capacity of each stage's queue (the entry queue and both inter-stage
+    /// queues) — what submitters and upstream stages feel as backpressure.
+    std::size_t queue_capacity = 64;
+  };
+
+  /// `backend` must advertise supports_stage_pipeline and outlive the
+  /// pipeline; `on_complete` is invoked (on a raster worker) with every
+  /// successful JobResult before its future resolves.
+  StagePipeline(Config config, const engine::RenderBackend& backend,
+                engine::FrameOptions options,
+                std::function<void(const JobResult&)> on_complete);
+  /// Drains in-flight frames stage by stage, then joins all workers.
+  ~StagePipeline();
+
+  StagePipeline(const StagePipeline&) = delete;
+  StagePipeline& operator=(const StagePipeline&) = delete;
+
+  /// Schedules a frame, blocking while the preprocess queue is full.
+  /// `precompute` (nullable) is the camera-independent per-scene state
+  /// shared across frames of request.scene; `enqueue_time` anchors the
+  /// job's latency accounting. Throws gaurast::Error after shutdown().
+  std::future<JobResult> submit(
+      RenderRequest request,
+      std::shared_ptr<const pipeline::ScenePrecompute> precompute,
+      Clock::time_point enqueue_time);
+
+  /// Non-blocking submit; std::nullopt when the preprocess queue is full.
+  std::optional<std::future<JobResult>> try_submit(
+      RenderRequest request,
+      std::shared_ptr<const pipeline::ScenePrecompute> precompute,
+      Clock::time_point enqueue_time);
+
+  /// Blocks until every accepted frame has left every stage. Waiting runs
+  /// front to back: once stage N is idle nothing can re-enter it, because
+  /// only stage N-1 workers feed it.
+  void drain();
+
+  /// Stops intake, then shuts the stage pools down front to back so every
+  /// accepted frame still flows through all three stages (a draining
+  /// upstream pool may block on a full downstream queue; the downstream
+  /// pool's intake stays open until its upstream has fully drained, so the
+  /// pipeline always makes progress). Idempotent.
+  void shutdown();
+
+  int worker_count() const { return config_.workers.total(); }
+  std::size_t queue_capacity() const { return config_.queue_capacity; }
+
+  /// Depth of the preprocess (entry) queue — the submit-side backpressure
+  /// signal, mirroring ThreadPool::queue_depth.
+  std::size_t entry_queue_depth() const;
+
+  /// Cumulative busy time across all stage workers.
+  double busy_ms() const;
+
+  /// Per-stage snapshots in stage order (utilization left 0; see
+  /// StageSnapshot).
+  std::vector<StageSnapshot> snapshots() const;
+
+ private:
+  struct Job;
+
+  void run_stage(int stage, const std::shared_ptr<Job>& job);
+  /// Enqueues `job` into `stage`'s pool, recording the queue-depth sample;
+  /// on refused intake the job's promise carries the error.
+  void forward(int stage, std::shared_ptr<Job> job);
+  void finish(Job& job, engine::FrameOutput output);
+
+  Config config_;
+  const engine::RenderBackend* backend_;
+  engine::FrameOptions options_;
+  std::function<void(const JobResult&)> on_complete_;
+  std::array<std::unique_ptr<ThreadPool>, kStageCount> pools_;
+
+  mutable std::mutex stats_mutex_;
+  struct StageCounters {
+    std::uint64_t enqueued = 0;
+    std::uint64_t completed = 0;
+    double queue_depth_sum = 0.0;
+    double service_sum_ms = 0.0;
+  };
+  std::array<StageCounters, kStageCount> counters_;
+};
+
+}  // namespace gaurast::runtime

@@ -1,0 +1,407 @@
+// Tests for the stage-pipelined frame scheduler (runtime/stage_pipeline +
+// the RenderService execution-mode switch): stage-worker spec parsing, the
+// hard bit-identity contract (pipelined frames must match monolithic
+// frames exactly, across backends, kernels, and worker apportionments),
+// per-stage statistics, camera-independent per-scene precompute reuse, and
+// the drain semantics under shutdown — including shutdown while every
+// stage queue is full, the most deadlock-prone path in the runtime.
+
+#include <algorithm>
+#include <atomic>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "engine/backends.hpp"
+#include "pipeline/preprocess.hpp"
+#include "pipeline/renderer.hpp"
+#include "runtime/service.hpp"
+#include "runtime/stage_pipeline.hpp"
+#include "scene/generator.hpp"
+
+namespace {
+
+using namespace gaurast;
+using namespace gaurast::runtime;
+
+scene::GaussianScene small_scene(std::uint64_t count = 600,
+                                 std::uint64_t seed = 7) {
+  scene::GeneratorParams params;
+  params.gaussian_count = count;
+  params.seed = seed;
+  return scene::generate_scene(params);
+}
+
+std::vector<scene::Camera> test_cameras(int count, int width = 64,
+                                        int height = 48) {
+  return scene::orbit_path(width, height, 0.9f, {0.0f, 1.2f, 0.0f}, 8.8f,
+                           2.4f, count);
+}
+
+/// Renders `cameras` through a fresh service and returns the images in
+/// submission order.
+std::vector<Image> serve_images(const ServiceConfig& config,
+                                const std::vector<scene::Camera>& cameras) {
+  RenderService service(config);
+  const ScenePtr scene = service.scene("s", [] { return small_scene(); });
+  std::vector<std::future<JobResult>> futures;
+  futures.reserve(cameras.size());
+  for (const scene::Camera& camera : cameras) {
+    futures.push_back(service.submit({scene, camera}));
+  }
+  std::vector<Image> images;
+  images.reserve(futures.size());
+  for (std::future<JobResult>& f : futures) {
+    images.push_back(f.get().frame.image);
+  }
+  return images;
+}
+
+/// Test double over the software backend whose chosen stage blocks on a
+/// caller-controlled gate — the lever for filling stage queues
+/// deterministically.
+class GatedStageBackend : public engine::RenderBackend {
+ public:
+  GatedStageBackend(std::shared_future<void> gate, int gated_stage)
+      : gate_(std::move(gate)), gated_stage_(gated_stage) {}
+
+  std::string name() const override { return "gated"; }
+  std::string describe() const override { return "gated test double"; }
+  engine::Capabilities capabilities() const override {
+    return sw_.capabilities();
+  }
+  engine::FrameOutput render(const scene::GaussianScene& scene,
+                             const scene::Camera& camera,
+                             const engine::FrameOptions& options)
+      const override {
+    return sw_.render(scene, camera, options);
+  }
+  pipeline::FrameResult stage_preprocess(
+      const scene::GaussianScene& scene, const scene::Camera& camera,
+      const engine::FrameOptions& options) const override {
+    if (gated_stage_ == 0) gate_.wait();
+    return sw_.stage_preprocess(scene, camera, options);
+  }
+  void stage_sort(pipeline::FrameResult& frame,
+                  const engine::FrameOptions& options) const override {
+    if (gated_stage_ == 1) gate_.wait();
+    sw_.stage_sort(frame, options);
+  }
+  engine::FrameOutput stage_raster(
+      pipeline::FrameResult frame,
+      const engine::FrameOptions& options) const override {
+    if (gated_stage_ == 2) gate_.wait();
+    return sw_.stage_raster(std::move(frame), options);
+  }
+
+ private:
+  engine::SoftwareBackend sw_;
+  std::shared_future<void> gate_;
+  int gated_stage_;
+};
+
+TEST(StageWorkers, ParsesAndPrints) {
+  const StageWorkers w = stage_workers_from_string("1,2,3");
+  EXPECT_EQ(w.preprocess, 1);
+  EXPECT_EQ(w.sort, 2);
+  EXPECT_EQ(w.raster, 3);
+  EXPECT_EQ(w.total(), 6);
+  EXPECT_EQ(to_string(w), "1,2,3");
+  EXPECT_EQ(to_string(StageWorkers{}), "1,1,2");
+}
+
+TEST(StageWorkers, RejectsMalformedSpecs) {
+  for (const char* bad : {"", "1", "1,1", "1,1,1,1", "0,1,1", "1,-2,1",
+                          "a,b,c", "1,1,2x"}) {
+    EXPECT_THROW(stage_workers_from_string(bad), Error) << bad;
+  }
+}
+
+TEST(ExecutionMode, StringsRoundTrip) {
+  EXPECT_EQ(execution_mode_from_string("monolithic"),
+            ExecutionMode::kMonolithic);
+  EXPECT_EQ(execution_mode_from_string("pipelined"),
+            ExecutionMode::kPipelined);
+  EXPECT_STREQ(to_string(ExecutionMode::kPipelined), "pipelined");
+  EXPECT_THROW(execution_mode_from_string("staged"), Error);
+}
+
+TEST(StagePipelineService, BitIdenticalToMonolithicAcrossBackendsAndKernels) {
+  // The tentpole invariant: for every backend with stage support and both
+  // software kernels, pipelined frames match monolithic frames bit for
+  // bit, for any worker apportionment (1-4 workers per stage).
+  const std::vector<scene::Camera> cameras = test_cameras(4);
+  struct Case {
+    const char* backend;
+    pipeline::RasterKernel kernel;
+  };
+  const Case cases[] = {
+      {"sw", pipeline::RasterKernel::kReference},
+      {"sw", pipeline::RasterKernel::kFast},
+      {"gaurast", pipeline::RasterKernel::kReference},
+      {"gscore", pipeline::RasterKernel::kReference},
+  };
+  const StageWorkers splits[] = {{1, 1, 1}, {2, 1, 2}, {1, 4, 2}};
+  for (const Case& c : cases) {
+    ServiceConfig monolithic;
+    monolithic.workers = 2;
+    monolithic.backend = c.backend;
+    monolithic.renderer.kernel = c.kernel;
+    const std::vector<Image> reference = serve_images(monolithic, cameras);
+    for (const StageWorkers& split : splits) {
+      SCOPED_TRACE(std::string(c.backend) + "/" +
+                   pipeline::to_string(c.kernel) + "/" + to_string(split));
+      ServiceConfig pipelined = monolithic;
+      pipelined.mode = ExecutionMode::kPipelined;
+      pipelined.stage_workers = split;
+      const std::vector<Image> staged = serve_images(pipelined, cameras);
+      ASSERT_EQ(reference.size(), staged.size());
+      for (std::size_t i = 0; i < reference.size(); ++i) {
+        EXPECT_EQ(reference[i].max_abs_diff(staged[i]), 0.0f)
+            << "frame " << i << " differs from monolithic";
+        EXPECT_GT(reference[i].mean_luminance(), 0.0);
+      }
+    }
+  }
+}
+
+TEST(StagePipelineService, HardwareModelJobsCarryModeledMetrics) {
+  ServiceConfig config;
+  config.mode = ExecutionMode::kPipelined;
+  config.stage_workers = {1, 1, 1};
+  config.backend = "gaurast";
+  RenderService service(config);
+  const ScenePtr scene = service.scene("s", [] { return small_scene(300); });
+  const JobResult result = service.submit({scene, test_cameras(1)[0]}).get();
+  EXPECT_GT(result.frame.image.mean_luminance(), 0.0);
+  EXPECT_GT(result.raster_model_ms, 0.0)
+      << "hardware-model raster stage must report modeled Step-3 time";
+}
+
+TEST(StagePipelineService, StatsExposePerStageBreakdown) {
+  ServiceConfig config;
+  config.mode = ExecutionMode::kPipelined;
+  config.stage_workers = {1, 2, 1};
+  config.backend = "sw";
+  RenderService service(config);
+  EXPECT_EQ(service.worker_count(), 4);
+  const ScenePtr scene = service.scene("s", [] { return small_scene(400); });
+  std::vector<std::future<JobResult>> futures;
+  for (const scene::Camera& camera : test_cameras(5)) {
+    futures.push_back(service.submit({scene, camera}));
+  }
+  for (auto& f : futures) {
+    const JobResult r = f.get();
+    EXPECT_GE(r.latency_ms, r.service_ms);
+    EXPECT_GE(r.queue_wait_ms, 0.0);
+  }
+  service.drain();
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, 5u);
+  ASSERT_EQ(stats.stages.size(), 3u);
+  EXPECT_EQ(stats.stages[0].name, "preprocess");
+  EXPECT_EQ(stats.stages[1].name, "sort");
+  EXPECT_EQ(stats.stages[2].name, "raster");
+  EXPECT_EQ(stats.stages[1].workers, 2);
+  for (const StageSnapshot& stage : stats.stages) {
+    EXPECT_EQ(stage.completed, 5u) << stage.name;
+    EXPECT_GE(stage.service_mean_ms, 0.0);
+    EXPECT_GE(stage.utilization, 0.0);
+    EXPECT_LE(stage.utilization, 1.0);
+  }
+  const std::string json = service_stats_json(stats);
+  EXPECT_NE(json.find("\"stages\":[{\"name\":\"preprocess\""),
+            std::string::npos)
+      << json;
+}
+
+TEST(StagePipelineService, MonolithicStatsHaveNoStages) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.backend = "sw";
+  RenderService service(config);
+  const ScenePtr scene = service.scene("s", [] { return small_scene(200); });
+  service.submit({scene, test_cameras(1)[0]}).get();
+  EXPECT_TRUE(service.stats().stages.empty());
+  EXPECT_EQ(service.cached_precompute_count(), 0u);
+  const std::string json = service_stats_json(service.stats());
+  EXPECT_NE(json.find("\"stages\":[]"), std::string::npos) << json;
+}
+
+TEST(StagePipelineService, PrecomputeBuiltOncePerSceneAndReused) {
+  ServiceConfig config;
+  config.mode = ExecutionMode::kPipelined;
+  config.stage_workers = {1, 1, 1};
+  config.backend = "sw";
+  RenderService service(config);
+  const ScenePtr a = service.scene("a", [] { return small_scene(300, 1); });
+  const ScenePtr b = service.scene("b", [] { return small_scene(300, 2); });
+  std::vector<std::future<JobResult>> futures;
+  for (const scene::Camera& camera : test_cameras(3)) {
+    futures.push_back(service.submit({a, camera}));
+    futures.push_back(service.submit({b, camera}));
+  }
+  for (auto& f : futures) f.get();
+  // One precompute per distinct scene, however many frames each served.
+  EXPECT_EQ(service.cached_precompute_count(), 2u);
+}
+
+TEST(ScenePrecompute, RenderingWithPrecomputeIsBitIdentical) {
+  const scene::GaussianScene scene = small_scene(500, 3);
+  const scene::Camera camera = test_cameras(1)[0];
+  for (const pipeline::RasterKernel kernel :
+       {pipeline::RasterKernel::kReference, pipeline::RasterKernel::kFast}) {
+    pipeline::RendererConfig config;
+    config.kernel = kernel;
+    const pipeline::GaussianRenderer renderer(config);
+    const pipeline::ScenePrecompute pre =
+        pipeline::precompute_scene(scene, config.blend.alpha_min);
+    EXPECT_EQ(pre.cov3d.size(), scene.size());
+    EXPECT_EQ(pre.raster_cutoff.size(), scene.size());
+    const pipeline::FrameResult plain = renderer.render(scene, camera);
+    const pipeline::FrameResult reused = renderer.render(scene, camera, &pre);
+    EXPECT_EQ(plain.image.max_abs_diff(reused.image), 0.0f)
+        << pipeline::to_string(kernel);
+    EXPECT_EQ(plain.raster_stats.pairs_evaluated,
+              reused.raster_stats.pairs_evaluated);
+  }
+}
+
+TEST(StagePipelineService, RejectsBackendWithoutStageSupport) {
+  // A backend that never overrides the stage entry points (capabilities
+  // without supports_stage_pipeline) cannot serve pipelined.
+  class MonolithicOnlyBackend : public engine::RenderBackend {
+   public:
+    std::string name() const override { return "mono-only"; }
+    std::string describe() const override { return "test double"; }
+    engine::Capabilities capabilities() const override { return {}; }
+    engine::FrameOutput render(const scene::GaussianScene& scene,
+                               const scene::Camera& camera,
+                               const engine::FrameOptions& options)
+        const override {
+      return engine::SoftwareBackend{}.render(scene, camera, options);
+    }
+  };
+  const auto backend = std::make_shared<const MonolithicOnlyBackend>();
+
+  // The default stage entry points themselves refuse with a diagnostic.
+  pipeline::FrameResult frame;
+  EXPECT_THROW(backend->stage_sort(frame, engine::FrameOptions{}), Error);
+
+  ServiceConfig config;
+  config.mode = ExecutionMode::kPipelined;
+  config.backend_instance = backend;
+  try {
+    RenderService service(config);
+    FAIL() << "pipelined service constructed over a stage-less backend";
+  } catch (const Error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("mono-only"), std::string::npos) << message;
+    EXPECT_NE(message.find("stage-pipelined"), std::string::npos) << message;
+  }
+}
+
+TEST(StagePipelineService, TrySubmitShedsWhenEntryQueueFull) {
+  std::promise<void> gate;
+  ServiceConfig config;
+  config.mode = ExecutionMode::kPipelined;
+  config.stage_workers = {1, 1, 1};
+  config.queue_capacity = 1;
+  config.backend_instance = std::make_shared<const GatedStageBackend>(
+      gate.get_future().share(), /*gated_stage=*/0);
+  RenderService service(config);
+  const ScenePtr scene = service.scene("s", [] { return small_scene(100); });
+  const scene::Camera camera = test_cameras(1)[0];
+
+  std::vector<std::future<JobResult>> futures;
+  // First request occupies the gated preprocess worker; with entry capacity
+  // 1, at most one more is queued before try_submit must shed.
+  futures.push_back(service.submit({scene, camera}));
+  bool saw_rejection = false;
+  for (int i = 0; i < 3 && !saw_rejection; ++i) {
+    auto attempt = service.try_submit({scene, camera});
+    if (!attempt) {
+      saw_rejection = true;
+    } else {
+      futures.push_back(std::move(*attempt));
+    }
+  }
+  EXPECT_TRUE(saw_rejection) << "bounded entry queue never rejected";
+  gate.set_value();
+  for (auto& f : futures) f.get();
+  EXPECT_GE(service.stats().rejected, 1u);
+  EXPECT_EQ(service.stats().completed, futures.size());
+}
+
+TEST(StagePipelineService, ShutdownWhileStagesFullDrainsEveryAcceptedJob) {
+  // Fill every queue of a minimal pipeline behind a closed raster gate,
+  // call shutdown() while all of it is in flight, and require that
+  // shutdown completes every accepted job (values, not broken promises)
+  // before returning — the front-to-back drain contract.
+  std::promise<void> gate;
+  ServiceConfig config;
+  config.mode = ExecutionMode::kPipelined;
+  config.stage_workers = {1, 1, 1};
+  config.queue_capacity = 1;
+  config.backend_instance = std::make_shared<const GatedStageBackend>(
+      gate.get_future().share(), /*gated_stage=*/2);
+  RenderService service(config);
+  const ScenePtr scene = service.scene("s", [] { return small_scene(150); });
+  const scene::Camera camera = test_cameras(1)[0];
+
+  constexpr int kJobs = 6;  // > workers + queue slots: every stage fills
+  std::vector<std::future<JobResult>> futures;
+  std::thread producer([&] {
+    for (int i = 0; i < kJobs; ++i) {
+      futures.push_back(service.submit({scene, camera}));
+    }
+  });
+  producer.join();  // all six accepted (submit blocks until accepted)
+
+  std::atomic<bool> shutdown_returned{false};
+  std::thread closer([&] {
+    service.shutdown();
+    shutdown_returned = true;
+  });
+  // Give shutdown a moment to park against the gated, completely full
+  // pipeline: it must wait for the drain, not give up.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(shutdown_returned.load())
+      << "shutdown returned while accepted jobs were still gated";
+
+  gate.set_value();
+  closer.join();
+  EXPECT_TRUE(shutdown_returned.load());
+  for (auto& f : futures) {
+    EXPECT_NO_THROW(f.get()) << "accepted job dropped during shutdown";
+  }
+  EXPECT_EQ(service.stats().completed, static_cast<std::uint64_t>(kJobs));
+  EXPECT_THROW(service.submit({scene, camera}), Error)
+      << "intake stayed open after shutdown";
+}
+
+TEST(StagePipelineService, DrainWaitsForAllStages) {
+  ServiceConfig config;
+  config.mode = ExecutionMode::kPipelined;
+  config.stage_workers = {1, 1, 2};
+  config.backend = "sw";
+  RenderService service(config);
+  const ScenePtr scene = service.scene("s", [] { return small_scene(400); });
+  for (const scene::Camera& camera : test_cameras(6)) {
+    service.submit({scene, camera});
+  }
+  service.drain();
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, 6u);
+  ASSERT_EQ(stats.stages.size(), 3u);
+  for (const StageSnapshot& stage : stats.stages) {
+    EXPECT_EQ(stage.completed, 6u) << stage.name;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# check_format.sh — clang-format conformance check for changed C++ sources.
+#
+# Usage: tools/check_format.sh [BASE_REF]
+#
+# Checks every *.cpp/*.hpp added or modified between BASE_REF (default
+# origin/main) and HEAD against the repo's .clang-format, without modifying
+# anything (clang-format --dry-run --Werror). Only changed files are
+# checked, so formatting adoption rides along with regular changes instead
+# of one repo-wide churn commit. If BASE_REF cannot be resolved (shallow
+# clone, force push), the check passes with a notice rather than guessing.
+#
+# Environment: CLANG_FORMAT overrides the clang-format binary.
+set -euo pipefail
+
+BASE=${1:-origin/main}
+CLANG_FORMAT=${CLANG_FORMAT:-clang-format}
+
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "check_format.sh: $CLANG_FORMAT not found" >&2
+  exit 1
+fi
+
+if ! git rev-parse --quiet --verify "$BASE^{commit}" >/dev/null 2>&1; then
+  echo "check_format.sh: base ref '$BASE' not resolvable; skipping" \
+       "(nothing to diff against)"
+  exit 0
+fi
+
+MERGE_BASE=$(git merge-base "$BASE" HEAD 2>/dev/null || true)
+if [[ -z "$MERGE_BASE" ]]; then
+  echo "check_format.sh: no merge base with '$BASE'; skipping"
+  exit 0
+fi
+
+mapfile -t FILES < <(git diff --name-only --diff-filter=ACMR "$MERGE_BASE" \
+                       HEAD -- '*.cpp' '*.hpp')
+if [[ ${#FILES[@]} -eq 0 ]]; then
+  echo "check_format.sh: no C++ sources changed since $MERGE_BASE"
+  exit 0
+fi
+
+echo "check_format.sh: checking ${#FILES[@]} changed file(s) with" \
+     "$("$CLANG_FORMAT" --version)"
+"$CLANG_FORMAT" --dry-run --Werror "${FILES[@]}"
+echo "check_format.sh: OK"
