@@ -1,0 +1,81 @@
+// Annotated mutex primitives — the only locking vocabulary of the project.
+//
+// gaurast::common::Mutex wraps std::mutex as a Clang Thread Safety Analysis
+// capability, MutexLock is the RAII guard the analysis understands, and
+// CondVar is a condition variable that waits on a MutexLock. Declare shared
+// state with GAURAST_GUARDED_BY(mutex_) next to the Mutex member and every
+// clang build proves, at compile time, that the state is only touched with
+// the lock held (see common/thread_annotations.hpp). On GCC the annotations
+// vanish and these are zero-cost forwarding wrappers.
+//
+// Condition-wait idiom: write the predicate as an explicit loop so the
+// analysis sees the guarded reads happen with the lock held —
+//
+//   common::MutexLock lock(mutex_);
+//   while (!ready_) cv_.wait(lock);   // ready_ is GAURAST_GUARDED_BY(mutex_)
+//
+// (a predicate lambda, as in std::condition_variable::wait(lock, pred),
+// would be analyzed as a separate function that appears to read ready_
+// without the lock).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace gaurast::common {
+
+class GAURAST_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() GAURAST_ACQUIRE() { mutex_.lock(); }
+  void unlock() GAURAST_RELEASE() { mutex_.unlock(); }
+  bool try_lock() GAURAST_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mutex_;
+};
+
+/// RAII lock for a Mutex; the analysis tracks the capability for the
+/// lifetime of the scope. CondVar::wait releases and reacquires it through
+/// the underlying std::unique_lock, which is invisible to (and safe under)
+/// the analysis: the capability is held both before and after the wait.
+class GAURAST_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) GAURAST_ACQUIRE(mutex)
+      : lock_(mutex.mutex_) {}
+  ~MutexLock() GAURAST_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable over MutexLock. Purely a rendezvous point — it guards
+/// nothing itself, so it carries no capability annotations.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `lock` and sleeps; the lock is reacquired before
+  /// return. Spurious wakeups happen: always wait in a predicate loop.
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace gaurast::common

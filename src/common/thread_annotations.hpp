@@ -1,0 +1,81 @@
+// Clang Thread Safety Analysis attribute macros.
+//
+// These wrap Clang's capability attributes
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) so lock
+// discipline is proven at compile time on every clang build: declare which
+// mutex guards which state (GAURAST_GUARDED_BY), which functions must be
+// called with a lock held (GAURAST_REQUIRES) or must not be
+// (GAURAST_EXCLUDES), and `-Wthread-safety -Werror` (enabled for all clang
+// builds in the top-level CMakeLists) rejects any access that violates the
+// declared discipline. On compilers without the analysis (GCC, MSVC) every
+// macro expands to nothing, so the annotations are pure documentation there
+// and the build is unchanged.
+//
+// Use the annotated gaurast::common::Mutex / MutexLock / CondVar wrappers
+// (common/mutex.hpp) rather than raw std primitives — the analysis only
+// sees capabilities it has been told about, and tools/lint_invariants.py
+// enforces that nothing outside src/common and src/runtime touches the raw
+// std types.
+#pragma once
+
+#if defined(__clang__)
+#define GAURAST_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define GAURAST_THREAD_ANNOTATION_ATTRIBUTE(x)
+#endif
+
+/// Marks a class as a capability (lockable). The string argument names the
+/// capability kind in diagnostics, e.g. GAURAST_CAPABILITY("mutex").
+#define GAURAST_CAPABILITY(x) \
+  GAURAST_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases a
+/// capability (e.g. MutexLock).
+#define GAURAST_SCOPED_CAPABILITY \
+  GAURAST_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Data member may only be read or written while holding `x`.
+#define GAURAST_GUARDED_BY(x) \
+  GAURAST_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointer member: the pointed-to data (not the pointer itself) is guarded.
+#define GAURAST_PT_GUARDED_BY(x) \
+  GAURAST_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Function requires the listed capabilities to be held by the caller.
+#define GAURAST_REQUIRES(...) \
+  GAURAST_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (held on return). With no
+/// argument, the annotated member function acquires `this`.
+#define GAURAST_ACQUIRE(...) \
+  GAURAST_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (must be held on entry).
+#define GAURAST_RELEASE(...) \
+  GAURAST_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// Function attempts to acquire; the first argument is the return value
+/// that signals success, e.g. GAURAST_TRY_ACQUIRE(true).
+#define GAURAST_TRY_ACQUIRE(...) \
+  GAURAST_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (the function acquires them
+/// itself; holding them on entry would self-deadlock a non-recursive mutex).
+#define GAURAST_EXCLUDES(...) \
+  GAURAST_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Asserts at runtime (by contract, not by code) that the capability is
+/// held; informs the analysis without acquiring anything.
+#define GAURAST_ASSERT_CAPABILITY(x) \
+  GAURAST_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+/// Function returns a reference to the named capability.
+#define GAURAST_RETURN_CAPABILITY(x) \
+  GAURAST_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Use only where the
+/// locking pattern is correct but inexpressible; every use needs a comment
+/// saying why.
+#define GAURAST_NO_THREAD_SAFETY_ANALYSIS \
+  GAURAST_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

@@ -20,7 +20,7 @@ std::string join_names(const std::vector<std::string>& names,
 void BackendRegistry::add(const std::string& name, BackendFactory factory) {
   if (name.empty()) throw Error("backend name must be non-empty");
   if (!factory) throw Error("backend '" + name + "' needs a factory");
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   if (!factories_.emplace(name, std::move(factory)).second) {
     throw Error("backend '" + name +
                 "' is already registered; names are the public API and "
@@ -29,32 +29,33 @@ void BackendRegistry::add(const std::string& name, BackendFactory factory) {
 }
 
 bool BackendRegistry::contains(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return factories_.count(name) > 0;
 }
 
 std::size_t BackendRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return factories_.size();
 }
 
-std::vector<std::string> BackendRegistry::names() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+std::vector<std::string> BackendRegistry::names_locked() const {
   std::vector<std::string> out;
   out.reserve(factories_.size());
   for (const auto& [name, factory] : factories_) out.push_back(name);
   return out;  // std::map iterates in lexicographic order
 }
 
+std::vector<std::string> BackendRegistry::names() const {
+  common::MutexLock lock(mutex_);
+  return names_locked();
+}
+
 BackendFactory BackendRegistry::factory_for(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   const auto it = factories_.find(name);
   if (it == factories_.end()) {
-    std::vector<std::string> known;
-    known.reserve(factories_.size());
-    for (const auto& [key, factory] : factories_) known.push_back(key);
     throw Error("unknown backend '" + name +
-                "' (registered backends: " + join_names(known) + ")");
+                "' (registered backends: " + join_names(names_locked()) + ")");
   }
   return it->second;
 }

@@ -19,10 +19,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "engine/backend.hpp"
 
 namespace gaurast::engine {
@@ -76,10 +77,14 @@ class BackendRegistry {
   std::vector<BackendInfo> list() const;
 
  private:
-  BackendFactory factory_for(const std::string& name) const;
+  BackendFactory factory_for(const std::string& name) const
+      GAURAST_EXCLUDES(mutex_);
+  /// Registered names in lexicographic order; shared by names() and the
+  /// unknown-name diagnostic, which already holds the lock.
+  std::vector<std::string> names_locked() const GAURAST_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, BackendFactory> factories_;
+  mutable common::Mutex mutex_;
+  std::map<std::string, BackendFactory> factories_ GAURAST_GUARDED_BY(mutex_);
 };
 
 /// Seeds `registry` with the five built-in operating points listed above.

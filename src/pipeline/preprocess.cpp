@@ -30,9 +30,11 @@ ScenePrecompute precompute_scene(const scene::GaussianScene& scene,
 bool project_gaussian(const scene::GaussianScene& scene, std::size_t index,
                       const scene::Camera& camera, Splat2D& out,
                       const ScenePrecompute* precompute) {
-  GAURAST_CHECK(index < scene.size());
-  GAURAST_CHECK(precompute == nullptr ||
-                precompute->cov3d.size() == scene.size());
+  // Per-Gaussian contract checks: debug-only, like every other per-element
+  // invariant on the hot path (callers loop this over the whole scene).
+  GAURAST_DCHECK(index < scene.size());
+  GAURAST_DCHECK(precompute == nullptr ||
+                 precompute->cov3d.size() == scene.size());
   const Vec3f world = scene.positions()[index];
   const Vec3f view = camera.to_view(world);
   if (view.z <= kNearPlane) return false;

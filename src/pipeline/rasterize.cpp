@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <thread>
 
 #include "common/error.hpp"
+#include "common/parallel_for.hpp"
 #include "gsmath/conic.hpp"
 #include "gsmath/fastmath.hpp"
 
@@ -173,16 +173,12 @@ void rasterize_into(Image& image, const std::vector<Splat2D>& splats,
       std::min<std::uint32_t>(static_cast<std::uint32_t>(num_threads), tiles));
   std::vector<RasterStats> per_thread(stats ? workers : 0);
   for (auto& st : per_thread) st.pairs_per_tile.assign(tiles, 0);
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  for (std::uint32_t w = 0; w < workers; ++w) {
-    const std::uint32_t begin = tiles * w / workers;
-    const std::uint32_t end = tiles * (w + 1) / workers;
-    threads.emplace_back([&, w, begin, end] {
-      span(begin, end, stats ? &per_thread[w] : nullptr);
-    });
-  }
-  for (auto& t : threads) t.join();
+  common::parallel_for_workers(workers, [&](std::size_t w) {
+    const auto worker = static_cast<std::uint32_t>(w);
+    const std::uint32_t begin = tiles * worker / workers;
+    const std::uint32_t end = tiles * (worker + 1) / workers;
+    span(begin, end, stats ? &per_thread[worker] : nullptr);
+  });
 
   if (stats) {
     RasterStats merged;

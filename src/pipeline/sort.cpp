@@ -4,9 +4,9 @@
 #include <array>
 #include <cmath>
 #include <cstring>
-#include <thread>
 
 #include "common/error.hpp"
+#include "common/parallel_for.hpp"
 
 namespace gaurast::pipeline {
 
@@ -149,41 +149,33 @@ void parallel_bin_and_sort(const std::vector<Splat2D>& splats,
   std::vector<std::vector<TileInstance>> local(workers);
   std::vector<std::vector<std::uint32_t>> local_counts(
       workers, std::vector<std::uint32_t>(tiles, 0));
-  {
-    std::vector<std::thread> threads;
-    threads.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-      threads.emplace_back([&, w] {
-        const std::size_t begin = n_splats * w / workers;
-        const std::size_t end = n_splats * (w + 1) / workers;
-        std::vector<TileInstance>& out = local[w];
-        std::vector<std::uint32_t>& counts = local_counts[w];
-        out.reserve((end - begin) * 2);
-        const int tiles_x = grid.tiles_x();
-        for (std::size_t s = begin; s < end; ++s) {
-          int tx0, tx1, ty0, ty1;
-          if (!splat_tile_span(splats[s], grid, mode, alpha_min, tx0, tx1,
-                               ty0, ty1)) {
-            continue;
-          }
-          const std::uint32_t dkey = depth_key_bits(splats[s].depth);
-          for (int ty = ty0; ty <= ty1; ++ty) {
-            for (int tx = tx0; tx <= tx1; ++tx) {
-              const std::uint64_t tile =
-                  static_cast<std::uint64_t>(ty) *
-                      static_cast<std::uint64_t>(tiles_x) +
-                  static_cast<std::uint64_t>(tx);
-              out.push_back(
-                  TileInstance{(tile << 32) | dkey,
-                               static_cast<std::uint32_t>(s)});
-              ++counts[static_cast<std::uint32_t>(tile)];
-            }
-          }
+  common::parallel_for_workers(workers, [&](std::size_t w) {
+    const std::size_t begin = n_splats * w / workers;
+    const std::size_t end = n_splats * (w + 1) / workers;
+    std::vector<TileInstance>& out = local[w];
+    std::vector<std::uint32_t>& counts = local_counts[w];
+    out.reserve((end - begin) * 2);
+    const int tiles_x = grid.tiles_x();
+    for (std::size_t s = begin; s < end; ++s) {
+      int tx0, tx1, ty0, ty1;
+      if (!splat_tile_span(splats[s], grid, mode, alpha_min, tx0, tx1,
+                           ty0, ty1)) {
+        continue;
+      }
+      const std::uint32_t dkey = depth_key_bits(splats[s].depth);
+      for (int ty = ty0; ty <= ty1; ++ty) {
+        for (int tx = tx0; tx <= tx1; ++tx) {
+          const std::uint64_t tile =
+              static_cast<std::uint64_t>(ty) *
+                  static_cast<std::uint64_t>(tiles_x) +
+              static_cast<std::uint64_t>(tx);
+          out.push_back(TileInstance{(tile << 32) | dkey,
+                                     static_cast<std::uint32_t>(s)});
+          ++counts[static_cast<std::uint32_t>(tile)];
         }
-      });
+      }
     }
-    for (auto& t : threads) t.join();
-  }
+  });
 
   // Merge — exclusive prefix over (tile, thread) gives every thread an
   // exact write cursor per tile; the per-tile totals are the final ranges.
@@ -212,35 +204,20 @@ void parallel_bin_and_sort(const std::vector<Splat2D>& splats,
 
   // Pass 2 — scatter into tile buckets (stable: thread order == splat
   // order), then pass 3 — per-tile depth sort, tiles fanned across threads.
-  {
-    std::vector<std::thread> threads;
-    threads.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-      threads.emplace_back([&, w] {
-        std::vector<std::uint32_t>& cur = cursor[w];
-        for (const TileInstance& ti : local[w]) {
-          work.instances[cur[ti.tile()]++] = ti;
-        }
-      });
+  common::parallel_for_workers(workers, [&](std::size_t w) {
+    std::vector<std::uint32_t>& cur = cursor[w];
+    for (const TileInstance& ti : local[w]) {
+      work.instances[cur[ti.tile()]++] = ti;
     }
-    for (auto& t : threads) t.join();
-  }
-  {
-    std::vector<std::thread> threads;
-    threads.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-      threads.emplace_back([&, w] {
-        std::vector<TileInstance> scratch;
-        for (std::uint32_t t = static_cast<std::uint32_t>(w); t < tiles;
-             t += static_cast<std::uint32_t>(workers)) {
-          sort_tile_bucket_by_depth(work.instances.data() + tile_begin[t],
-                                    tile_begin[t + 1] - tile_begin[t],
-                                    scratch);
-        }
-      });
+  });
+  common::parallel_for_workers(workers, [&](std::size_t w) {
+    std::vector<TileInstance> scratch;
+    for (std::uint32_t t = static_cast<std::uint32_t>(w); t < tiles;
+         t += static_cast<std::uint32_t>(workers)) {
+      sort_tile_bucket_by_depth(work.instances.data() + tile_begin[t],
+                                tile_begin[t + 1] - tile_begin[t], scratch);
     }
-    for (auto& t : threads) t.join();
-  }
+  });
 }
 
 }  // namespace

@@ -95,28 +95,28 @@ int RenderService::worker_count() const {
 ScenePtr RenderService::scene(
     const std::string& key,
     const std::function<scene::GaussianScene()>& loader) {
-  std::lock_guard<std::mutex> lock(scene_mutex_);
+  common::MutexLock lock(scene_mutex_);
   const auto it = scene_cache_.find(key);
   if (it != scene_cache_.end()) {
-    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    common::MutexLock stats_lock(stats_mutex_);
     ++cache_hits_;
     return it->second;
   }
   ScenePtr loaded = std::make_shared<const scene::GaussianScene>(loader());
   scene_cache_.emplace(key, loaded);
-  std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+  common::MutexLock stats_lock(stats_mutex_);
   ++cache_misses_;
   return loaded;
 }
 
 std::size_t RenderService::cached_scene_count() const {
-  std::lock_guard<std::mutex> lock(scene_mutex_);
+  common::MutexLock lock(scene_mutex_);
   return scene_cache_.size();
 }
 
 std::shared_ptr<const pipeline::ScenePrecompute> RenderService::precompute_for(
     const ScenePtr& scene) {
-  std::lock_guard<std::mutex> lock(precompute_mutex_);
+  common::MutexLock lock(precompute_mutex_);
   const auto it = precompute_cache_.find(scene.get());
   if (it != precompute_cache_.end()) return it->second.second;
   // Computed under the lock, like scene loads: first-touch work is rare and
@@ -129,7 +129,7 @@ std::shared_ptr<const pipeline::ScenePrecompute> RenderService::precompute_for(
 }
 
 std::size_t RenderService::cached_precompute_count() const {
-  std::lock_guard<std::mutex> lock(precompute_mutex_);
+  common::MutexLock lock(precompute_mutex_);
   return precompute_cache_.size();
 }
 
@@ -148,7 +148,7 @@ JobResult RenderService::execute(RenderRequest request,
 
 void RenderService::stamp_request(RenderRequest& request) {
   GAURAST_CHECK(request.scene != nullptr);
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  common::MutexLock lock(stats_mutex_);
   request.id = next_job_id_++;
 }
 
@@ -161,20 +161,27 @@ std::function<JobResult()> RenderService::make_task(RenderRequest request) {
 }
 
 void RenderService::note_submitted(std::size_t queue_depth) {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  common::MutexLock lock(stats_mutex_);
   ++submitted_;
   queue_depth_sum_ += static_cast<double>(queue_depth);
   if (!first_submit_) first_submit_ = Clock::now();
 }
 
 void RenderService::retract_submitted(std::size_t queue_depth) {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  common::MutexLock lock(stats_mutex_);
   --submitted_;
   queue_depth_sum_ -= static_cast<double>(queue_depth);
 }
 
+void RenderService::note_rejected(std::size_t queue_depth) {
+  common::MutexLock lock(stats_mutex_);
+  --submitted_;
+  queue_depth_sum_ -= static_cast<double>(queue_depth);
+  ++rejected_;
+}
+
 void RenderService::record_completion(const JobResult& result) {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  common::MutexLock lock(stats_mutex_);
   ++completed_;
   queue_wait_sum_ms_ += result.queue_wait_ms;
   service_sum_ms_ += result.service_ms;
@@ -228,11 +235,7 @@ std::optional<std::future<JobResult>> RenderService::try_submit(
     note_submitted(depth);
     auto future = pipeline_->try_submit(std::move(request),
                                         std::move(precompute), enqueue_time);
-    if (!future) {
-      retract_submitted(depth);
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++rejected_;
-    }
+    if (!future) note_rejected(depth);
     return future;
   }
   auto task = std::make_shared<std::packaged_task<JobResult()>>(
@@ -241,9 +244,7 @@ std::optional<std::future<JobResult>> RenderService::try_submit(
   const std::size_t depth = pool_->queue_depth();
   note_submitted(depth);
   if (!pool_->try_submit([task] { (*task)(); })) {
-    retract_submitted(depth);
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++rejected_;
+    note_rejected(depth);
     return std::nullopt;
   }
   return future;
@@ -272,7 +273,7 @@ ServiceStats RenderService::stats() const {
   Clock::time_point window_end{};
   bool have_window = false;
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    common::MutexLock lock(stats_mutex_);
     s.submitted = submitted_;
     s.completed = completed_;
     s.rejected = rejected_;

@@ -20,11 +20,12 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "engine/backend.hpp"
 #include "engine/registry.hpp"
 #include "runtime/job.hpp"
@@ -167,15 +168,21 @@ class RenderService {
   std::function<JobResult()> make_task(RenderRequest request);
   /// Assigns the request's job id (pipelined path; make_task does it for
   /// the monolithic one).
-  void stamp_request(RenderRequest& request);
+  void stamp_request(RenderRequest& request) GAURAST_EXCLUDES(stats_mutex_);
   /// Camera-independent per-scene state, computed on the first pipelined
   /// job for each distinct scene and shared by every later frame of it.
   std::shared_ptr<const pipeline::ScenePrecompute> precompute_for(
-      const ScenePtr& scene);
+      const ScenePtr& scene) GAURAST_EXCLUDES(precompute_mutex_);
   std::size_t entry_queue_depth() const;
-  void note_submitted(std::size_t queue_depth);
-  void retract_submitted(std::size_t queue_depth);
-  void record_completion(const JobResult& result);
+  void note_submitted(std::size_t queue_depth) GAURAST_EXCLUDES(stats_mutex_);
+  void retract_submitted(std::size_t queue_depth)
+      GAURAST_EXCLUDES(stats_mutex_);
+  /// Rolls back a refused submission AND counts the rejection in one
+  /// critical section, so a concurrent stats() snapshot never sees the
+  /// retraction without the reject tick (or vice versa).
+  void note_rejected(std::size_t queue_depth) GAURAST_EXCLUDES(stats_mutex_);
+  void record_completion(const JobResult& result)
+      GAURAST_EXCLUDES(stats_mutex_);
 
   ServiceConfig config_;
   std::shared_ptr<const engine::RenderBackend> backend_;
@@ -184,29 +191,31 @@ class RenderService {
   std::unique_ptr<ThreadPool> pool_;          ///< monolithic
   std::unique_ptr<StagePipeline> pipeline_;   ///< pipelined
 
-  mutable std::mutex scene_mutex_;
-  std::map<std::string, ScenePtr> scene_cache_;
+  mutable common::Mutex scene_mutex_;
+  std::map<std::string, ScenePtr> scene_cache_ GAURAST_GUARDED_BY(scene_mutex_);
 
-  mutable std::mutex precompute_mutex_;
+  mutable common::Mutex precompute_mutex_;
   /// Keyed by scene address; the held ScenePtr pins the scene so a key can
   /// never be reused by a different scene's allocation.
   std::map<const scene::GaussianScene*,
            std::pair<ScenePtr, std::shared_ptr<const pipeline::ScenePrecompute>>>
-      precompute_cache_;
+      precompute_cache_ GAURAST_GUARDED_BY(precompute_mutex_);
 
-  mutable std::mutex stats_mutex_;
-  std::uint64_t next_job_id_ = 1;
-  std::uint64_t submitted_ = 0;
-  std::uint64_t completed_ = 0;
-  std::uint64_t rejected_ = 0;
-  std::uint64_t cache_hits_ = 0;
-  std::uint64_t cache_misses_ = 0;
-  double queue_depth_sum_ = 0.0;
-  double queue_wait_sum_ms_ = 0.0;
-  double service_sum_ms_ = 0.0;
-  std::vector<double> latencies_ms_;
-  std::optional<Clock::time_point> first_submit_;
-  std::optional<Clock::time_point> last_completion_;
+  mutable common::Mutex stats_mutex_;
+  std::uint64_t next_job_id_ GAURAST_GUARDED_BY(stats_mutex_) = 1;
+  std::uint64_t submitted_ GAURAST_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t completed_ GAURAST_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t rejected_ GAURAST_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t cache_hits_ GAURAST_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t cache_misses_ GAURAST_GUARDED_BY(stats_mutex_) = 0;
+  double queue_depth_sum_ GAURAST_GUARDED_BY(stats_mutex_) = 0.0;
+  double queue_wait_sum_ms_ GAURAST_GUARDED_BY(stats_mutex_) = 0.0;
+  double service_sum_ms_ GAURAST_GUARDED_BY(stats_mutex_) = 0.0;
+  std::vector<double> latencies_ms_ GAURAST_GUARDED_BY(stats_mutex_);
+  std::optional<Clock::time_point> first_submit_
+      GAURAST_GUARDED_BY(stats_mutex_);
+  std::optional<Clock::time_point> last_completion_
+      GAURAST_GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace gaurast::runtime

@@ -111,11 +111,7 @@ std::future<JobResult> StagePipeline::submit(
   // try_submit, so the enqueue counters never include refused intake.
   const std::size_t depth = pools_[0]->queue_depth();
   pools_[0]->submit([this, job] { run_stage(0, job); });
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++counters_[0].enqueued;
-    counters_[0].queue_depth_sum += static_cast<double>(depth);
-  }
+  note_enqueued(0, depth);
   return future;
 }
 
@@ -133,9 +129,7 @@ std::optional<std::future<JobResult>> StagePipeline::try_submit(
   if (!pools_[0]->try_submit([this, job] { run_stage(0, job); })) {
     return std::nullopt;
   }
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  ++counters_[0].enqueued;
-  counters_[0].queue_depth_sum += static_cast<double>(depth);
+  note_enqueued(0, depth);
   return future;
 }
 
@@ -164,9 +158,10 @@ void StagePipeline::run_stage(int stage, const std::shared_ptr<Job>& job) {
   }
   job->stage_ms[stage] = to_ms(Clock::now() - start);
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++counters_[stage].completed;
-    counters_[stage].service_sum_ms += job->stage_ms[stage];
+    common::MutexLock lock(stats_mutex_);
+    ++counters_[static_cast<std::size_t>(stage)].completed;
+    counters_[static_cast<std::size_t>(stage)].service_sum_ms +=
+        job->stage_ms[stage];
   }
   if (stage + 1 < kStageCount) {
     forward(stage + 1, job);
@@ -187,9 +182,14 @@ void StagePipeline::forward(int stage, std::shared_ptr<Job> job) {
     job->promise.set_exception(std::current_exception());
     return;
   }
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  ++counters_[stage].enqueued;
-  counters_[stage].queue_depth_sum += static_cast<double>(depth);
+  note_enqueued(stage, depth);
+}
+
+void StagePipeline::note_enqueued(int stage, std::size_t depth) {
+  common::MutexLock lock(stats_mutex_);
+  StageCounters& counters = counters_[static_cast<std::size_t>(stage)];
+  ++counters.enqueued;
+  counters.queue_depth_sum += static_cast<double>(depth);
 }
 
 void StagePipeline::finish(Job& job, engine::FrameOutput output) {
@@ -232,7 +232,7 @@ double StagePipeline::busy_ms() const {
   // forward() on a full downstream queue, and utilization derived from that
   // would report a blocked stage as busy — exactly the signal an operator
   // apportioning stage workers must not see.
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  common::MutexLock lock(stats_mutex_);
   double total = 0.0;
   for (const StageCounters& counters : counters_) {
     total += counters.service_sum_ms;
@@ -242,7 +242,7 @@ double StagePipeline::busy_ms() const {
 
 std::vector<StageSnapshot> StagePipeline::snapshots() const {
   std::vector<StageSnapshot> stages(kStageCount);
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  common::MutexLock lock(stats_mutex_);
   for (int stage = 0; stage < kStageCount; ++stage) {
     StageSnapshot& s = stages[static_cast<std::size_t>(stage)];
     const StageCounters& c = counters_[static_cast<std::size_t>(stage)];

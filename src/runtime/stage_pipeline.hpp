@@ -25,11 +25,12 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "engine/backend.hpp"
 #include "runtime/job.hpp"
 #include "runtime/thread_pool.hpp"
@@ -151,20 +152,25 @@ class StagePipeline {
   void forward(int stage, std::shared_ptr<Job> job);
   void finish(Job& job, engine::FrameOutput output);
 
+  /// Records one enqueue into `stage` (count + queue-depth sample).
+  void note_enqueued(int stage, std::size_t depth)
+      GAURAST_EXCLUDES(stats_mutex_);
+
   Config config_;
   const engine::RenderBackend* backend_;
   engine::FrameOptions options_;
   std::function<void(const JobResult&)> on_complete_;
   std::array<std::unique_ptr<ThreadPool>, kStageCount> pools_;
 
-  mutable std::mutex stats_mutex_;
+  mutable common::Mutex stats_mutex_;
   struct StageCounters {
     std::uint64_t enqueued = 0;
     std::uint64_t completed = 0;
     double queue_depth_sum = 0.0;
     double service_sum_ms = 0.0;
   };
-  std::array<StageCounters, kStageCount> counters_;
+  std::array<StageCounters, kStageCount> counters_
+      GAURAST_GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace gaurast::runtime

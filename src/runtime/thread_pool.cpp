@@ -19,10 +19,13 @@ ThreadPool::ThreadPool(ThreadPoolConfig config) : config_(config) {
 ThreadPool::~ThreadPool() { shutdown(); }
 
 void ThreadPool::submit(std::function<void()> task) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  queue_not_full_.wait(lock, [this] {
-    return shutdown_ || queue_.size() < config_.queue_capacity;
-  });
+  common::MutexLock lock(mutex_);
+  // Explicit predicate loops (not wait(lock, pred)) throughout: the thread
+  // safety analysis sees these guarded reads under the lock held here,
+  // whereas a predicate lambda is analyzed as an unlocked function.
+  while (!shutdown_ && queue_.size() >= config_.queue_capacity) {
+    queue_not_full_.wait(lock);
+  }
   if (shutdown_) {
     throw Error("ThreadPool::submit after shutdown");
   }
@@ -31,7 +34,7 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 bool ThreadPool::try_submit(std::function<void()> task) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   if (shutdown_ || queue_.size() >= config_.queue_capacity) return false;
   queue_.push_back(std::move(task));
   queue_not_empty_.notify_one();
@@ -39,57 +42,60 @@ bool ThreadPool::try_submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_idle_.wait(lock,
-                 [this] { return queue_.empty() && running_tasks_ == 0; });
+  common::MutexLock lock(mutex_);
+  while (!queue_.empty() || running_tasks_ != 0) {
+    all_idle_.wait(lock);
+  }
 }
 
 void ThreadPool::shutdown() {
-  bool closer = false;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (!shutdown_) {
-      shutdown_ = true;
-      closer = true;
-      queue_not_empty_.notify_all();
-      queue_not_full_.notify_all();
-    } else if (!joined_) {
+    common::MutexLock lock(mutex_);
+    if (shutdown_) {
       // Another caller is joining the workers; wait for it so shutdown()
       // returning always means the pool is fully stopped.
-      all_idle_.wait(lock, [this] { return joined_; });
-      return;
-    } else {
+      while (!joined_) all_idle_.wait(lock);
       return;
     }
+    shutdown_ = true;
+    queue_not_empty_.notify_all();
+    queue_not_full_.notify_all();
   }
-  if (closer) {
-    for (std::thread& w : workers_) {
-      if (w.joinable()) w.join();
-    }
-    std::lock_guard<std::mutex> lock(mutex_);
-    joined_ = true;
-    all_idle_.notify_all();
+  // Join outside the lock: draining workers still need it to pop tasks.
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
   }
+  common::MutexLock lock(mutex_);
+  joined_ = true;
+  all_idle_.notify_all();
 }
 
 std::size_t ThreadPool::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return queue_.size();
 }
 
 std::uint64_t ThreadPool::tasks_executed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return tasks_executed_;
 }
 
 std::uint64_t ThreadPool::tasks_failed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return tasks_failed_;
 }
 
 double ThreadPool::busy_ms() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return static_cast<double>(busy_ns_) * 1e-6;
+}
+
+void ThreadPool::note_task_done(bool failed, std::uint64_t elapsed_ns) {
+  --running_tasks_;
+  ++tasks_executed_;
+  tasks_failed_ += failed ? 1 : 0;
+  busy_ns_ += elapsed_ns;
+  if (queue_.empty() && running_tasks_ == 0) all_idle_.notify_all();
 }
 
 void ThreadPool::worker_loop() {
@@ -97,9 +103,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      queue_not_empty_.wait(lock,
-                            [this] { return shutdown_ || !queue_.empty(); });
+      common::MutexLock lock(mutex_);
+      while (!shutdown_ && queue_.empty()) {
+        queue_not_empty_.wait(lock);
+      }
       // Graceful drain: exit only once the queue is empty, so every task
       // accepted before shutdown still runs.
       if (queue_.empty()) return;
@@ -120,14 +127,12 @@ void ThreadPool::worker_loop() {
     }
     const Clock::time_point end = Clock::now();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
-      --running_tasks_;
-      ++tasks_executed_;
-      tasks_failed_ += failed ? 1 : 0;
-      busy_ns_ += static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
-              .count());
-      if (queue_.empty() && running_tasks_ == 0) all_idle_.notify_all();
+      common::MutexLock lock(mutex_);
+      note_task_done(failed,
+                     static_cast<std::uint64_t>(
+                         std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             end - start)
+                             .count()));
     }
   }
 }

@@ -11,12 +11,13 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace gaurast::runtime {
 
@@ -39,50 +40,56 @@ class ThreadPool {
 
   /// Enqueues a task, blocking while the queue is at capacity. Throws
   /// gaurast::Error if the pool is (or becomes, while blocked) shut down.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) GAURAST_EXCLUDES(mutex_);
 
   /// Non-blocking submit: returns false (dropping the task) when the queue
   /// is full or the pool is shut down.
-  bool try_submit(std::function<void()> task);
+  bool try_submit(std::function<void()> task) GAURAST_EXCLUDES(mutex_);
 
   /// Blocks until the queue is empty and no worker is running a task.
   /// Tasks submitted concurrently with the wait may extend it.
-  void wait_idle();
+  void wait_idle() GAURAST_EXCLUDES(mutex_);
 
   /// Stops intake, runs every already-accepted task, joins the workers.
   /// Idempotent; called by the destructor.
-  void shutdown();
+  void shutdown() GAURAST_EXCLUDES(mutex_);
 
   int worker_count() const { return static_cast<int>(workers_.size()); }
   std::size_t queue_capacity() const { return config_.queue_capacity; }
 
   /// Snapshot of tasks waiting to start (racy by nature; for stats only).
-  std::size_t queue_depth() const;
+  std::size_t queue_depth() const GAURAST_EXCLUDES(mutex_);
   /// Tasks that have finished running (including failed ones).
-  std::uint64_t tasks_executed() const;
+  std::uint64_t tasks_executed() const GAURAST_EXCLUDES(mutex_);
   /// Tasks that exited by throwing; the exception is swallowed (wrap work
   /// in std::packaged_task to propagate errors through a future instead).
-  std::uint64_t tasks_failed() const;
+  std::uint64_t tasks_failed() const GAURAST_EXCLUDES(mutex_);
   /// Cumulative wall time workers spent running tasks, across all workers.
   /// utilization = busy_ms / (worker_count * observation window).
-  double busy_ms() const;
+  double busy_ms() const GAURAST_EXCLUDES(mutex_);
 
  private:
   void worker_loop();
+  /// One completed task's bookkeeping; `failed`/`elapsed_ns` describe it.
+  void note_task_done(bool failed, std::uint64_t elapsed_ns)
+      GAURAST_REQUIRES(mutex_);
 
   ThreadPoolConfig config_;
-  mutable std::mutex mutex_;
-  std::condition_variable queue_not_empty_;  // workers sleep here
-  std::condition_variable queue_not_full_;   // blocked producers sleep here
-  std::condition_variable all_idle_;         // wait_idle sleepers
-  std::deque<std::function<void()>> queue_;
+  mutable common::Mutex mutex_;
+  common::CondVar queue_not_empty_;  // workers sleep here
+  common::CondVar queue_not_full_;   // blocked producers sleep here
+  common::CondVar all_idle_;         // wait_idle + shutdown-waiter sleepers
+  std::deque<std::function<void()>> queue_ GAURAST_GUARDED_BY(mutex_);
+  /// Written once by the constructor; shutdown() joins through it after
+  /// intake is closed. Not guarded: the vector itself is immutable from the
+  /// moment the constructor returns (std::thread::join is thread-safe).
   std::vector<std::thread> workers_;
-  int running_tasks_ = 0;
-  bool shutdown_ = false;
-  bool joined_ = false;
-  std::uint64_t tasks_executed_ = 0;
-  std::uint64_t tasks_failed_ = 0;
-  std::uint64_t busy_ns_ = 0;
+  int running_tasks_ GAURAST_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ GAURAST_GUARDED_BY(mutex_) = false;
+  bool joined_ GAURAST_GUARDED_BY(mutex_) = false;
+  std::uint64_t tasks_executed_ GAURAST_GUARDED_BY(mutex_) = 0;
+  std::uint64_t tasks_failed_ GAURAST_GUARDED_BY(mutex_) = 0;
+  std::uint64_t busy_ns_ GAURAST_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace gaurast::runtime

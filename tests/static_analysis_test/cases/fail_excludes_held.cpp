@@ -1,0 +1,32 @@
+// Seeded violation: calling a GAURAST_EXCLUDES(mutex_) function while the
+// excluded mutex is held — a guaranteed self-deadlock on a non-recursive
+// mutex. Clang thread safety analysis must reject this TU.
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Stats {
+ public:
+  void tick() GAURAST_EXCLUDES(mutex_) {
+    gaurast::common::MutexLock lock(mutex_);
+    ++count_;
+  }
+
+  void tick_while_locked() {
+    gaurast::common::MutexLock lock(mutex_);
+    // VIOLATION: tick() excludes mutex_, which this scope holds.
+    tick();
+  }
+
+ private:
+  gaurast::common::Mutex mutex_;
+  int count_ GAURAST_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+void seeded_violation() {
+  Stats stats;
+  stats.tick_while_locked();
+}

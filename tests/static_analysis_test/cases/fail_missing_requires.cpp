@@ -1,0 +1,25 @@
+// Seeded violation: calling a GAURAST_REQUIRES(mutex_) function without
+// holding the mutex. Clang thread safety analysis must reject this TU.
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Queue {
+ public:
+  // VIOLATION: push_locked requires mutex_, but this caller never takes it.
+  void push_unlocked() { push_locked(); }
+
+ private:
+  void push_locked() GAURAST_REQUIRES(mutex_) { ++size_; }
+
+  gaurast::common::Mutex mutex_;
+  int size_ GAURAST_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+void seeded_violation() {
+  Queue queue;
+  queue.push_unlocked();
+}

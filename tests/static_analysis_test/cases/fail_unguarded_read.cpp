@@ -1,0 +1,30 @@
+// Seeded violation: reading a GAURAST_GUARDED_BY field without holding its
+// mutex. Clang thread safety analysis must reject this TU; the harness
+// (../CMakeLists.txt) fails if it compiles.
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void increment() {
+    gaurast::common::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  // VIOLATION: value_ is guarded by mutex_, which is not held here.
+  int racy_read() const { return value_; }
+
+ private:
+  mutable gaurast::common::Mutex mutex_;
+  int value_ GAURAST_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int seeded_violation() {
+  Counter counter;
+  counter.increment();
+  return counter.racy_read();
+}

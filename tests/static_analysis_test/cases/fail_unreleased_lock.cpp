@@ -1,0 +1,7 @@
+// Seeded violation: acquiring a mutex and returning without releasing it
+// (no RAII guard). Clang thread safety analysis must reject this TU.
+#include "common/mutex.hpp"
+
+// VIOLATION: the capability acquired by lock() is still held when the
+// function returns, and no annotation says the caller expects that.
+void seeded_violation(gaurast::common::Mutex& mutex) { mutex.lock(); }

@@ -1,0 +1,38 @@
+// Positive control: the exact shapes the fail_* cases violate, written with
+// correct lock discipline. Must compile clean under -Wthread-safety
+// -Werror, proving the gate accepts well-locked code (and that a fail_*
+// rejection is the analysis firing, not a broken harness include path).
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void increment() GAURAST_EXCLUDES(mutex_) {
+    gaurast::common::MutexLock lock(mutex_);
+    increment_locked();
+  }
+
+  int read() const GAURAST_EXCLUDES(mutex_) {
+    gaurast::common::MutexLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  void increment_locked() GAURAST_REQUIRES(mutex_) { ++value_; }
+
+  mutable gaurast::common::Mutex mutex_;
+  int value_ GAURAST_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int control() {
+  Counter counter;
+  counter.increment();
+  gaurast::common::Mutex standalone;
+  standalone.lock();
+  standalone.unlock();
+  return counter.read();
+}

@@ -60,7 +60,8 @@ def check_shape(baseline, current):
     if base_schema != cur_schema:
         errors.append(
             f"top-level schema drift: baseline '{base_schema}' vs current "
-            f"'{cur_schema}' (bump the committed baseline in the same PR)")
+            f"'{cur_schema}' (bump the committed baseline in the same PR)"
+        )
     for section in ("micro", "service", "pipeline"):
         if section not in baseline:
             continue  # an older baseline never gates sections it lacks
@@ -72,15 +73,16 @@ def check_shape(baseline, current):
         if base_tag != cur_tag:
             errors.append(
                 f"section '{section}' schema drift: baseline '{base_tag}' "
-                f"vs current '{cur_tag}'")
+                f"vs current '{cur_tag}'"
+            )
 
     base_micro = micro_medians(baseline.get("micro", {}))
     cur_micro = micro_medians(current.get("micro", {}))
     missing = sorted(set(base_micro) - set(cur_micro))
     if missing:
         errors.append(
-            "micro benchmarks missing from current report: "
-            + ", ".join(missing))
+            "micro benchmarks missing from current report: " + ", ".join(missing)
+        )
 
     derived_expectations = (
         ("micro", "raster_fast_speedup"),
@@ -90,7 +92,8 @@ def check_shape(baseline, current):
         if section not in baseline:
             continue
         if key in baseline[section].get("derived", {}) and key not in current.get(
-                section, {}).get("derived", {}):
+            section, {}
+        ).get("derived", {}):
             errors.append(f"derived metric '{section}.{key}' no longer reported")
     return errors
 
@@ -123,9 +126,11 @@ def ratio_table(baseline, current):
     def fmt(value):
         return "n/a" if value is None else f"{value:.3f}x"
 
-    for section, key in (("micro", "raster_fast_speedup"),
-                         ("micro", "sort_parallel_speedup"),
-                         ("pipeline", "pipelined_speedup")):
+    for section, key in (
+        ("micro", "raster_fast_speedup"),
+        ("micro", "sort_parallel_speedup"),
+        ("pipeline", "pipelined_speedup"),
+    ):
         base_val = baseline.get(section, {}).get("derived", {}).get(key)
         cur_val = current.get(section, {}).get("derived", {}).get(key)
         if base_val is None and cur_val is None:
@@ -136,13 +141,16 @@ def ratio_table(baseline, current):
 
 def main():
     parser = argparse.ArgumentParser(
-        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
     parser.add_argument("baseline", help="committed canonical BENCH_pipeline.json")
     parser.add_argument("current", help="freshly produced report to gate")
     parser.add_argument(
-        "--summary", default=os.environ.get("GITHUB_STEP_SUMMARY"),
+        "--summary",
+        default=os.environ.get("GITHUB_STEP_SUMMARY"),
         help="write the markdown ratio table here "
-             "(default: $GITHUB_STEP_SUMMARY, else stdout)")
+        "(default: $GITHUB_STEP_SUMMARY, else stdout)",
+    )
     args = parser.parse_args()
 
     baseline = load(args.baseline)
@@ -158,8 +166,7 @@ def main():
     errors = check_shape(baseline, current)
     if errors:
         fail(errors)
-    print(f"bench_compare: OK — {args.current} matches the shape of "
-          f"{args.baseline}")
+    print(f"bench_compare: OK — {args.current} matches the shape of {args.baseline}")
 
 
 if __name__ == "__main__":

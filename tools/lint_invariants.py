@@ -1,0 +1,473 @@
+#!/usr/bin/env python3
+"""Project invariant linter: layer 3 of the gaurast static-analysis stack.
+
+Rules (see --list-rules):
+
+  raw-concurrency      Raw std:: threading primitives (std::thread,
+                       std::mutex, std::condition_variable, lock types, ...)
+                       are confined to src/common/ and src/runtime/. All
+                       other library code must go through the annotated
+                       wrappers (common::Mutex, common::MutexLock,
+                       common::CondVar) or the fork-join helper
+                       (common::parallel_for_workers) so Clang's
+                       -Wthread-safety analysis sees every lock.
+  check-in-kernel-loop GAURAST_CHECK / GAURAST_CHECK_MSG (always-on, throwing)
+                       must not sit inside loop bodies in the kernel
+                       directories (src/pipeline/, src/gsmath/). Per-element
+                       hot-path validation belongs to GAURAST_DCHECK /
+                       GAURAST_DCHECK_MSG, which compile out of release
+                       builds.
+  backend-registration Every concrete engine::RenderBackend subclass under
+                       src/ must be constructed (std::make_unique<...>) in
+                       src/engine/registry.cpp, so no backend silently
+                       drops out of the registry-based engine API.
+  mutex-guard-coverage Every common::Mutex member declared in a header under
+                       src/ must have at least one GAURAST_GUARDED_BY /
+                       GAURAST_PT_GUARDED_BY / GAURAST_REQUIRES /
+                       GAURAST_EXCLUDES reference in the same file - a mutex
+                       nothing is annotated against protects nothing the
+                       analysis can see.
+
+A finding can be waived for one line with a trailing comment:
+
+    std::mutex legacy_;  // lint-invariants: allow(raw-concurrency)
+
+Exit status: 0 when clean, 1 when any finding is reported, 2 on usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from collections.abc import Callable, Iterable
+from pathlib import Path
+from typing import NamedTuple
+
+# Directories allowed to touch raw std:: threading primitives. common/ hosts
+# the annotated wrappers themselves; runtime/ hosts the thread pool, whose
+# workers_ vector is the one sanctioned std::thread owner.
+RAW_CONCURRENCY_EXEMPT_DIRS = ("src/common", "src/runtime")
+
+# Kernel (hot-loop) directories for the CHECK-vs-DCHECK policy.
+KERNEL_DIRS = ("src/pipeline", "src/gsmath")
+
+# The single sanctioned construction site for engine backends.
+REGISTRY_SOURCE = "src/engine/registry.cpp"
+
+CPP_SUFFIXES = {".hpp", ".cpp", ".h", ".cc"}
+
+RAW_CONCURRENCY_TYPES = (
+    "thread",
+    "jthread",
+    "mutex",
+    "timed_mutex",
+    "recursive_mutex",
+    "recursive_timed_mutex",
+    "shared_mutex",
+    "shared_timed_mutex",
+    "condition_variable",
+    "condition_variable_any",
+    "lock_guard",
+    "unique_lock",
+    "scoped_lock",
+    "shared_lock",
+    "counting_semaphore",
+    "binary_semaphore",
+    "barrier",
+    "latch",
+)
+
+RAW_CONCURRENCY_RE = re.compile(
+    r"\bstd::(?:" + "|".join(RAW_CONCURRENCY_TYPES) + r")\b(?!::hardware_concurrency)"
+)
+
+WAIVER_RE = re.compile(r"//\s*lint-invariants:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+BACKEND_SUBCLASS_RE = re.compile(
+    r"\bclass\s+(\w+)\s*(?:final\s*)?:\s*public\s+"
+    r"(?:gaurast::)?(?:engine::)?RenderBackend\b"
+)
+
+MUTEX_MEMBER_RE = re.compile(
+    r"(?:^|[\s;{}])(?:mutable\s+)?(?:gaurast::)?(?:common::)?Mutex\s+(\w+)\s*;"
+)
+
+
+class Finding(NamedTuple):
+    path: Path
+    line: int
+    rule: str
+    message: str
+
+
+class SourceFile(NamedTuple):
+    path: Path  # absolute
+    rel: str  # posix path relative to root
+    text: str  # raw contents
+    scrubbed: str  # comments/strings blanked, newlines preserved
+    waivers: dict[int, set[str]]  # line -> waived rule ids
+
+
+def scrub_cpp(text: str) -> str:
+    """Blank out comments and string/char literals, preserving newlines.
+
+    Keeps every surviving character at its original offset so line numbers
+    computed on the scrubbed text match the raw file. Handles //, /* */,
+    "..." (with escapes), '...' and basic raw strings R"delim(...)delim".
+    """
+    out = list(text)
+    i = 0
+    n = len(text)
+
+    def blank(start: int, end: int) -> None:
+        for k in range(start, end):
+            if out[k] != "\n":
+                out[k] = " "
+
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n:
+            if text[i + 1] == "/":
+                end = text.find("\n", i)
+                end = n if end == -1 else end
+                blank(i, end)
+                i = end
+                continue
+            if text[i + 1] == "*":
+                end = text.find("*/", i + 2)
+                end = n if end == -1 else end + 2
+                blank(i, end)
+                i = end
+                continue
+        if c == '"':
+            # Raw string literal: R"delim( ... )delim"
+            m = re.match(r'R"([^()\\ \t\n]{0,16})\(', text[max(0, i - 1) : i + 20])
+            if i > 0 and text[i - 1] == "R" and m:
+                closer = ")" + m.group(1) + '"'
+                end = text.find(closer, i + 1)
+                end = n if end == -1 else end + len(closer)
+                blank(i + 1, end - 1)
+                i = end
+                continue
+            j = i + 1
+            while j < n and text[j] != '"':
+                j += 2 if text[j] == "\\" else 1
+            blank(i + 1, min(j, n))
+            i = min(j, n) + 1
+            continue
+        if c == "'":
+            j = i + 1
+            while j < n and text[j] != "'":
+                j += 2 if text[j] == "\\" else 1
+            blank(i + 1, min(j, n))
+            i = min(j, n) + 1
+            continue
+        i += 1
+    return "".join(out)
+
+
+def collect_waivers(text: str) -> dict[int, set[str]]:
+    waivers: dict[int, set[str]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        m = WAIVER_RE.search(line)
+        if m:
+            waivers[lineno] = {r.strip() for r in m.group(1).split(",")}
+    return waivers
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def load_source(root: Path, path: Path) -> SourceFile:
+    text = path.read_text(encoding="utf-8", errors="replace")
+    return SourceFile(
+        path=path,
+        rel=path.relative_to(root).as_posix(),
+        text=text,
+        scrubbed=scrub_cpp(text),
+        waivers=collect_waivers(text),
+    )
+
+
+def in_dirs(rel: str, dirs: Iterable[str]) -> bool:
+    return any(rel == d or rel.startswith(d + "/") for d in dirs)
+
+
+# --------------------------------------------------------------------------
+# Rule: raw-concurrency
+# --------------------------------------------------------------------------
+
+
+def check_raw_concurrency(src: SourceFile, _all: list[SourceFile]) -> list[Finding]:
+    if not src.rel.startswith("src/") or in_dirs(src.rel, RAW_CONCURRENCY_EXEMPT_DIRS):
+        return []
+    findings = []
+    for m in RAW_CONCURRENCY_RE.finditer(src.scrubbed):
+        findings.append(
+            Finding(
+                src.path,
+                line_of(src.scrubbed, m.start()),
+                "raw-concurrency",
+                f"{m.group(0)} outside src/common//src/runtime/; use the "
+                "annotated wrappers in common/mutex.hpp or "
+                "common::parallel_for_workers",
+            )
+        )
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: check-in-kernel-loop
+# --------------------------------------------------------------------------
+
+_LOOP_TOKEN_RE = re.compile(
+    r"GAURAST_DCHECK_MSG|GAURAST_DCHECK|GAURAST_CHECK_MSG|GAURAST_CHECK"
+    r"|\bfor\b|\bwhile\b|\bdo\b|[{}();]"
+)
+
+
+def check_kernel_loops(src: SourceFile, _all: list[SourceFile]) -> list[Finding]:
+    if not in_dirs(src.rel, KERNEL_DIRS):
+        return []
+    findings = []
+    depth = 0
+    loop_body_depths: list[int] = []
+    # pending states: None | "head" (inside for/while parens) | "body"
+    # (head parsed, loop body is the next statement or brace block).
+    pending: str | None = None
+    paren_depth = 0
+    for m in _LOOP_TOKEN_RE.finditer(src.scrubbed):
+        tok = m.group(0)
+        if tok in ("for", "while"):
+            pending, paren_depth = "head", 0
+        elif tok == "do":
+            pending = "body"
+        elif tok == "(":
+            if pending == "head":
+                paren_depth += 1
+        elif tok == ")":
+            if pending == "head":
+                paren_depth -= 1
+                if paren_depth == 0:
+                    pending = "body"
+        elif tok == "{":
+            depth += 1
+            if pending == "body":
+                loop_body_depths.append(depth)
+                pending = None
+        elif tok == "}":
+            if loop_body_depths and loop_body_depths[-1] == depth:
+                loop_body_depths.pop()
+            depth = max(0, depth - 1)
+        elif tok == ";":
+            # Ends a braceless loop body ("for (...) stmt;") or a do-while
+            # tail ("} while (cond);").
+            if pending == "body":
+                pending = None
+        elif tok in ("GAURAST_CHECK", "GAURAST_CHECK_MSG"):
+            if loop_body_depths or pending == "body":
+                findings.append(
+                    Finding(
+                        src.path,
+                        line_of(src.scrubbed, m.start()),
+                        "check-in-kernel-loop",
+                        f"{tok} inside a kernel loop body; per-element "
+                        "validation must use GAURAST_DCHECK so release "
+                        "builds stay branch-free",
+                    )
+                )
+        # GAURAST_DCHECK*: explicitly matched so it can't alias a loop token;
+        # always allowed.
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: backend-registration
+# --------------------------------------------------------------------------
+
+
+def check_backend_registration(
+    src: SourceFile, all_sources: list[SourceFile]
+) -> list[Finding]:
+    if not src.rel.startswith("src/"):
+        return []
+    subclasses = list(BACKEND_SUBCLASS_RE.finditer(src.scrubbed))
+    if not subclasses:
+        return []
+    registry = next((s for s in all_sources if s.rel == REGISTRY_SOURCE), None)
+    registry_text = registry.scrubbed if registry else ""
+    findings = []
+    for m in subclasses:
+        name = m.group(1)
+        ctor = re.compile(r"\bmake_unique<\s*" + re.escape(name) + r"\s*>")
+        if not ctor.search(registry_text):
+            findings.append(
+                Finding(
+                    src.path,
+                    line_of(src.scrubbed, m.start()),
+                    "backend-registration",
+                    f"RenderBackend subclass {name} is not constructed in "
+                    f"{REGISTRY_SOURCE}; register it (or it is unreachable "
+                    "through the engine backend API)",
+                )
+            )
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: mutex-guard-coverage
+# --------------------------------------------------------------------------
+
+
+def check_mutex_guard_coverage(
+    src: SourceFile, _all: list[SourceFile]
+) -> list[Finding]:
+    if not src.rel.startswith("src/") or not src.rel.endswith((".hpp", ".h")):
+        return []
+    if in_dirs(src.rel, ("src/common",)):
+        return []  # the wrapper's own home; nothing is guarded there
+    findings = []
+    for m in MUTEX_MEMBER_RE.finditer(src.scrubbed):
+        name = re.escape(m.group(1))
+        used = re.search(
+            r"GAURAST_(?:GUARDED_BY|PT_GUARDED_BY|REQUIRES|ACQUIRE|RELEASE|"
+            r"TRY_ACQUIRE|EXCLUDES)\s*\([^)]*\b" + name + r"\b",
+            src.scrubbed,
+        )
+        if not used:
+            findings.append(
+                Finding(
+                    src.path,
+                    line_of(src.scrubbed, m.start(1)),
+                    "mutex-guard-coverage",
+                    f"mutex member {m.group(1)} has no GAURAST_GUARDED_BY / "
+                    "REQUIRES / EXCLUDES reference in this header; annotate "
+                    "the state it protects",
+                )
+            )
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+RuleFn = Callable[[SourceFile, list[SourceFile]], list[Finding]]
+
+RULES: dict[str, tuple[str, RuleFn]] = {
+    "raw-concurrency": (
+        "raw std:: threading primitives outside src/common//src/runtime/",
+        check_raw_concurrency,
+    ),
+    "check-in-kernel-loop": (
+        "GAURAST_CHECK inside loop bodies in src/pipeline//src/gsmath/",
+        check_kernel_loops,
+    ),
+    "backend-registration": (
+        "RenderBackend subclass not constructed in src/engine/registry.cpp",
+        check_backend_registration,
+    ),
+    "mutex-guard-coverage": (
+        "common::Mutex header member with no thread-safety annotation",
+        check_mutex_guard_coverage,
+    ),
+}
+
+
+def discover(root: Path) -> list[Path]:
+    files = []
+    for top in ("src",):
+        base = root / top
+        if base.is_dir():
+            files.extend(
+                p for p in sorted(base.rglob("*")) if p.suffix in CPP_SUFFIXES
+            )
+    return files
+
+
+def lint(root: Path, paths: list[Path]) -> list[Finding]:
+    sources = [load_source(root, p) for p in paths]
+    # backend-registration needs registry.cpp context even when linting a
+    # subset of files.
+    if not any(s.rel == REGISTRY_SOURCE for s in sources):
+        registry_path = root / REGISTRY_SOURCE
+        if registry_path.is_file():
+            sources.append(load_source(root, registry_path))
+            context_only = {sources[-1].rel}
+        else:
+            context_only = set()
+    else:
+        context_only = set()
+
+    findings: list[Finding] = []
+    for src in sources:
+        if src.rel in context_only:
+            continue
+        for rule_id, (_desc, fn) in RULES.items():
+            for f in fn(src, sources):
+                if rule_id in src.waivers.get(f.line, set()):
+                    continue
+                findings.append(f)
+    findings.sort(key=lambda f: (str(f.path), f.line, f.rule))
+    return findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="lint_invariants.py",
+        description="gaurast project invariant linter (static-analysis layer 3)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="repository root (default: the checkout containing this script)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print rule ids and exit"
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="specific files to lint (default: all C++ sources under <root>/src)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, (desc, _fn) in RULES.items():
+            print(f"{rule_id:22} {desc}")
+        return 0
+
+    root = args.root.resolve()
+    if not root.is_dir():
+        print(f"lint_invariants.py: no such root: {root}", file=sys.stderr)
+        return 2
+
+    if args.paths:
+        paths = []
+        for p in args.paths:
+            p = p.resolve()
+            if not p.is_file():
+                print(f"lint_invariants.py: no such file: {p}", file=sys.stderr)
+                return 2
+            if p.suffix in CPP_SUFFIXES and root in p.parents:
+                paths.append(p)
+    else:
+        paths = discover(root)
+
+    findings = lint(root, paths)
+    for f in findings:
+        rel = f.path.relative_to(root).as_posix()
+        print(f"{rel}:{f.line}: [{f.rule}] {f.message}")
+    if findings:
+        print(f"lint_invariants.py: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"lint_invariants.py: {len(paths)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,335 @@
+#!/usr/bin/env python3
+"""Unit tests for lint_invariants.py.
+
+Each rule gets (at least) one seeded-violation test proving the linter
+catches it, and one clean-code test proving it stays quiet. Run directly:
+
+    python3 tools/lint_invariants_test.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import lint_invariants as li  # noqa: E402
+
+
+class FakeTree:
+    """A throwaway repo root populated with {relpath: contents}."""
+
+    def __init__(self, files: dict[str, str]):
+        self._tmp = tempfile.TemporaryDirectory(prefix="lint_invariants_test_")
+        self.root = Path(self._tmp.name)
+        for rel, text in files.items():
+            path = self.root / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text, encoding="utf-8")
+
+    def lint(self) -> list[li.Finding]:
+        return li.lint(self.root, li.discover(self.root))
+
+    def cleanup(self) -> None:
+        self._tmp.cleanup()
+
+
+def run(files: dict[str, str]) -> list[li.Finding]:
+    tree = FakeTree(files)
+    try:
+        return tree.lint()
+    finally:
+        tree.cleanup()
+
+
+def rules_of(findings: list[li.Finding]) -> list[str]:
+    return [f.rule for f in findings]
+
+
+class ScrubberTest(unittest.TestCase):
+    def test_line_comment_blanked(self) -> None:
+        out = li.scrub_cpp("int x;  // std::mutex here\nint y;\n")
+        self.assertNotIn("std::mutex", out)
+        self.assertIn("int y;", out)
+
+    def test_block_comment_preserves_newlines(self) -> None:
+        src = "a\n/* std::thread\nstd::thread */\nb\n"
+        out = li.scrub_cpp(src)
+        self.assertNotIn("std::thread", out)
+        self.assertEqual(src.count("\n"), out.count("\n"))
+
+    def test_string_literal_blanked(self) -> None:
+        out = li.scrub_cpp('auto s = "std::mutex in a string";\n')
+        self.assertNotIn("std::mutex", out)
+
+    def test_escaped_quote_in_string(self) -> None:
+        out = li.scrub_cpp('auto s = "say \\"std::thread\\"";\nint keep;\n')
+        self.assertNotIn("std::thread", out)
+        self.assertIn("int keep;", out)
+
+    def test_raw_string_blanked(self) -> None:
+        out = li.scrub_cpp('auto s = R"(std::mutex)";\nint keep;\n')
+        self.assertNotIn("std::mutex", out)
+        self.assertIn("int keep;", out)
+
+    def test_char_literal_does_not_eat_code(self) -> None:
+        out = li.scrub_cpp("char c = '\"'; std::mutex m;\n")
+        self.assertIn("std::mutex", out)
+
+
+class RawConcurrencyTest(unittest.TestCase):
+    def test_seeded_violation_caught(self) -> None:
+        findings = run(
+            {"src/pipeline/worker.cpp": "#include <mutex>\nstd::mutex bad_;\n"}
+        )
+        self.assertEqual(rules_of(findings), ["raw-concurrency"])
+        self.assertEqual(findings[0].line, 2)
+
+    def test_all_primitive_spellings_caught(self) -> None:
+        body = (
+            "std::thread a;\n"
+            "std::condition_variable b;\n"
+            "std::lock_guard<std::mutex> c;\n"
+            "std::unique_lock<std::mutex> d;\n"
+        )
+        findings = run({"src/engine/bad.cpp": body})
+        # lock_guard/unique_lock lines each also name std::mutex.
+        self.assertEqual(len(findings), 6)
+        self.assertEqual(set(rules_of(findings)), {"raw-concurrency"})
+
+    def test_runtime_and_common_exempt(self) -> None:
+        files = {
+            "src/runtime/pool.cpp": "#include <thread>\nstd::thread worker_;\n",
+            "src/common/mutex.hpp": "#include <mutex>\nstd::mutex wrapped_;\n",
+        }
+        self.assertEqual(run(files), [])
+
+    def test_hardware_concurrency_allowed(self) -> None:
+        files = {
+            "src/pipeline/sort.cpp": "auto n = std::thread::hardware_concurrency();\n",
+        }
+        self.assertEqual(run(files), [])
+
+    def test_comment_and_string_ignored(self) -> None:
+        files = {"src/scene/io.cpp": '// std::mutex\nauto s = "std::thread";\n'}
+        self.assertEqual(run(files), [])
+
+    def test_waiver_suppresses(self) -> None:
+        files = {
+            "src/scene/io.cpp": (
+                "#include <mutex>\n"
+                "std::mutex legacy_;  // lint-invariants: allow(raw-concurrency)\n"
+            ),
+        }
+        self.assertEqual(run(files), [])
+
+
+class KernelLoopTest(unittest.TestCase):
+    def test_seeded_violation_caught(self) -> None:
+        body = (
+            "void raster() {\n"
+            "  for (int i = 0; i < n; ++i) {\n"
+            "    GAURAST_CHECK(i >= 0);\n"
+            "  }\n"
+            "}\n"
+        )
+        findings = run({"src/pipeline/rasterize.cpp": body})
+        self.assertEqual(rules_of(findings), ["check-in-kernel-loop"])
+        self.assertEqual(findings[0].line, 3)
+
+    def test_check_msg_in_while_caught(self) -> None:
+        body = (
+            "void f() {\n"
+            "  while (more()) {\n"
+            '    GAURAST_CHECK_MSG(ok(), "bad");\n'
+            "  }\n"
+            "}\n"
+        )
+        findings = run({"src/gsmath/sh.cpp": body})
+        self.assertEqual(rules_of(findings), ["check-in-kernel-loop"])
+
+    def test_braceless_loop_body_caught(self) -> None:
+        body = "void f() {\n  for (int i = 0; i < n; ++i) GAURAST_CHECK(i);\n}\n"
+        findings = run({"src/pipeline/bin.cpp": body})
+        self.assertEqual(rules_of(findings), ["check-in-kernel-loop"])
+
+    def test_dcheck_in_loop_allowed(self) -> None:
+        body = (
+            "void f() {\n"
+            "  for (int i = 0; i < n; ++i) {\n"
+            "    GAURAST_DCHECK(i >= 0);\n"
+            '    GAURAST_DCHECK_MSG(i < n, "range");\n'
+            "  }\n"
+            "}\n"
+        )
+        self.assertEqual(run({"src/pipeline/rasterize.cpp": body}), [])
+
+    def test_check_before_and_after_loop_allowed(self) -> None:
+        body = (
+            "void f() {\n"
+            "  GAURAST_CHECK(n > 0);\n"
+            "  for (int i = 0; i < n; ++i) { work(i); }\n"
+            '  GAURAST_CHECK_MSG(done(), "incomplete");\n'
+            "}\n"
+        )
+        self.assertEqual(run({"src/pipeline/preprocess.cpp": body}), [])
+
+    def test_do_while_tail_does_not_leak_pending_body(self) -> None:
+        body = (
+            "void f() {\n"
+            "  do { work(); } while (more());\n"
+            "  GAURAST_CHECK(done());\n"
+            "}\n"
+        )
+        self.assertEqual(run({"src/pipeline/bin.cpp": body}), [])
+
+    def test_check_in_do_body_caught(self) -> None:
+        body = "void f() {\n  do {\n    GAURAST_CHECK(x);\n  } while (more());\n}\n"
+        findings = run({"src/pipeline/bin.cpp": body})
+        self.assertEqual(rules_of(findings), ["check-in-kernel-loop"])
+
+    def test_non_kernel_dir_unrestricted(self) -> None:
+        body = (
+            "void f() {\n"
+            "  for (int i = 0; i < n; ++i) {\n"
+            "    GAURAST_CHECK(i >= 0);\n"
+            "  }\n"
+            "}\n"
+        )
+        self.assertEqual(run({"src/runtime/service.cpp": body}), [])
+
+
+class BackendRegistrationTest(unittest.TestCase):
+    REGISTRY = (
+        '#include "engine/registry.hpp"\n'
+        "void register_builtin_backends() {\n"
+        "  reg(std::make_unique<GoodBackend>());\n"
+        "}\n"
+    )
+
+    def test_seeded_unregistered_subclass_caught(self) -> None:
+        files = {
+            "src/engine/registry.cpp": self.REGISTRY,
+            "src/engine/backends.hpp": (
+                "class GoodBackend : public RenderBackend {};\n"
+                "class OrphanBackend : public RenderBackend {};\n"
+            ),
+        }
+        findings = run(files)
+        self.assertEqual(rules_of(findings), ["backend-registration"])
+        self.assertIn("OrphanBackend", findings[0].message)
+        self.assertEqual(findings[0].line, 2)
+
+    def test_registered_subclasses_clean(self) -> None:
+        files = {
+            "src/engine/registry.cpp": self.REGISTRY,
+            "src/engine/backends.hpp": (
+                "class GoodBackend : public RenderBackend {};\n"
+            ),
+        }
+        self.assertEqual(run(files), [])
+
+    def test_qualified_and_final_forms_recognized(self) -> None:
+        files = {
+            "src/engine/registry.cpp": self.REGISTRY,
+            "src/accel/edge.hpp": (
+                "class EdgeBackend final : public engine::RenderBackend {};\n"
+            ),
+        }
+        findings = run(files)
+        self.assertEqual(rules_of(findings), ["backend-registration"])
+        self.assertIn("EdgeBackend", findings[0].message)
+
+
+class MutexGuardCoverageTest(unittest.TestCase):
+    def test_seeded_unannotated_mutex_caught(self) -> None:
+        files = {
+            "src/runtime/cache.hpp": (
+                "class Cache {\n"
+                " private:\n"
+                "  mutable common::Mutex mutex_;\n"
+                "  int entries_ = 0;\n"
+                "};\n"
+            ),
+        }
+        findings = run(files)
+        self.assertEqual(rules_of(findings), ["mutex-guard-coverage"])
+        self.assertEqual(findings[0].line, 3)
+        self.assertIn("mutex_", findings[0].message)
+
+    def test_guarded_mutex_clean(self) -> None:
+        files = {
+            "src/runtime/cache.hpp": (
+                "class Cache {\n"
+                " private:\n"
+                "  mutable common::Mutex mutex_;\n"
+                "  int entries_ GAURAST_GUARDED_BY(mutex_) = 0;\n"
+                "};\n"
+            ),
+        }
+        self.assertEqual(run(files), [])
+
+    def test_requires_reference_counts_as_coverage(self) -> None:
+        files = {
+            "src/engine/reg.hpp": (
+                "class Reg {\n"
+                "  void grow() GAURAST_REQUIRES(mutex_);\n"
+                "  common::Mutex mutex_;\n"
+                "};\n"
+            ),
+        }
+        self.assertEqual(run(files), [])
+
+    def test_wrapper_home_dir_exempt(self) -> None:
+        files = {"src/common/mutex.hpp": "class Mutex {};\nMutex self_;\n"}
+        self.assertEqual(run(files), [])
+
+    def test_other_mutex_annotation_does_not_cover(self) -> None:
+        files = {
+            "src/runtime/two.hpp": (
+                "class Two {\n"
+                "  common::Mutex a_;\n"
+                "  common::Mutex b_;\n"
+                "  int x_ GAURAST_GUARDED_BY(a_) = 0;\n"
+                "};\n"
+            ),
+        }
+        findings = run(files)
+        self.assertEqual(rules_of(findings), ["mutex-guard-coverage"])
+        self.assertIn("b_", findings[0].message)
+
+
+class DriverTest(unittest.TestCase):
+    def test_list_rules_exits_zero(self) -> None:
+        self.assertEqual(li.main(["--list-rules"]), 0)
+
+    def test_real_tree_is_clean(self) -> None:
+        root = Path(__file__).resolve().parent.parent
+        if not (root / "src").is_dir():
+            self.skipTest("not running inside the repo checkout")
+        findings = li.lint(root, li.discover(root))
+        self.assertEqual(
+            findings, [], "the real tree must lint clean; fix or waive findings"
+        )
+
+    def test_subset_lint_still_sees_registry(self) -> None:
+        tree = FakeTree(
+            {
+                "src/engine/registry.cpp": BackendRegistrationTest.REGISTRY,
+                "src/accel/orphan.hpp": (
+                    "class OrphanBackend : public RenderBackend {};\n"
+                ),
+            }
+        )
+        try:
+            findings = li.lint(tree.root, [tree.root / "src/accel/orphan.hpp"])
+            self.assertEqual(rules_of(findings), ["backend-registration"])
+        finally:
+            tree.cleanup()
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

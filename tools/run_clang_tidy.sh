@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# run_clang_tidy.sh — curated clang-tidy pass (static-analysis layer 2).
+#
+# Usage: tools/run_clang_tidy.sh [--all | BASE_REF]
+#
+#   --all       lint every C++ source under src/ and tools/ (main-branch CI)
+#   BASE_REF    lint only *.cpp files changed since merge-base(BASE_REF, HEAD)
+#               (default origin/main — the PR mode, so tidy adoption rides
+#               along with regular changes instead of one repo-wide gate)
+#
+# Requires a compile_commands.json; point BUILD_DIR at a configured build
+# tree (default: build-tidy, the `tidy` CMake preset's binaryDir). Headers
+# are linted through the TUs that include them via HeaderFilterRegex in
+# .clang-tidy, so only .cpp files are passed on the command line.
+#
+# Environment:
+#   CLANG_TIDY  clang-tidy binary (default: clang-tidy)
+#   BUILD_DIR   build tree containing compile_commands.json (default: build-tidy)
+#   JOBS        parallel clang-tidy processes (default: nproc)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CLANG_TIDY=${CLANG_TIDY:-clang-tidy}
+BUILD_DIR=${BUILD_DIR:-build-tidy}
+JOBS=${JOBS:-$(nproc)}
+
+if ! command -v "$CLANG_TIDY" >/dev/null 2>&1; then
+  echo "run_clang_tidy.sh: $CLANG_TIDY not found" >&2
+  exit 1
+fi
+
+if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  echo "run_clang_tidy.sh: $BUILD_DIR/compile_commands.json missing;" \
+       "configure first (cmake --preset tidy)" >&2
+  exit 1
+fi
+
+FILES=()
+if [[ "${1:-}" == "--all" ]]; then
+  mapfile -t FILES < <(git ls-files 'src/*.cpp' 'tools/*.cpp')
+else
+  BASE=${1:-origin/main}
+  if ! git rev-parse --quiet --verify "$BASE^{commit}" >/dev/null 2>&1; then
+    echo "run_clang_tidy.sh: base ref '$BASE' not resolvable; skipping" \
+         "(nothing to diff against)"
+    exit 0
+  fi
+  MERGE_BASE=$(git merge-base "$BASE" HEAD 2>/dev/null || true)
+  if [[ -z "$MERGE_BASE" ]]; then
+    echo "run_clang_tidy.sh: no merge base with '$BASE'; skipping"
+    exit 0
+  fi
+  mapfile -t FILES < <(git diff --name-only --diff-filter=ACMR "$MERGE_BASE" \
+                         HEAD -- 'src/*.cpp' 'tools/*.cpp')
+fi
+
+# Only lint files the compilation database knows about (generated or
+# excluded TUs have no compile command and would hard-fail clang-tidy).
+KNOWN=()
+for f in "${FILES[@]}"; do
+  if grep -qF "$f" "$BUILD_DIR/compile_commands.json"; then
+    KNOWN+=("$f")
+  else
+    echo "run_clang_tidy.sh: skipping $f (not in compilation database)"
+  fi
+done
+
+if [[ ${#KNOWN[@]} -eq 0 ]]; then
+  echo "run_clang_tidy.sh: no eligible C++ sources to lint"
+  exit 0
+fi
+
+echo "run_clang_tidy.sh: linting ${#KNOWN[@]} file(s) with" \
+     "$("$CLANG_TIDY" --version | head -n1) ($JOBS jobs)"
+printf '%s\0' "${KNOWN[@]}" |
+  xargs -0 -n1 -P "$JOBS" "$CLANG_TIDY" -p "$BUILD_DIR" --quiet
+echo "run_clang_tidy.sh: OK"
