@@ -15,6 +15,13 @@
 // one scene class (e.g. the canonical 20000-Gaussian scene) so the
 // comparison isolates execution mode, not scene mix.
 //
+// --listen-loopback measures what the wire costs: the same request list
+// runs once in-process (client threads calling RenderService::submit
+// directly) and once over a real loopback TCP socket through net::Server /
+// net::Client (full frames, image payloads included), at equal worker and
+// client counts. The report includes the wire/in-process throughput ratio,
+// so protocol+socket overhead is a tracked number instead of folklore.
+//
 // Each measured point runs `--warmup` unmeasured full workload passes
 // followed by `--repeat` measured passes (every pass on a fresh,
 // scene-prewarmed service, so pass timing measures serving, not scene
@@ -35,6 +42,11 @@
 //                "modes":[{"mode":"monolithic",...},
 //                         {"mode":"pipelined",...}],
 //                "derived":{"pipelined_speedup":...}}
+//   --listen-loopback:
+//               {"schema":"gaurast-bench-service-wire/v1",
+//                ...same config fields...,"workers":W,"clients":C,
+//                "modes":[{"mode":"inproc",...},{"mode":"wire",...}],
+//                "derived":{"wire_relative_throughput":...}}
 //
 //   bench_service_throughput [--jobs N] [--backend NAME]
 //                            [--kernel reference|fast]
@@ -42,6 +54,7 @@
 //                            [--width W] [--height H] [--seed S]
 //                            [--scene-size G]
 //                            [--pipeline] [--stage-workers P,S,R]
+//                            [--listen-loopback] [--clients C] [--workers W]
 //                            [--json out.json]
 //
 // --backend takes any name in the engine registry (`gaurast_cli backends`);
@@ -49,6 +62,9 @@
 // capabilities support kernel selection; --pipeline requires a backend
 // whose capabilities support stage-pipelined execution.
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -60,6 +76,9 @@
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "engine/registry.hpp"
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
 #include "pipeline/rasterize.hpp"
 #include "runtime/service.hpp"
 #include "runtime/workload.hpp"
@@ -76,6 +95,17 @@ std::vector<int> worker_sweep() {
   for (int w = 1; w < max_workers; w *= 2) sweep.push_back(w);
   sweep.push_back(max_workers);
   return sweep;
+}
+
+/// Linearly interpolated percentile (p in [0, 1]); sorts in place.
+double percentile_ms(std::vector<double>& values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double idx = p * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
 }
 
 }  // namespace
@@ -105,6 +135,13 @@ int main(int argc, char** argv) {
   cli.add_flag("queue", "64",
                "service queue capacity (request queue; per-stage queues "
                "under --pipeline)");
+  cli.add_flag("listen-loopback", "false",
+               "compare in-process submission vs the same requests over a "
+               "real loopback TCP socket (net::Server / net::Client)");
+  cli.add_flag("clients", "4",
+               "client threads driving each pass (with --listen-loopback)");
+  cli.add_flag("workers", "2",
+               "service worker count (with --listen-loopback)");
   cli.add_flag("json", "", "write machine-readable results to this path");
   try {
     if (!cli.parse(argc, argv)) return 0;
@@ -130,6 +167,12 @@ int main(int argc, char** argv) {
     if (warmup < 0) throw CliParseError("--warmup must be >= 0");
     const int repeat = cli.get_positive_int("repeat");
     const bool compare_pipeline = cli.get_bool("pipeline");
+    const bool listen_loopback = cli.get_bool("listen-loopback");
+    if (listen_loopback && compare_pipeline) {
+      throw CliParseError(
+          "--listen-loopback and --pipeline are separate comparisons; "
+          "run them as two invocations");
+    }
     const runtime::StageWorkers stage_workers =
         runtime::stage_workers_from_string(cli.get_string("stage-workers"));
     if (compare_pipeline &&
@@ -212,7 +255,197 @@ int main(int argc, char** argv) {
     const std::string json_path = cli.get_string("json");
     std::ostringstream json;
 
-    if (compare_pipeline) {
+    if (listen_loopback) {
+      const int clients = cli.get_positive_int("clients");
+      const int workers = cli.get_positive_int("workers");
+      runtime::ServiceConfig config;
+      config.workers = workers;
+      config.backend = backend;
+      config.renderer.kernel = kernel;
+      config.queue_capacity =
+          static_cast<std::size_t>(cli.get_positive_int("queue"));
+
+      // One request list shared by both sides: the wire pass sends these
+      // frames verbatim; the in-process pass submits their exact
+      // (scene, camera) equivalents. Image payloads are requested so the
+      // wire pass pays the full serving cost, response serialization and
+      // socket bandwidth included.
+      std::vector<net::RenderRequest> requests;
+      for (const runtime::WorkloadRequest& req :
+           runtime::generate_workload(workload)) {
+        net::RenderRequest wire = net::default_render_request(
+            req.gaussian_count, req.scene_seed, workload.width,
+            workload.height);
+        wire.request_id = static_cast<std::uint64_t>(requests.size()) + 1;
+        wire.flags = net::kWantImage;
+        requests.push_back(std::move(wire));
+      }
+
+      const auto prewarm = [&](runtime::RenderService& service) {
+        for (const auto& [key, master] : master_scenes) {
+          service.scene(key, [&master = master] { return master; });
+        }
+      };
+
+      // In-process side: C closed-loop client threads calling submit()
+      // directly; throughput/latency come from the service stats.
+      const auto run_inproc_pass = [&]() {
+        runtime::RenderService service(config);
+        prewarm(service);
+        std::vector<std::thread> threads;
+        for (int t = 0; t < clients; ++t) {
+          threads.emplace_back([&, t] {
+            for (std::size_t i = static_cast<std::size_t>(t);
+                 i < requests.size(); i += static_cast<std::size_t>(clients)) {
+              const net::RenderRequest& wire = requests[i];
+              runtime::ScenePtr scene = service.scene(
+                  wire.scene_key(),
+                  [&] { return master_scenes.at(wire.scene_key()); });
+              service.submit({std::move(scene), wire.camera()}).get();
+            }
+          });
+        }
+        for (std::thread& t : threads) t.join();
+        return service.stats();
+      };
+
+      struct WirePass {
+        double fps = 0.0;
+        std::vector<double> latencies_ms;  ///< client-observed round trips
+      };
+
+      // Wire side: the same service behind a real loopback net::Server, C
+      // client threads each owning a blocking net::Client. kOverloaded is
+      // the documented shed signal, so clients back off and retry rather
+      // than counting a rejection as a served frame.
+      const auto run_wire_pass = [&]() {
+        runtime::RenderService service(config);
+        prewarm(service);
+        net::Server server(service, {});
+        server.start();
+        std::vector<std::vector<double>> latencies(
+            static_cast<std::size_t>(clients));
+        std::atomic<int> failed{0};
+        const auto t0 = std::chrono::steady_clock::now();
+        std::vector<std::thread> threads;
+        for (int t = 0; t < clients; ++t) {
+          threads.emplace_back([&, t] {
+            net::Client client("127.0.0.1", server.port());
+            for (std::size_t i = static_cast<std::size_t>(t);
+                 i < requests.size(); i += static_cast<std::size_t>(clients)) {
+              for (;;) {
+                const auto start = std::chrono::steady_clock::now();
+                const net::RenderResponse resp = client.render(requests[i]);
+                if (resp.status == net::RenderStatus::kOverloaded) {
+                  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                  continue;
+                }
+                if (resp.status != net::RenderStatus::kOk) {
+                  failed.fetch_add(1);
+                  break;
+                }
+                latencies[static_cast<std::size_t>(t)].push_back(
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count());
+                break;
+              }
+            }
+          });
+        }
+        for (std::thread& t : threads) t.join();
+        const double wall_s =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        server.stop();
+        if (failed.load() > 0) {
+          throw Error("wire pass: " + std::to_string(failed.load()) +
+                      " request(s) refused by the server");
+        }
+        WirePass pass;
+        pass.fps = wall_s > 0.0
+                       ? static_cast<double>(requests.size()) / wall_s
+                       : 0.0;
+        for (std::vector<double>& per_client : latencies) {
+          pass.latencies_ms.insert(pass.latencies_ms.end(),
+                                   per_client.begin(), per_client.end());
+        }
+        return pass;
+      };
+
+      print_banner(std::cout,
+                   "Wire vs in-process serving, backend " + backend +
+                       ", kernel " + pipeline::to_string(kernel) + ", " +
+                       std::to_string(workload.jobs) + " jobs x " +
+                       std::to_string(repeat) + " passes, " +
+                       std::to_string(workers) + " workers, " +
+                       std::to_string(clients) + " clients");
+
+      // Interleaved passes, same rationale as the --pipeline comparison.
+      MeasuredPoint inproc_point;
+      double wire_fps_sum = 0.0;
+      double wire_fps_best = 0.0;
+      std::vector<double> wire_best_latencies;
+      for (int pass = -warmup; pass < repeat; ++pass) {
+        const runtime::ServiceStats inproc_stats = run_inproc_pass();
+        WirePass wire_pass = run_wire_pass();
+        if (pass < 0) continue;
+        inproc_point.add_pass(inproc_stats);
+        wire_fps_sum += wire_pass.fps;
+        if (wire_pass.fps >= wire_fps_best) {
+          wire_fps_best = wire_pass.fps;
+          wire_best_latencies = std::move(wire_pass.latencies_ms);
+        }
+      }
+      inproc_point.finalize(repeat);
+      const double wire_fps_mean =
+          wire_fps_sum / static_cast<double>(repeat);
+      const double wire_p50 = percentile_ms(wire_best_latencies, 0.50);
+      const double wire_p95 = percentile_ms(wire_best_latencies, 0.95);
+      const double wire_p99 = percentile_ms(wire_best_latencies, 0.99);
+      const double wire_relative = inproc_point.fps_mean > 0.0
+                                       ? wire_fps_mean / inproc_point.fps_mean
+                                       : 0.0;
+
+      TablePrinter table(
+          {"Mode", "Clients", "Throughput", "p50", "p95", "p99"});
+      table.add_row(
+          {"inproc", std::to_string(clients),
+           format_fixed(inproc_point.fps_mean, 1) + " fps",
+           format_time_ms(inproc_point.best_stats.latency_p50_ms),
+           format_time_ms(inproc_point.best_stats.latency_p95_ms),
+           format_time_ms(inproc_point.best_stats.latency_p99_ms)});
+      table.add_row({"wire", std::to_string(clients),
+                     format_fixed(wire_fps_mean, 1) + " fps",
+                     format_time_ms(wire_p50), format_time_ms(wire_p95),
+                     format_time_ms(wire_p99)});
+      table.print(std::cout);
+      std::cout << "Wire/in-process throughput: "
+                << format_ratio(wire_relative, 3) << '\n';
+
+      json << "{\"schema\":\"gaurast-bench-service-wire/v1\","
+           << "\"backend\":\"" << backend << "\",\"kernel\":\""
+           << pipeline::to_string(kernel) << "\",\"jobs\":" << workload.jobs
+           << ",\"width\":" << workload.width
+           << ",\"height\":" << workload.height
+           << ",\"seed\":" << workload.seed << ",\"warmup\":" << warmup
+           << ",\"repeat\":" << repeat << ",\"workers\":" << workers
+           << ",\"clients\":" << clients << ",\"modes\":["
+           << "{\"mode\":\"inproc\",\"throughput_mean_fps\":"
+           << format_fixed(inproc_point.fps_mean, 4)
+           << ",\"throughput_best_fps\":"
+           << format_fixed(inproc_point.fps_best, 4) << ",\"stats\":"
+           << runtime::service_stats_json(inproc_point.best_stats) << "},"
+           << "{\"mode\":\"wire\",\"throughput_mean_fps\":"
+           << format_fixed(wire_fps_mean, 4) << ",\"throughput_best_fps\":"
+           << format_fixed(wire_fps_best, 4) << ",\"latency_p50_ms\":"
+           << format_fixed(wire_p50, 4) << ",\"latency_p95_ms\":"
+           << format_fixed(wire_p95, 4) << ",\"latency_p99_ms\":"
+           << format_fixed(wire_p99, 4) << "}]"
+           << ",\"derived\":{\"wire_relative_throughput\":"
+           << format_fixed(wire_relative, 4) << "}}";
+    } else if (compare_pipeline) {
       print_banner(std::cout,
                    "Execution modes, backend " + backend + ", kernel " +
                        pipeline::to_string(kernel) + ", " +

@@ -1,0 +1,145 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace gaurast::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw Error(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Client::Client(const std::string& host, int port, int timeout_ms) {
+  fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw_errno("socket");
+
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd_);
+    fd_ = -1;
+    throw Error("invalid host '" + host + "'");
+  }
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const int saved = errno;
+    close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno(("connect to " + host + ":" + std::to_string(port)).c_str());
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) close(fd_);
+}
+
+void Client::send_all(const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw_errno("send");
+  }
+}
+
+std::pair<FrameHeader, std::vector<std::uint8_t>> Client::recv_frame() {
+  std::uint8_t header_bytes[kHeaderBytes];
+  std::size_t got = 0;
+  auto read_exact = [this](std::uint8_t* out, std::size_t want,
+                           std::size_t& have) {
+    while (have < want) {
+      const ssize_t n = recv(fd_, out + have, want - have, 0);
+      if (n > 0) {
+        have += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n == 0) throw Error("connection closed mid-frame");
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+  };
+  read_exact(header_bytes, kHeaderBytes, got);
+  const FrameHeader header = decode_header(header_bytes);
+  std::vector<std::uint8_t> payload(header.payload_size);
+  got = 0;
+  if (header.payload_size > 0) {
+    read_exact(payload.data(), payload.size(), got);
+  }
+  return {header, std::move(payload)};
+}
+
+RenderResponse Client::render(const RenderRequest& request) {
+  const auto frame = serialize(request);
+  send_all(frame.data(), frame.size());
+  auto [header, payload] = recv_frame();
+  if (header.type == MessageType::kError) {
+    throw ProtocolError("server protocol error: " +
+                        deserialize_error(payload.data(), payload.size()));
+  }
+  if (header.type != MessageType::kRenderResponse) {
+    throw ProtocolError(std::string("expected render-response, got ") +
+                        to_string(header.type));
+  }
+  return deserialize_render_response(payload.data(), payload.size());
+}
+
+StatsResponse Client::stats() {
+  const auto frame = serialize_stats_request();
+  send_all(frame.data(), frame.size());
+  auto [header, payload] = recv_frame();
+  if (header.type == MessageType::kError) {
+    throw ProtocolError("server protocol error: " +
+                        deserialize_error(payload.data(), payload.size()));
+  }
+  if (header.type != MessageType::kStatsResponse) {
+    throw ProtocolError(std::string("expected stats-response, got ") +
+                        to_string(header.type));
+  }
+  return deserialize_stats_response(payload.data(), payload.size());
+}
+
+std::string Client::http_get(const std::string& target) {
+  const std::string request = "GET " + target +
+                              " HTTP/1.1\r\nHost: gaurast\r\nConnection: "
+                              "close\r\n\r\n";
+  send_all(reinterpret_cast<const std::uint8_t*>(request.data()),
+           request.size());
+  std::string response;
+  for (;;) {
+    char buf[4096];
+    const ssize_t n = recv(fd_, buf, sizeof buf, 0);
+    if (n > 0) {
+      response.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) break;  // server closes after the response
+    if (errno == EINTR) continue;
+    throw_errno("recv");
+  }
+  return response;
+}
+
+}  // namespace gaurast::net

@@ -1,0 +1,49 @@
+// net::Client — a deliberately simple blocking client for the gaurast wire
+// protocol, used by tests, the loopback bench, and `gaurast_cli request`.
+// One request in flight at a time per client; throughput comes from running
+// many clients (each bench thread owns one), not from pipelining.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/protocol.hpp"
+
+namespace gaurast::net {
+
+class Client {
+ public:
+  /// Connects immediately; throws gaurast::Error on refusal. `timeout_ms`
+  /// bounds every individual send/recv (SO_SNDTIMEO/SO_RCVTIMEO).
+  Client(const std::string& host, int port, int timeout_ms = 30000);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one render request and blocks for its response. kOverloaded and
+  /// kServerError come back as normal responses (the caller decides);
+  /// a kError frame or any transport failure throws.
+  RenderResponse render(const RenderRequest& request);
+
+  /// Fetches the server's schema-stamped ServiceStats snapshot.
+  StatsResponse stats();
+
+  /// Issues a plain HTTP GET for `target` (e.g. "/healthz") and returns
+  /// the raw response (status line, headers, body). The server closes the
+  /// connection afterwards, as does this client — use a fresh Client for
+  /// anything further.
+  std::string http_get(const std::string& target);
+
+ private:
+  void send_all(const std::uint8_t* data, std::size_t size);
+  /// Reads exactly one frame; throws ProtocolError on malformed input and
+  /// gaurast::Error on EOF/timeout.
+  std::pair<FrameHeader, std::vector<std::uint8_t>> recv_frame();
+
+  int fd_ = -1;
+};
+
+}  // namespace gaurast::net

@@ -1,0 +1,164 @@
+#include "net/event_loop.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace gaurast::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw Error(std::string(what) + ": " + std::strerror(errno));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("fcntl(O_NONBLOCK)");
+  }
+}
+
+std::uint32_t to_epoll(std::uint32_t interest) {
+  std::uint32_t events = 0;
+  if (interest & kReadable) events |= EPOLLIN;
+  if (interest & kWritable) events |= EPOLLOUT;
+  return events;
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw_errno("epoll_create1");
+  int pipe_fds[2];
+  if (pipe2(pipe_fds, O_CLOEXEC | O_NONBLOCK) < 0) {
+    close(epoll_fd_);
+    throw_errno("pipe2");
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  add_fd(wake_read_fd_, kReadable, [this](std::uint32_t) {
+    // Drain the pipe; the posted queue itself is drained once per loop
+    // iteration regardless of how many wakeup bytes coalesced.
+    char buf[64];
+    while (read(wake_read_fd_, buf, sizeof buf) > 0) {
+    }
+  });
+}
+
+EventLoop::~EventLoop() {
+  close(wake_write_fd_);
+  close(wake_read_fd_);
+  close(epoll_fd_);
+}
+
+void EventLoop::add_fd(int fd, std::uint32_t interest, FdHandler handler) {
+  set_nonblocking(fd);
+  epoll_event ev{};
+  ev.events = to_epoll(interest);
+  ev.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    throw_errno("epoll_ctl(ADD)");
+  }
+  handlers_[fd] = std::move(handler);
+}
+
+void EventLoop::modify_fd(int fd, std::uint32_t interest) {
+  epoll_event ev{};
+  ev.events = to_epoll(interest);
+  ev.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) < 0) {
+    throw_errno("epoll_ctl(MOD)");
+  }
+}
+
+void EventLoop::remove_fd(int fd) {
+  // Deleting an fd that the kernel already forgot (peer closed) is fine;
+  // only report real failures.
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr) < 0 &&
+      errno != EBADF && errno != ENOENT) {
+    throw_errno("epoll_ctl(DEL)");
+  }
+  handlers_.erase(fd);
+}
+
+void EventLoop::post(std::function<void()> fn) {
+  {
+    common::MutexLock lock(post_mutex_);
+    posted_.push_back(std::move(fn));
+  }
+  wake();
+}
+
+void EventLoop::wake() {
+  const char byte = 1;
+  // The pipe being full is fine — the loop is already due to wake.
+  ssize_t rc = write(wake_write_fd_, &byte, 1);
+  (void)rc;
+}
+
+void EventLoop::drain_posted() {
+  std::vector<std::function<void()>> tasks;
+  {
+    common::MutexLock lock(post_mutex_);
+    tasks.swap(posted_);
+  }
+  for (auto& task : tasks) task();
+}
+
+void EventLoop::set_tick(std::function<void()> tick, int tick_interval_ms) {
+  tick_ = std::move(tick);
+  tick_interval_ms_ = tick_interval_ms;
+}
+
+void EventLoop::run() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  for (;;) {
+    const int timeout_ms = tick_ ? tick_interval_ms_ : -1;
+    const int n = epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("epoll_wait");
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      std::uint32_t mask = 0;
+      if (events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP | EPOLLRDHUP)) {
+        mask |= kReadable;
+      }
+      if (events[i].events & EPOLLOUT) mask |= kWritable;
+      // Look the handler up per event: an earlier handler in this batch may
+      // have removed this fd.
+      auto it = handlers_.find(fd);
+      if (it != handlers_.end()) it->second(mask);
+    }
+    drain_posted();
+    if (tick_) tick_();
+    {
+      common::MutexLock lock(post_mutex_);
+      if (stop_requested_ && posted_.empty()) {
+        stop_requested_ = false;
+        return;
+      }
+    }
+  }
+}
+
+void EventLoop::stop() {
+  {
+    common::MutexLock lock(post_mutex_);
+    stop_requested_ = true;
+  }
+  wake();
+}
+
+}  // namespace gaurast::net

@@ -1,0 +1,89 @@
+// Non-blocking epoll reactor for the gaurast serve front-end.
+//
+// One thread calls run(); it owns every registered fd and invokes their
+// handlers inline. Other threads talk to the loop exclusively through
+// post(), which enqueues a closure and wakes the loop via a pipe — the
+// wakeup-pipe pattern that lets RenderService worker threads hand
+// completions back to the loop without touching any socket state
+// themselves. Socket state therefore needs no locking at all: everything
+// except the post queue is confined to the loop thread.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace gaurast::net {
+
+/// Bitmask of epoll interests a handler can register for.
+enum : std::uint32_t {
+  kReadable = 1u << 0,
+  kWritable = 1u << 1,
+};
+
+/// Called on the loop thread when a registered fd becomes ready.
+/// `events` is a kReadable/kWritable mask (error/hangup conditions are
+/// reported as kReadable so the handler observes them via read()/recv()).
+/// A handler may remove (even close) its own fd.
+using FdHandler = std::function<void(std::uint32_t events)>;
+
+class EventLoop {
+ public:
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` with the given interest mask. Loop thread only
+  /// (or before run() starts).
+  void add_fd(int fd, std::uint32_t interest, FdHandler handler);
+
+  /// Updates the interest mask of a registered fd. Loop thread only.
+  void modify_fd(int fd, std::uint32_t interest);
+
+  /// Unregisters a fd. Does not close it. Loop thread only. Safe to call
+  /// from inside the fd's own handler.
+  void remove_fd(int fd);
+
+  /// Enqueues `fn` to run on the loop thread and wakes the loop. Safe to
+  /// call from any thread, including the loop thread itself and — the
+  /// primary use — RenderService completion callbacks. Tasks posted
+  /// before stop() drains are still executed before run() returns.
+  void post(std::function<void()> fn) GAURAST_EXCLUDES(post_mutex_);
+
+  /// Runs the loop until stop(). Invokes `tick` (if set via set_tick)
+  /// roughly every `tick_interval_ms` even when no fd is active — the
+  /// idle-timeout sweep hook.
+  void run();
+
+  /// Asks run() to return after draining posted tasks. Any-thread safe.
+  void stop();
+
+  /// Periodic callback on the loop thread (idle sweeps). Set before run().
+  void set_tick(std::function<void()> tick, int tick_interval_ms);
+
+ private:
+  void wake() GAURAST_EXCLUDES(post_mutex_);
+  void drain_posted() GAURAST_EXCLUDES(post_mutex_);
+
+  int epoll_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+
+  // Loop-thread-confined: which fds are registered and how to serve them.
+  std::unordered_map<int, FdHandler> handlers_;
+
+  std::function<void()> tick_;
+  int tick_interval_ms_ = 250;
+
+  common::Mutex post_mutex_;
+  std::vector<std::function<void()>> posted_ GAURAST_GUARDED_BY(post_mutex_);
+  bool stop_requested_ GAURAST_GUARDED_BY(post_mutex_) = false;
+};
+
+}  // namespace gaurast::net

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 #include "engine/backend.hpp"
@@ -22,6 +23,8 @@
 
 namespace gaurast::runtime {
 
+struct JobResult;
+
 /// Scenes are shared immutably between the cache and in-flight jobs; all
 /// backend entry points take const references, so concurrent readers are
 /// safe without copies.
@@ -29,9 +32,19 @@ using ScenePtr = std::shared_ptr<const scene::GaussianScene>;
 
 /// One frame request: an immutable shared scene plus a camera.
 struct RenderRequest {
+  RenderRequest(ScenePtr scene_in, scene::Camera camera_in)
+      : scene(std::move(scene_in)), camera(std::move(camera_in)) {}
+
   ScenePtr scene;
   scene::Camera camera;
   std::uint64_t id = 0;  ///< assigned by the service at submit time
+
+  /// Optional completion hook, invoked on the worker that finishes the job
+  /// (after the service records the completion, before the future
+  /// resolves). This is the bridge event-driven callers use instead of
+  /// blocking on the future — net::Server posts the result back onto its
+  /// event loop from here. Must not throw.
+  std::function<void(const JobResult&)> on_complete;
 };
 
 /// What the caller's future resolves to.

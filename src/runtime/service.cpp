@@ -135,6 +135,10 @@ std::size_t RenderService::cached_precompute_count() const {
 
 JobResult RenderService::execute(RenderRequest request,
                                  Clock::time_point enqueue_time) {
+  // The request is consumed by the job; keep its completion hook alive so
+  // it fires with the final timed result.
+  auto on_complete = std::move(request.on_complete);
+  request.on_complete = nullptr;
   const Clock::time_point start = Clock::now();
   JobResult result =
       FrameJob(*backend_, frame_options_, std::move(request)).execute();
@@ -143,6 +147,7 @@ JobResult RenderService::execute(RenderRequest request,
   result.service_ms = to_ms(end - start);
   result.latency_ms = to_ms(end - enqueue_time);
   record_completion(result);
+  if (on_complete) on_complete(result);
   return result;
 }
 

@@ -208,6 +208,7 @@ void StagePipeline::finish(Job& job, engine::FrameOutput output) {
   result.queue_wait_ms = result.latency_ms - result.service_ms;
   if (result.queue_wait_ms < 0.0) result.queue_wait_ms = 0.0;
   if (on_complete_) on_complete_(result);
+  if (job.request.on_complete) job.request.on_complete(result);
   job.promise.set_value(std::move(result));
 }
 

@@ -333,6 +333,63 @@ expect_contains "$ERR" "--workers does not apply with --pipeline" "workers/pipel
 run 1 render --pipeline --synthetic 100 || true
 expect_contains "$ERR" "--pipeline is not used by 'render'" "render rejects --pipeline"
 
+# 18. Networked serving: `serve --listen` on an ephemeral port accepts wire
+# requests from `gaurast_cli request`, serves the schema-stamped stats
+# endpoint, refuses mismatched options explicitly, and shuts down
+# gracefully (exit 0, final stats) on SIGTERM.
+SERVE_LOG="$TMP/serve_listen.log"
+"$CLI" serve --listen 0 --backend sw --workers 1 >"$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+LISTEN_PORT=""
+for _ in $(seq 1 100); do
+  LISTEN_PORT=$(sed -n 's/^Listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$SERVE_LOG")
+  [[ -n "$LISTEN_PORT" ]] && break
+  sleep 0.1
+done
+if [[ -z "$LISTEN_PORT" ]]; then
+  echo "FAIL: serve --listen never reported its port" >&2
+  cat "$SERVE_LOG" >&2
+  FAILURES=$((FAILURES + 1))
+  kill -9 "$SERVE_PID" 2>/dev/null || true
+else
+  WIRE_PPM="$TMP/wire.ppm"
+  run 0 request --port "$LISTEN_PORT" --synthetic 100 --width 32 --height 24 --out "$WIRE_PPM" || true
+  expect_contains "$STDOUT" "ok" "request reports ok status"
+  expect_contains "$STDOUT" "Latency" "request reports latency"
+  if [[ ! -s "$WIRE_PPM" ]]; then
+    echo "FAIL: request did not write $WIRE_PPM" >&2
+    FAILURES=$((FAILURES + 1))
+  fi
+  run 0 request --port "$LISTEN_PORT" --stats || true
+  expect_contains "$STDOUT" '"schema":"gaurast-serve-stats/v1"' "stats frame is schema-stamped"
+  expect_contains "$STDOUT" '"completed"' "stats frame reports completions"
+  # An option the server cannot honor is an explicit wire refusal, exit 1.
+  run 1 request --port "$LISTEN_PORT" --synthetic 100 --kernel fast || true
+  expect_contains "$ERR" "request refused" "wire kernel mismatch refused"
+  expect_contains "$ERR" "kernel mismatch" "wire refusal names the reason"
+  expect_clean "$ERR" "wire refusal diagnostic"
+  kill -TERM "$SERVE_PID"
+  SERVE_EXIT=0
+  wait "$SERVE_PID" || SERVE_EXIT=$?
+  if [[ "$SERVE_EXIT" -ne 0 ]]; then
+    echo "FAIL: serve --listen exited $SERVE_EXIT after SIGTERM" >&2
+    cat "$SERVE_LOG" >&2
+    FAILURES=$((FAILURES + 1))
+  fi
+  expect_contains "$(cat "$SERVE_LOG")" "shutting down" "serve announces graceful shutdown"
+  expect_contains "$(cat "$SERVE_LOG")" "Jobs completed" "serve prints final stats after SIGTERM"
+fi
+# Listen/request flag validation stays clean.
+run 1 serve --listen 70000 || true
+expect_contains "$ERR" "--listen must be a TCP port" "out-of-range listen port rejected"
+expect_clean "$ERR" "bad listen port diagnostic"
+run 1 serve --listen 0 --jobs 4 || true
+expect_contains "$ERR" "does not apply with --listen" "listen mode rejects workload flags"
+expect_clean "$ERR" "listen/jobs conflict diagnostic"
+run 1 request --port 0 || true
+expect_contains "$ERR" "--port" "request requires a positive port"
+expect_clean "$ERR" "request port diagnostic"
+
 if [[ "$FAILURES" -ne 0 ]]; then
   echo "cli_smoke_test: $FAILURES failure(s)" >&2
   exit 1

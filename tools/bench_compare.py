@@ -9,14 +9,17 @@ BENCH_pipeline.quick.json. The two run different configurations (canonical
 vs quick), so absolute timings are not comparable — what the gate enforces
 is the report's *shape*:
 
+  * every schema tag (top-level and per-section) is one this gate knows;
+    unknown schemas are rejected uniformly, in both reports, so a tag typo
+    or an unregistered new section fails loudly instead of gating nothing,
   * identical top-level schema tag (schema drift must bump the committed
     baseline in the same PR),
-  * every aggregated section the baseline has (micro / service / pipeline)
-    present with its expected per-section schema tag,
+  * every aggregated section the baseline has (micro / service / pipeline /
+    wire) present with its expected per-section schema tag,
   * every micro benchmark name in the baseline still reported (a silently
     dropped benchmark is how perf trajectories rot),
   * the derived headline metrics still computed (raster_fast_speedup,
-    pipelined_speedup).
+    pipelined_speedup, wire_relative_throughput).
 
 It also writes an informational current/baseline ratio table (markdown) to
 --summary, or to $GITHUB_STEP_SUMMARY when set, or stdout — so every CI run
@@ -28,6 +31,39 @@ import argparse
 import json
 import os
 import sys
+
+
+# Every schema tag this gate understands. A report (baseline or current)
+# carrying any other tag is rejected outright — one rule for the top level
+# and every section, so new reports must be registered here to pass.
+SECTIONS = ("micro", "service", "pipeline", "wire")
+
+KNOWN_SCHEMAS = {
+    "": {"gaurast-bench-pipeline/v2", "gaurast-bench-pipeline/v3"},
+    "micro": {"gaurast-bench-micro/v1"},
+    "service": {"gaurast-bench-service/v1"},
+    "pipeline": {"gaurast-bench-service-pipeline/v1"},
+    "wire": {"gaurast-bench-service-wire/v1"},
+}
+
+
+def unknown_schema_errors(label, report):
+    """Uniform unknown-schema rejection for one report."""
+    errors = []
+
+    def check(where, tag):
+        known = KNOWN_SCHEMAS[where]
+        if tag not in known:
+            errors.append(
+                f"{label}: unknown {'top-level' if not where else where} "
+                f"schema '{tag}' (known: {', '.join(sorted(known))})"
+            )
+
+    check("", report.get("schema"))
+    for section in SECTIONS:
+        if section in report:
+            check(section, report[section].get("schema"))
+    return errors
 
 
 def fail(errors):
@@ -55,6 +91,8 @@ def micro_medians(report):
 
 def check_shape(baseline, current):
     errors = []
+    errors += unknown_schema_errors("baseline", baseline)
+    errors += unknown_schema_errors("current", current)
     base_schema = baseline.get("schema")
     cur_schema = current.get("schema")
     if base_schema != cur_schema:
@@ -62,7 +100,7 @@ def check_shape(baseline, current):
             f"top-level schema drift: baseline '{base_schema}' vs current "
             f"'{cur_schema}' (bump the committed baseline in the same PR)"
         )
-    for section in ("micro", "service", "pipeline"):
+    for section in SECTIONS:
         if section not in baseline:
             continue  # an older baseline never gates sections it lacks
         if section not in current:
@@ -87,6 +125,7 @@ def check_shape(baseline, current):
     derived_expectations = (
         ("micro", "raster_fast_speedup"),
         ("pipeline", "pipelined_speedup"),
+        ("wire", "wire_relative_throughput"),
     )
     for section, key in derived_expectations:
         if section not in baseline:
@@ -130,6 +169,7 @@ def ratio_table(baseline, current):
         ("micro", "raster_fast_speedup"),
         ("micro", "sort_parallel_speedup"),
         ("pipeline", "pipelined_speedup"),
+        ("wire", "wire_relative_throughput"),
     ):
         base_val = baseline.get(section, {}).get("derived", {}).get(key)
         cur_val = current.get(section, {}).get("derived", {}).get(key)

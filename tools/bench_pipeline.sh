@@ -1,19 +1,22 @@
 #!/usr/bin/env bash
 # bench_pipeline.sh — runs the canonical pipeline benchmark configurations
 # and aggregates their machine-readable reports into one
-# BENCH_pipeline.json (schema gaurast-bench-pipeline/v2):
+# BENCH_pipeline.json (schema gaurast-bench-pipeline/v3):
 #
-#   {"schema":"gaurast-bench-pipeline/v2","quick":<bool>,
+#   {"schema":"gaurast-bench-pipeline/v3","quick":<bool>,
 #    "micro":    <gaurast-bench-micro/v1 report>,
 #    "service":  <gaurast-bench-service/v1 report>,
-#    "pipeline": <gaurast-bench-service-pipeline/v1 report>}
+#    "pipeline": <gaurast-bench-service-pipeline/v1 report>,
+#    "wire":     <gaurast-bench-service-wire/v1 report>}
 #
 # The canonical (non-quick) configuration is bench_micro's flag defaults
 # (20000 Gaussians at 320x240, warmup 2, repeat 5 — the config the recorded
 # perf trajectory tracks) plus a closed-loop service sweep on the software
 # backend with the fast kernel, plus the monolithic-vs-stage-pipelined
 # serving comparison at equal total worker count on the canonical
-# 20000-Gaussian 320x240 scene. --quick shrinks everything to a small scene
+# 20000-Gaussian 320x240 scene, plus the loopback wire-vs-in-process serving
+# comparison (net::Server / net::Client over a real TCP socket, image
+# payloads included). --quick shrinks everything to a small scene
 # and a single repeat so CI can exercise the JSON paths, both kernels, and
 # both execution modes on every PR in seconds.
 #
@@ -54,11 +57,14 @@ MICRO_FLAGS=()
 SERVICE_FLAGS=(--backend sw --kernel fast)
 PIPELINE_FLAGS=(--pipeline --backend sw --kernel fast --stage-workers 1,1,2
                 --queue 4)
+WIRE_FLAGS=(--listen-loopback --backend sw --kernel fast)
 if [[ "$QUICK" == 1 ]]; then
   MICRO_FLAGS+=(--synthetic 4000 --width 160 --height 120 --warmup 1 --repeat 1)
   SERVICE_FLAGS+=(--jobs 6 --width 96 --height 72 --warmup 0 --repeat 1)
   PIPELINE_FLAGS+=(--jobs 4 --width 96 --height 72 --scene-size 2000
                    --warmup 0 --repeat 1)
+  WIRE_FLAGS+=(--jobs 4 --width 96 --height 72 --scene-size 2000
+               --workers 1 --clients 2 --warmup 0 --repeat 1)
 else
   # Canonical: bench_micro defaults; a fuller service sweep; the execution
   # -mode comparison on the canonical 20k/320x240 scene. --queue 4 bounds
@@ -67,6 +73,8 @@ else
   SERVICE_FLAGS+=(--jobs 24 --warmup 1 --repeat 3)
   PIPELINE_FLAGS+=(--jobs 24 --width 320 --height 240 --scene-size 20000
                    --warmup 1 --repeat 5)
+  WIRE_FLAGS+=(--jobs 16 --width 320 --height 240 --scene-size 20000
+               --workers 2 --clients 4 --warmup 1 --repeat 3)
 fi
 
 # ${arr[@]+...} guards: expanding an empty array under `set -u` is an
@@ -78,19 +86,25 @@ echo "== bench_service_throughput ${SERVICE_FLAGS[*]}"
 "$SERVICE" "${SERVICE_FLAGS[@]}" --json "$TMP/service.json"
 echo "== bench_service_throughput ${PIPELINE_FLAGS[*]}"
 "$SERVICE" "${PIPELINE_FLAGS[@]}" --json "$TMP/pipeline.json"
+echo "== bench_service_throughput ${WIRE_FLAGS[*]}"
+"$SERVICE" "${WIRE_FLAGS[@]}" --json "$TMP/wire.json"
 
 {
-  printf '{"schema":"gaurast-bench-pipeline/v2","quick":%s,"micro":' \
+  printf '{"schema":"gaurast-bench-pipeline/v3","quick":%s,"micro":' \
          "$([[ "$QUICK" == 1 ]] && echo true || echo false)"
   tr -d '\n' < "$TMP/micro.json"
   printf ',"service":'
   tr -d '\n' < "$TMP/service.json"
   printf ',"pipeline":'
   tr -d '\n' < "$TMP/pipeline.json"
+  printf ',"wire":'
+  tr -d '\n' < "$TMP/wire.json"
   printf '}\n'
 } > "$OUT"
 
 SPEEDUP=$(sed -n 's/.*"raster_fast_speedup":\([0-9.]*\).*/\1/p' "$OUT")
 PIPE_SPEEDUP=$(sed -n 's/.*"pipelined_speedup":\([0-9.]*\).*/\1/p' "$OUT")
+WIRE_REL=$(sed -n 's/.*"wire_relative_throughput":\([0-9.]*\).*/\1/p' "$OUT")
 echo "Wrote $OUT (raster fast-vs-reference speedup: ${SPEEDUP:-n/a}x," \
-     "pipelined-vs-monolithic serve: ${PIPE_SPEEDUP:-n/a}x)"
+     "pipelined-vs-monolithic serve: ${PIPE_SPEEDUP:-n/a}x," \
+     "wire-vs-in-process serve: ${WIRE_REL:-n/a}x)"

@@ -12,7 +12,11 @@
 //                        [--backend NAME] [--config rast.cfg] [--threads T]
 //                        [--kernel reference|fast] [--seed S]
 //                        [--pipeline] [--stage-workers P,S,R]
-//                        [--json out.json]
+//                        [--listen PORT] [--json out.json]
+//   gaurast_cli request  --port P [--host H] [--synthetic N] [--seed S]
+//                        [--width W] [--height H] [--out img.ppm]
+//                        [--backend NAME] [--kernel reference|fast]
+//                        [--stats]
 //   gaurast_cli backends [--json out.json|-]
 //   gaurast_cli report
 //
@@ -20,9 +24,12 @@
 // engine::RenderBackend. `simulate` evaluates a full-scale NeRF-360
 // workload profile. `replay` re-times a captured tile trace. `serve` drives
 // generated multi-user traffic through the concurrent RenderService and
-// reports throughput/latency. `backends` lists the engine registry —
-// every --backend value, its capabilities and operating point. `report`
-// prints the headline paper-reproduction summary.
+// reports throughput/latency — or, with --listen, serves real clients over
+// the gaurast wire protocol (net::Server) until SIGINT/SIGTERM. `request`
+// is the matching wire client: it renders one frame on a running server (or
+// fetches its stats snapshot with --stats). `backends` lists the engine
+// registry — every --backend value, its capabilities and operating point.
+// `report` prints the headline paper-reproduction summary.
 //
 // Backend names, help text and flag validation all come from the engine
 // registry (engine/registry.hpp); registering a new operating point there
@@ -31,6 +38,7 @@
 #include <algorithm>
 #include <array>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -52,6 +60,8 @@
 #include "engine/registry.hpp"
 #include "gpu/config.hpp"
 #include "gpu/cost_model.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "pipeline/rasterize.hpp"
 #include "runtime/service.hpp"
 #include "runtime/workload.hpp"
@@ -391,6 +401,126 @@ int cmd_replay(const CliParser& cli) {
   return 0;
 }
 
+// --listen flips `serve` from the synthetic load generator to a real TCP
+// front-end: a net::Server bridges wire requests onto the same
+// RenderService until SIGINT/SIGTERM, then shuts down gracefully (drains
+// accepted jobs, flushes every connection).
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void handle_stop_signal(int) { g_stop_requested = 1; }
+
+int cmd_serve_listen(const CliParser& cli,
+                     runtime::ServiceConfig service_config) {
+  for (const char* flag : {"jobs", "arrival", "rate"}) {
+    if (flag_was_set(cli, flag)) {
+      throw CliParseError(std::string("--") + flag +
+                          " drives the synthetic workload generator and does "
+                          "not apply with --listen (requests come from the "
+                          "wire)");
+    }
+  }
+  const int listen_port = cli.get_int("listen");
+  if (listen_port < 0 || listen_port > 65535) {
+    throw CliParseError("--listen must be a TCP port in [0, 65535] "
+                        "(0 = ephemeral)");
+  }
+  const std::string json_path = cli.get_string("json");
+  OutputFileProbe json_probe(json_path, "json");
+
+  runtime::RenderService service(service_config);
+  net::ServerConfig server_config;
+  server_config.port = listen_port;
+  net::Server server(service, server_config);
+  server.start();
+  std::cout << "Listening on " << server_config.host << ":" << server.port()
+            << " (backend " << service_config.backend << ", "
+            << to_string(service_config.mode) << ", "
+            << service.worker_count() << " workers)" << std::endl;
+
+  g_stop_requested = 0;
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  while (!g_stop_requested) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::cout << "Signal received, shutting down" << std::endl;
+  server.stop();
+
+  const runtime::ServiceStats stats = service.stats();
+  runtime::print_service_stats(std::cout, stats);
+  if (!json_path.empty()) {
+    std::ofstream os(json_path, std::ios::trunc);
+    os << "{\"schema\":\"" << net::kServeStatsSchema
+       << "\",\"command\":\"serve\",\"mode\":\""
+       << to_string(service_config.mode)
+       << "\",\"workers\":" << service.worker_count()
+       << ",\"listen\":" << server.port() << ",\"backend\":\""
+       << service_config.backend
+       << "\",\"stats\":" << runtime::service_stats_json(stats) << "}\n";
+    json_probe.disarm();
+    std::cout << "Wrote " << json_path << '\n';
+  }
+  return 0;
+}
+
+int cmd_request(const CliParser& cli) {
+  const std::string host = cli.get_string("host");
+  const int port = cli.get_positive_int("port");
+  net::Client client(host, port);
+
+  if (cli.get_bool("stats")) {
+    std::cout << client.stats().json << '\n';
+    return 0;
+  }
+
+  const int width = cli.get_positive_int("width");
+  const int height = cli.get_positive_int("height");
+  const std::string out = cli.get_string("out");
+  OutputFileProbe out_probe(out, "out");
+
+  net::RenderRequest wire = net::default_render_request(
+      static_cast<std::uint64_t>(cli.get_positive_int("synthetic")),
+      cli.get_uint64("seed"), width, height);
+  wire.request_id = 1;
+  // Empty backend/kernel mean "whatever the server serves"; only express a
+  // preference when the user actually set the flag (a mismatch is then an
+  // explicit server-side refusal, not a silent substitution).
+  if (flag_was_set(cli, "backend")) wire.backend = cli.get_string("backend");
+  if (flag_was_set(cli, "kernel")) wire.kernel = cli.get_string("kernel");
+  if (!out.empty()) wire.flags |= net::kWantImage;
+
+  const net::RenderResponse resp = client.render(wire);
+  if (resp.status != net::RenderStatus::kOk) {
+    std::cerr << "request refused (" << net::to_string(resp.status) << ")"
+              << (resp.message.empty() ? "" : ": " + resp.message) << '\n';
+    return 1;
+  }
+
+  TablePrinter table({"Metric", "Value"});
+  table.add_row({"Status", net::to_string(resp.status)});
+  table.add_row({"Job id", std::to_string(resp.job_id)});
+  table.add_row({"Latency", format_time_ms(resp.latency_ms)});
+  table.add_row({"Queue wait", format_time_ms(resp.queue_wait_ms)});
+  table.add_row({"Service", format_time_ms(resp.service_ms)});
+  table.print(std::cout);
+
+  if (!out.empty()) {
+    if (!resp.has_image) {
+      throw Error("server response carried no image despite kWantImage");
+    }
+    Image image(resp.image_width, resp.image_height);
+    std::vector<Vec3f>& pixels = image.pixels();
+    for (std::size_t i = 0; i < pixels.size(); ++i) {
+      pixels[i] = Vec3f{resp.pixels[3 * i], resp.pixels[3 * i + 1],
+                        resp.pixels[3 * i + 2]};
+    }
+    image.save_ppm(out);
+    out_probe.disarm();
+    std::cout << "Wrote " << out << '\n';
+  }
+  return 0;
+}
+
 int cmd_serve(const CliParser& cli) {
   runtime::ServiceConfig service_config;
   const bool pipelined = cli.get_bool("pipeline");
@@ -435,6 +565,8 @@ int cmd_serve(const CliParser& cli) {
     service_config.backend_instance = std::move(backend);
   }
 
+  if (flag_was_set(cli, "listen")) return cmd_serve_listen(cli, service_config);
+
   runtime::WorkloadConfig workload;
   workload.seed = cli.get_uint64("seed");
   workload.jobs = cli.get_positive_int("jobs");
@@ -467,7 +599,8 @@ int cmd_serve(const CliParser& cli) {
 
   if (!json_path.empty()) {
     std::ofstream os(json_path, std::ios::trunc);
-    os << "{\"command\":\"serve\",\"mode\":\""
+    os << "{\"schema\":\"" << net::kServeStatsSchema
+       << "\",\"command\":\"serve\",\"mode\":\""
        << to_string(service_config.mode)
        << "\",\"workers\":" << service.worker_count();
     if (pipelined) {
@@ -512,8 +645,8 @@ int cmd_report() {
   return 0;
 }
 
-constexpr std::array<std::string_view, 6> kCommands = {
-    "render", "simulate", "replay", "serve", "backends", "report"};
+constexpr std::array<std::string_view, 7> kCommands = {
+    "render", "simulate", "replay", "serve", "request", "backends", "report"};
 
 /// Flags each command actually consumes. Flags are declared once globally
 /// (so every help screen is complete), but a flag set for a command that
@@ -528,7 +661,10 @@ const std::vector<std::string>& command_flags(const std::string& command) {
       {"serve",
        {"jobs", "workers", "queue", "arrival", "rate", "backend", "config",
         "threads", "kernel", "seed", "width", "height", "pipeline",
-        "stage-workers", "json"}},
+        "stage-workers", "listen", "json"}},
+      {"request",
+       {"host", "port", "synthetic", "seed", "width", "height", "out",
+        "backend", "kernel", "stats"}},
       {"backends", {"json"}},
       {"report", {}},
   };
@@ -547,7 +683,7 @@ void reject_foreign_flags(const CliParser& cli, const std::string& command) {
 
 void print_top_usage(std::ostream& os) {
   os << "usage: gaurast_cli "
-        "<render|simulate|replay|serve|backends|report> [flags]\n"
+        "<render|simulate|replay|serve|request|backends|report> [flags]\n"
         "       gaurast_cli <command> --help\n"
         "\n"
         "Commands:\n"
@@ -556,7 +692,10 @@ void print_top_usage(std::ostream& os) {
         "  simulate  evaluate a full-scale NeRF-360 workload profile\n"
         "  replay    re-time a captured tile-load trace (.gtr)\n"
         "  serve     run generated traffic through the concurrent render "
-        "service\n"
+        "service, or\n"
+        "            serve the wire protocol on a TCP port with --listen\n"
+        "  request   render one frame on (or fetch stats from) a running "
+        "serve --listen\n"
         "  backends  list the registered engine backends and their "
         "capabilities\n"
         "  report    print the headline paper-reproduction summary\n";
@@ -613,6 +752,15 @@ int main(int argc, char** argv) {
   cli.add_flag("stage-workers", "1,1,2",
                "serve: pipelined worker split preprocess,sort,raster "
                "(with --pipeline)");
+  cli.add_flag("listen", "0",
+               "serve: listen for gaurast wire-protocol clients on this TCP "
+               "port (0 = ephemeral) instead of generating a workload; "
+               "SIGINT/SIGTERM shuts down gracefully");
+  cli.add_flag("host", "127.0.0.1", "request: server host");
+  cli.add_flag("port", "0", "request: server port (as printed by --listen)");
+  cli.add_flag("stats", "false",
+               "request: fetch the server's schema-stamped stats snapshot "
+               "instead of rendering");
   // --backend help is generated from the registry, never hard-coded.
   cli.add_flag("backend", "gaurast",
                "Step-3 executor: " + engine::join_names(engine::names()) +
@@ -631,6 +779,7 @@ int main(int argc, char** argv) {
     if (command == "simulate") return cmd_simulate(cli);
     if (command == "replay") return cmd_replay(cli);
     if (command == "serve") return cmd_serve(cli);
+    if (command == "request") return cmd_request(cli);
     if (command == "backends") return cmd_backends(cli);
     if (command == "report") return cmd_report();
     // Unreachable while kCommands and the chain above stay in sync.

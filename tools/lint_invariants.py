@@ -21,6 +21,12 @@ Rules (see --list-rules):
                        src/ must be constructed (std::make_unique<...>) in
                        src/engine/registry.cpp, so no backend silently
                        drops out of the registry-based engine API.
+  raw-sockets          Raw BSD socket / epoll syscalls (socket, bind, listen,
+                       accept, connect, send*, recv*, epoll_*, ...) are
+                       confined to src/net/, the one module that owns wire
+                       I/O. Everything else talks to the network through
+                       net::Server / net::Client, so socket lifetimes and
+                       protocol framing stay in one reviewed place.
   mutex-guard-coverage Every common::Mutex member declared in a header under
                        src/ must have at least one GAURAST_GUARDED_BY /
                        GAURAST_PT_GUARDED_BY / GAURAST_REQUIRES /
@@ -52,6 +58,9 @@ RAW_CONCURRENCY_EXEMPT_DIRS = ("src/common", "src/runtime")
 # Kernel (hot-loop) directories for the CHECK-vs-DCHECK policy.
 KERNEL_DIRS = ("src/pipeline", "src/gsmath")
 
+# The one module allowed to make raw socket / epoll syscalls.
+RAW_SOCKETS_EXEMPT_DIRS = ("src/net",)
+
 # The single sanctioned construction site for engine backends.
 REGISTRY_SOURCE = "src/engine/registry.cpp"
 
@@ -80,6 +89,42 @@ RAW_CONCURRENCY_TYPES = (
 
 RAW_CONCURRENCY_RE = re.compile(
     r"\bstd::(?:" + "|".join(RAW_CONCURRENCY_TYPES) + r")\b(?!::hardware_concurrency)"
+)
+
+# Raw socket / epoll entry points. Free-call syscall spellings only: the
+# lookbehind rejects member/qualified calls (conn.send(...), net::send(...)),
+# and `shutdown` is deliberately absent — as a bare name it collides with
+# ordinary shutdown() methods far too often to lint on.
+RAW_SOCKET_FUNCTIONS = (
+    "socket",
+    "socketpair",
+    "bind",
+    "listen",
+    "accept",
+    "accept4",
+    "connect",
+    "send",
+    "sendto",
+    "sendmsg",
+    "recv",
+    "recvfrom",
+    "recvmsg",
+    "setsockopt",
+    "getsockopt",
+    "getsockname",
+    "getpeername",
+    "epoll_create",
+    "epoll_create1",
+    "epoll_ctl",
+    "epoll_wait",
+)
+
+# Matches bare calls (`socket(...)`) and global-scope calls (`::socket(...)`)
+# while rejecting member and namespace-qualified spellings (`conn.send(...)`,
+# `asio::connect(...)`): the optional `::` must not itself be preceded by an
+# identifier character.
+RAW_SOCKETS_RE = re.compile(
+    r"(?<![\w.:>])(?:::\s*)?(?:" + "|".join(RAW_SOCKET_FUNCTIONS) + r")\s*\("
 )
 
 WAIVER_RE = re.compile(r"//\s*lint-invariants:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
@@ -213,6 +258,30 @@ def check_raw_concurrency(src: SourceFile, _all: list[SourceFile]) -> list[Findi
                 f"{m.group(0)} outside src/common//src/runtime/; use the "
                 "annotated wrappers in common/mutex.hpp or "
                 "common::parallel_for_workers",
+            )
+        )
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: raw-sockets
+# --------------------------------------------------------------------------
+
+
+def check_raw_sockets(src: SourceFile, _all: list[SourceFile]) -> list[Finding]:
+    if not src.rel.startswith("src/") or in_dirs(src.rel, RAW_SOCKETS_EXEMPT_DIRS):
+        return []
+    findings = []
+    for m in RAW_SOCKETS_RE.finditer(src.scrubbed):
+        call = m.group(0).rstrip("( \t").lstrip(": \t")
+        findings.append(
+            Finding(
+                src.path,
+                line_of(src.scrubbed, m.start()),
+                "raw-sockets",
+                f"raw socket call {call}() outside src/net/; wire I/O goes "
+                "through net::Server / net::Client so framing and fd "
+                "lifetimes stay in one module",
             )
         )
     return findings
@@ -360,6 +429,10 @@ RULES: dict[str, tuple[str, RuleFn]] = {
     "raw-concurrency": (
         "raw std:: threading primitives outside src/common//src/runtime/",
         check_raw_concurrency,
+    ),
+    "raw-sockets": (
+        "raw socket / epoll syscalls outside src/net/",
+        check_raw_sockets,
     ),
     "check-in-kernel-loop": (
         "GAURAST_CHECK inside loop bodies in src/pipeline//src/gsmath/",

@@ -127,6 +127,67 @@ class RawConcurrencyTest(unittest.TestCase):
         self.assertEqual(run(files), [])
 
 
+class RawSocketsTest(unittest.TestCase):
+    def test_seeded_violation_caught(self) -> None:
+        body = (
+            "#include <sys/socket.h>\n"
+            "int open_conn() { return socket(AF_INET, SOCK_STREAM, 0); }\n"
+        )
+        findings = run({"src/runtime/shortcut.cpp": body})
+        self.assertEqual(rules_of(findings), ["raw-sockets"])
+        self.assertEqual(findings[0].line, 2)
+        self.assertIn("socket()", findings[0].message)
+
+    def test_global_scope_spelling_caught(self) -> None:
+        body = "void f(int fd) { ::send(fd, nullptr, 0, 0); }\n"
+        findings = run({"src/engine/leak.cpp": body})
+        self.assertEqual(rules_of(findings), ["raw-sockets"])
+        self.assertIn("send()", findings[0].message)
+
+    def test_epoll_calls_caught(self) -> None:
+        body = (
+            "void f() {\n"
+            "  int ep = epoll_create1(0);\n"
+            "  epoll_ctl(ep, 0, 0, nullptr);\n"
+            "  epoll_wait(ep, nullptr, 0, -1);\n"
+            "}\n"
+        )
+        findings = run({"src/gpu/poller.cpp": body})
+        self.assertEqual(rules_of(findings), ["raw-sockets"] * 3)
+
+    def test_net_module_exempt(self) -> None:
+        body = (
+            "void f(int fd) {\n"
+            "  ::listen(fd, 64);\n"
+            "  ::accept4(fd, nullptr, nullptr, 0);\n"
+            "  recv(fd, nullptr, 0, 0);\n"
+            "}\n"
+        )
+        self.assertEqual(run({"src/net/server.cpp": body}), [])
+
+    def test_member_and_namespace_calls_ignored(self) -> None:
+        body = (
+            "void f(Conn& conn) {\n"
+            "  conn.send(buf);\n"
+            "  transport->connect(peer);\n"
+            "  std::bind(&f, conn);\n"
+            "  asio::connect(peer);\n"
+            "}\n"
+        )
+        self.assertEqual(run({"src/runtime/relay.cpp": body}), [])
+
+    def test_comment_and_string_ignored(self) -> None:
+        body = '// socket(AF_INET)\nauto s = "recv(fd, ...)";\n'
+        self.assertEqual(run({"src/scene/doc.cpp": body}), [])
+
+    def test_waiver_suppresses(self) -> None:
+        body = (
+            "int f() { return socket(AF_INET, SOCK_DGRAM, 0); }"
+            "  // lint-invariants: allow(raw-sockets)\n"
+        )
+        self.assertEqual(run({"src/runtime/legacy.cpp": body}), [])
+
+
 class KernelLoopTest(unittest.TestCase):
     def test_seeded_violation_caught(self) -> None:
         body = (
