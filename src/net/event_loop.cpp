@@ -137,9 +137,14 @@ void EventLoop::run() {
       }
       if (events[i].events & EPOLLOUT) mask |= kWritable;
       // Look the handler up per event: an earlier handler in this batch may
-      // have removed this fd.
+      // have removed this fd. Invoke a stack copy — a handler that removes
+      // its own fd erases the map entry, and destroying the std::function
+      // currently executing is undefined behavior.
       auto it = handlers_.find(fd);
-      if (it != handlers_.end()) it->second(mask);
+      if (it != handlers_.end()) {
+        FdHandler handler = it->second;
+        handler(mask);
+      }
     }
     drain_posted();
     if (tick_) tick_();

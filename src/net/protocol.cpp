@@ -326,7 +326,10 @@ RenderResponse deserialize_render_response(const std::uint8_t* data,
     }
     const std::uint64_t count = std::uint64_t(msg.image_width) *
                                 std::uint64_t(msg.image_height) * 3;
-    if (count * 4 > size) {
+    // Divide instead of multiplying: count * 4 can wrap u64 for dimensions
+    // near INT32_MAX, which would bypass the bound and turn a malformed
+    // frame into a length_error/bad_alloc instead of a ProtocolError.
+    if (count > size / 4) {
       throw ProtocolError("render-response image larger than its payload");
     }
     msg.pixels.resize(count);

@@ -108,7 +108,9 @@ void Server::stop() {
   loop_.post([this] { begin_shutdown(); });
   service_.drain();
   loop_.post([this] { maybe_finish_shutdown(); });
-  loop_thread_.join();
+  // start() may have thrown before the loop thread was spawned; joining a
+  // non-joinable thread from ~Server would terminate the process.
+  if (loop_thread_.joinable()) loop_thread_.join();
   if (listen_fd_ >= 0) {
     close(listen_fd_);
     listen_fd_ = -1;
@@ -153,7 +155,9 @@ void Server::handle_conn_event(std::uint64_t conn_id, std::uint32_t events) {
     const ssize_t n = recv(conn.fd, buf, sizeof buf, 0);
     if (n > 0) {
       conn.read_buf.insert(conn.read_buf.end(), buf, buf + n);
-      conn.last_activity = Clock::now();
+      // During draining only write progress counts as activity — otherwise
+      // a peer that keeps sending but never reads holds shutdown open.
+      if (!draining_) conn.last_activity = Clock::now();
       continue;
     }
     if (n == 0) {
@@ -186,6 +190,7 @@ void Server::process_read_buffer(Connection& conn) {
     return;
   }
 
+  const std::uint64_t conn_id = conn.id;
   while (!conn.closing && conn.read_buf.size() >= kHeaderBytes) {
     FrameHeader header;
     try {
@@ -202,6 +207,10 @@ void Server::process_read_buffer(Connection& conn) {
       protocol_error(conn, e.what());
       return;
     }
+    // dispatch_frame can erase the connection (respond -> flush_writes ->
+    // EPIPE -> close_connection); `conn` dangles then. Map nodes are
+    // stable, so if the id is still present the reference is still good.
+    if (conns_.find(conn_id) == conns_.end()) return;
     conn.read_buf.erase(conn.read_buf.begin(),
                         conn.read_buf.begin() +
                             static_cast<std::ptrdiff_t>(total));
@@ -451,19 +460,36 @@ void Server::deliver(std::uint64_t conn_id,
 }
 
 void Server::on_tick() {
+  const Clock::time_point now = Clock::now();
+  const auto ms_since = [now](Clock::time_point then) {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(now - then)
+        .count();
+  };
   if (config_.idle_timeout_ms > 0) {
-    const Clock::time_point now = Clock::now();
     std::vector<std::uint64_t> idle;
     for (const auto& [id, conn] : conns_) {
       if (conn.pending_jobs > 0) continue;  // a job in flight is activity
-      const auto idle_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
-                               now - conn.last_activity)
-                               .count();
-      if (idle_ms > config_.idle_timeout_ms) idle.push_back(id);
+      if (ms_since(conn.last_activity) > config_.idle_timeout_ms) {
+        idle.push_back(id);
+      }
     }
     for (std::uint64_t id : idle) close_connection(id);
   }
-  if (draining_) maybe_finish_shutdown();
+  if (draining_) {
+    // Shutdown must terminate even with the idle sweep disabled: a peer
+    // that never reads leaves write_buf undrained and maybe_close never
+    // fires. Force-close connections with no job in flight and no send
+    // progress within the drain bound.
+    std::vector<std::uint64_t> stuck;
+    for (const auto& [id, conn] : conns_) {
+      if (conn.pending_jobs > 0) continue;
+      if (ms_since(conn.last_activity) > config_.drain_timeout_ms) {
+        stuck.push_back(id);
+      }
+    }
+    for (std::uint64_t id : stuck) close_connection(id);
+    maybe_finish_shutdown();
+  }
 }
 
 void Server::begin_shutdown() {

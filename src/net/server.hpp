@@ -44,6 +44,10 @@ struct ServerConfig {
   /// Connections with no traffic and no in-flight jobs for this long are
   /// closed by the loop's tick sweep. 0 disables the sweep.
   int idle_timeout_ms = 30000;
+  /// During stop(), a connection with no job in flight whose writes make no
+  /// progress for this long is force-closed, independent of idle_timeout_ms
+  /// — a peer that never reads must not hang shutdown.
+  int drain_timeout_ms = 5000;
   int backlog = 64;
   /// Requests above this are refused with kServerError before any scene is
   /// generated (a wire-reachable allocation guard).

@@ -55,13 +55,18 @@ RenderRequest sample_request() {
 /// to build them) and for observing server-initiated closes.
 class RawConn {
  public:
-  explicit RawConn(int port, int timeout_ms = 3000) {
+  explicit RawConn(int port, int timeout_ms = 3000, int rcvbuf = 0) {
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     EXPECT_GE(fd_, 0);
     timeval tv{};
     tv.tv_sec = timeout_ms / 1000;
     tv.tv_usec = (timeout_ms % 1000) * 1000;
     ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    if (rcvbuf > 0) {
+      // Shrink the receive window (must happen before connect) so a peer
+      // that never reads stalls the server's sends quickly.
+      ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof rcvbuf);
+    }
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_port = htons(static_cast<std::uint16_t>(port));
@@ -76,6 +81,16 @@ class RawConn {
   void send_bytes(const std::vector<std::uint8_t>& bytes) {
     ASSERT_EQ(::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL),
               static_cast<ssize_t>(bytes.size()));
+  }
+
+  /// Closes with an RST (SO_LINGER 0) instead of an orderly FIN.
+  void reset() {
+    linger lin{};
+    lin.l_onoff = 1;
+    lin.l_linger = 0;
+    ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &lin, sizeof lin);
+    ::close(fd_);
+    fd_ = -1;
   }
 
   /// Reads until the peer closes (returns everything received) or the
@@ -256,6 +271,31 @@ TEST(Protocol, TruncatedAndTrailingPayloadsRejected) {
                ProtocolError);
   // Declared string length pointing past the payload end.
   EXPECT_THROW(deserialize_stats_response(frame.data() + kHeaderBytes, 2),
+               ProtocolError);
+}
+
+TEST(Protocol, RenderResponsePixelByteCountOverflowRejected) {
+  // 842443544 * 1824726041 * 3 fits u64, but * 4 wraps to 32 — small
+  // enough to slip past a naive `count * 4 > size` bound and reach
+  // pixels.resize(4.6e18). The decoder must reject it as a ProtocolError,
+  // not surface length_error/bad_alloc.
+  std::vector<std::uint8_t> p;
+  auto le = [&p](std::uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      p.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  };
+  le(1, 8);     // request_id
+  le(0, 1);     // status = kOk
+  le(2, 8);     // job_id
+  le(0, 8);     // latency_ms   (0.0 as IEEE-754 bits)
+  le(0, 8);     // queue_wait_ms
+  le(0, 8);     // service_ms
+  le(0, 4);     // message: empty string
+  le(1, 1);     // has_image
+  le(842443544u, 4);   // width
+  le(1824726041u, 4);  // height
+  EXPECT_THROW(deserialize_render_response(p.data(), p.size()),
                ProtocolError);
 }
 
@@ -540,6 +580,68 @@ TEST(Server, GracefulStopDrainsInFlightRequests) {
   stopper.join();
   client_thread.join();
   EXPECT_EQ(service.stats().completed, 1u);
+}
+
+TEST(Server, FrameThenImmediateResetKeepsServing) {
+  runtime::ServiceConfig sconfig;
+  sconfig.backend = "sw";
+  with_server(sconfig, {}, [](runtime::RenderService&, Server& server) {
+    // A peer that sends frames and resets in the same instant makes the
+    // respond path hit EPIPE/ECONNRESET mid-dispatch, erasing the
+    // connection while process_read_buffer is still working on it — the
+    // reference must not be touched after the erase. Repeat to give the
+    // race a fair chance; ASan turns any regression into a hard failure.
+    for (int i = 0; i < 2000; ++i) {
+      RawConn conn(server.port());
+      std::vector<std::uint8_t> bytes;
+      for (int k = 0; k < 3; ++k) {
+        const auto f = serialize_stats_request();
+        bytes.insert(bytes.end(), f.begin(), f.end());
+      }
+      conn.send_bytes(bytes);
+      if (i % 3 == 1) {
+        std::this_thread::sleep_for(std::chrono::microseconds(i % 50));
+      }
+      conn.reset();
+    }
+    // The server must still be serving after the abuse.
+    Client client("127.0.0.1", server.port());
+    EXPECT_EQ(client.stats().json.find("{\"schema\":\"gaurast-serve-stats/v1\""),
+              0u);
+  });
+}
+
+TEST(Server, StopForceClosesPeersThatNeverRead) {
+  runtime::ServiceConfig sconfig;
+  sconfig.workers = 2;
+  sconfig.backend = "sw";
+  ServerConfig config;
+  config.idle_timeout_ms = 0;  // the sweep that would otherwise reap them
+  config.drain_timeout_ms = 200;
+  runtime::RenderService service(sconfig);
+  Server server(service, config);
+  server.start();
+
+  // A peer with a tiny receive window that requests image frames and never
+  // reads a byte: the responses can never drain through the socket, so
+  // stop() must force-close the connection after drain_timeout_ms instead
+  // of waiting for a flush that will never finish.
+  RawConn conn(server.port(), /*timeout_ms=*/3000, /*rcvbuf=*/4096);
+  RenderRequest wire = default_render_request(600, 7, 320, 240);
+  wire.flags = kWantImage;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    wire.request_id = i;
+    conn.send_bytes(serialize(wire));
+  }
+  while (service.stats().completed < 8) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  server.stop();
+  const auto stop_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  EXPECT_LT(stop_ms, 30000) << "stop() hung on an undrained connection";
 }
 
 }  // namespace
