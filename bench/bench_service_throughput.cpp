@@ -22,6 +22,14 @@
 // client counts. The report includes the wire/in-process throughput ratio,
 // so protocol+socket overhead is a tracked number instead of folklore.
 //
+// --fleet N measures what the router costs: the same request list runs
+// once direct (each client dials the scene's owner shard itself, using the
+// same rendezvous hash the router uses) and once routed (every frame
+// through the cluster::Router front-end), over an identical fleet of N
+// loopback shards. The report includes the routed/direct throughput ratio
+// and the router's own per-frame route-overhead numbers, so the price of
+// the fleet front-end is a tracked number instead of folklore.
+//
 // Each measured point runs `--warmup` unmeasured full workload passes
 // followed by `--repeat` measured passes (every pass on a fresh,
 // scene-prewarmed service, so pass timing measures serving, not scene
@@ -47,6 +55,14 @@
 //                ...same config fields...,"workers":W,"clients":C,
 //                "modes":[{"mode":"inproc",...},{"mode":"wire",...}],
 //                "derived":{"wire_relative_throughput":...}}
+//   --fleet N:  {"schema":"gaurast-bench-service-fleet/v1",
+//                ...same config fields...,"shards":N,"workers":W,
+//                "clients":C,
+//                "modes":[{"mode":"direct",...},
+//                         {"mode":"routed",...,
+//                          "route_overhead_mean_ms":...,
+//                          "route_overhead_p95_ms":...}],
+//                "derived":{"routed_relative_throughput":...}}
 //
 //   bench_service_throughput [--jobs N] [--backend NAME]
 //                            [--kernel reference|fast]
@@ -55,6 +71,7 @@
 //                            [--scene-size G]
 //                            [--pipeline] [--stage-workers P,S,R]
 //                            [--listen-loopback] [--clients C] [--workers W]
+//                            [--fleet N]
 //                            [--json out.json]
 //
 // --backend takes any name in the engine registry (`gaurast_cli backends`);
@@ -68,11 +85,14 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <numeric>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "cluster/host_db.hpp"
+#include "cluster/router.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "engine/registry.hpp"
@@ -141,7 +161,11 @@ int main(int argc, char** argv) {
   cli.add_flag("clients", "4",
                "client threads driving each pass (with --listen-loopback)");
   cli.add_flag("workers", "2",
-               "service worker count (with --listen-loopback)");
+               "service worker count (with --listen-loopback; per shard "
+               "with --fleet)");
+  cli.add_flag("fleet", "0",
+               "compare direct-to-shard vs routed-through-cluster::Router "
+               "serving over this many loopback shards (0 = off)");
   cli.add_flag("json", "", "write machine-readable results to this path");
   try {
     if (!cli.parse(argc, argv)) return 0;
@@ -168,10 +192,14 @@ int main(int argc, char** argv) {
     const int repeat = cli.get_positive_int("repeat");
     const bool compare_pipeline = cli.get_bool("pipeline");
     const bool listen_loopback = cli.get_bool("listen-loopback");
-    if (listen_loopback && compare_pipeline) {
+    const int fleet_shards = cli.get_int("fleet");
+    if (fleet_shards < 0) throw CliParseError("--fleet must be >= 0");
+    if ((listen_loopback ? 1 : 0) + (compare_pipeline ? 1 : 0) +
+            (fleet_shards > 0 ? 1 : 0) >
+        1) {
       throw CliParseError(
-          "--listen-loopback and --pipeline are separate comparisons; "
-          "run them as two invocations");
+          "--listen-loopback, --pipeline, and --fleet are separate "
+          "comparisons; run them as separate invocations");
     }
     const runtime::StageWorkers stage_workers =
         runtime::stage_workers_from_string(cli.get_string("stage-workers"));
@@ -445,6 +473,225 @@ int main(int argc, char** argv) {
            << format_fixed(wire_p99, 4) << "}]"
            << ",\"derived\":{\"wire_relative_throughput\":"
            << format_fixed(wire_relative, 4) << "}}";
+    } else if (fleet_shards > 0) {
+      const int clients = cli.get_positive_int("clients");
+      const int workers = cli.get_positive_int("workers");
+      runtime::ServiceConfig config;
+      config.workers = workers;
+      config.backend = backend;
+      config.renderer.kernel = kernel;
+      config.queue_capacity =
+          static_cast<std::size_t>(cli.get_positive_int("queue"));
+
+      // One request list shared by both sides, full image payloads: the
+      // routed pass pays the real forwarding cost, pixels included.
+      std::vector<net::RenderRequest> requests;
+      for (const runtime::WorkloadRequest& req :
+           runtime::generate_workload(workload)) {
+        net::RenderRequest wire = net::default_render_request(
+            req.gaussian_count, req.scene_seed, workload.width,
+            workload.height);
+        wire.request_id = static_cast<std::uint64_t>(requests.size()) + 1;
+        wire.flags = net::kWantImage;
+        requests.push_back(std::move(wire));
+      }
+
+      struct FleetPass {
+        double fps = 0.0;
+        std::vector<double> latencies_ms;  ///< client-observed round trips
+        cluster::RouterStatsSnapshot router_stats;
+      };
+
+      // One pass over a fresh fleet of `fleet_shards` loopback shards.
+      // Direct mode: every client resolves the scene's owner itself via the
+      // same rendezvous hash and dials that shard. Routed mode: every frame
+      // goes through one cluster::Router front-end. Identical shards,
+      // identical requests — the delta is the router.
+      const auto run_fleet_pass = [&](bool routed) {
+        std::vector<std::unique_ptr<runtime::RenderService>> services;
+        std::vector<std::unique_ptr<net::Server>> servers;
+        std::vector<cluster::ShardId> ids;
+        for (int s = 0; s < fleet_shards; ++s) {
+          services.push_back(std::make_unique<runtime::RenderService>(config));
+          for (const auto& [key, master] : master_scenes) {
+            services.back()->scene(key, [&master = master] { return master; });
+          }
+          servers.push_back(std::make_unique<net::Server>(
+              *services.back(), net::ServerConfig{}));
+          servers.back()->start();
+          ids.push_back(cluster::ShardId{"127.0.0.1", servers.back()->port()});
+        }
+        cluster::HostDb db(ids);
+        std::unique_ptr<cluster::Router> router;
+        if (routed) {
+          cluster::RouterConfig router_config;
+          // Capacity sized so the router never sheds: this pass measures
+          // forwarding overhead, not admission control.
+          router_config.inflight_per_shard = clients;
+          router_config.queue_per_shard = static_cast<int>(requests.size());
+          router = std::make_unique<cluster::Router>(db, router_config);
+          router->start();
+        }
+
+        std::vector<std::vector<double>> latencies(
+            static_cast<std::size_t>(clients));
+        std::atomic<int> failed{0};
+        const auto t0 = std::chrono::steady_clock::now();
+        std::vector<std::thread> threads;
+        for (int t = 0; t < clients; ++t) {
+          threads.emplace_back([&, t] {
+            // Direct mode keeps one lazily-dialed connection per shard;
+            // routed mode one connection to the front-end — both sides
+            // reuse connections across the pass.
+            std::vector<std::unique_ptr<net::Client>> conns(
+                routed ? 1 : static_cast<std::size_t>(fleet_shards));
+            for (std::size_t i = static_cast<std::size_t>(t);
+                 i < requests.size(); i += static_cast<std::size_t>(clients)) {
+              const net::RenderRequest& wire = requests[i];
+              std::size_t slot = 0;
+              int port = router ? router->port() : 0;
+              if (!routed) {
+                slot = *db.route(wire.scene_key());
+                port = ids[slot].port;
+              }
+              if (!conns[slot]) {
+                conns[slot] =
+                    std::make_unique<net::Client>("127.0.0.1", port);
+              }
+              const auto start = std::chrono::steady_clock::now();
+              const net::RenderResponse resp = conns[slot]->render(wire);
+              if (resp.status != net::RenderStatus::kOk) {
+                failed.fetch_add(1);
+                continue;
+              }
+              latencies[static_cast<std::size_t>(t)].push_back(
+                  std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count());
+            }
+          });
+        }
+        for (std::thread& t : threads) t.join();
+        const double wall_s =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        FleetPass pass;
+        if (router) {
+          pass.router_stats = router->stats_snapshot();
+          router->stop();
+        }
+        for (auto& server : servers) server->stop();
+        if (failed.load() > 0) {
+          throw Error("fleet pass: " + std::to_string(failed.load()) +
+                      " request(s) not served kOk");
+        }
+        pass.fps = wall_s > 0.0
+                       ? static_cast<double>(requests.size()) / wall_s
+                       : 0.0;
+        for (std::vector<double>& per_client : latencies) {
+          pass.latencies_ms.insert(pass.latencies_ms.end(),
+                                   per_client.begin(), per_client.end());
+        }
+        return pass;
+      };
+
+      print_banner(std::cout,
+                   "Direct vs routed fleet serving, backend " + backend +
+                       ", kernel " + pipeline::to_string(kernel) + ", " +
+                       std::to_string(workload.jobs) + " jobs x " +
+                       std::to_string(repeat) + " passes, " +
+                       std::to_string(fleet_shards) + " shards x " +
+                       std::to_string(workers) + " workers, " +
+                       std::to_string(clients) + " clients");
+
+      // Interleaved passes, same rationale as the other comparisons.
+      struct FleetPoint {
+        double fps_sum = 0.0;
+        double fps_mean = 0.0;
+        double fps_best = 0.0;
+        FleetPass best;
+
+        void add_pass(FleetPass pass) {
+          fps_sum += pass.fps;
+          if (pass.fps >= fps_best) {
+            fps_best = pass.fps;
+            best = std::move(pass);
+          }
+        }
+        void finalize(int passes) {
+          fps_mean = fps_sum / static_cast<double>(passes);
+        }
+      };
+      FleetPoint direct_point;
+      FleetPoint routed_point;
+      for (int pass = -warmup; pass < repeat; ++pass) {
+        FleetPass direct_pass = run_fleet_pass(/*routed=*/false);
+        FleetPass routed_pass = run_fleet_pass(/*routed=*/true);
+        if (pass < 0) continue;
+        direct_point.add_pass(std::move(direct_pass));
+        routed_point.add_pass(std::move(routed_pass));
+      }
+      direct_point.finalize(repeat);
+      routed_point.finalize(repeat);
+      const double routed_relative =
+          direct_point.fps_mean > 0.0
+              ? routed_point.fps_mean / direct_point.fps_mean
+              : 0.0;
+      std::vector<double> overhead =
+          routed_point.best.router_stats.route_overhead_ms;
+      const double overhead_mean =
+          overhead.empty()
+              ? 0.0
+              : std::accumulate(overhead.begin(), overhead.end(), 0.0) /
+                    static_cast<double>(overhead.size());
+      const double overhead_p95 = percentile_ms(overhead, 0.95);
+
+      TablePrinter table(
+          {"Mode", "Clients", "Throughput", "p50", "p95", "p99"});
+      const auto fleet_row = [&](const std::string& name,
+                                 FleetPoint& point) {
+        table.add_row(
+            {name, std::to_string(clients),
+             format_fixed(point.fps_mean, 1) + " fps",
+             format_time_ms(percentile_ms(point.best.latencies_ms, 0.50)),
+             format_time_ms(percentile_ms(point.best.latencies_ms, 0.95)),
+             format_time_ms(percentile_ms(point.best.latencies_ms, 0.99))});
+      };
+      fleet_row("direct", direct_point);
+      fleet_row("routed", routed_point);
+      table.print(std::cout);
+      std::cout << "Routed/direct throughput: "
+                << format_ratio(routed_relative, 3) << '\n'
+                << "Route overhead: " << format_time_ms(overhead_mean)
+                << " mean, " << format_time_ms(overhead_p95) << " p95\n";
+
+      const auto fleet_mode_json = [&](const std::string& name,
+                                       FleetPoint& point) {
+        std::vector<double>& lat = point.best.latencies_ms;
+        return "{\"mode\":\"" + name + "\",\"throughput_mean_fps\":" +
+               format_fixed(point.fps_mean, 4) + ",\"throughput_best_fps\":" +
+               format_fixed(point.fps_best, 4) + ",\"latency_p50_ms\":" +
+               format_fixed(percentile_ms(lat, 0.50), 4) +
+               ",\"latency_p95_ms\":" +
+               format_fixed(percentile_ms(lat, 0.95), 4) +
+               ",\"latency_p99_ms\":" +
+               format_fixed(percentile_ms(lat, 0.99), 4);
+      };
+      json << "{\"schema\":\"gaurast-bench-service-fleet/v1\","
+           << "\"backend\":\"" << backend << "\",\"kernel\":\""
+           << pipeline::to_string(kernel) << "\",\"jobs\":" << workload.jobs
+           << ",\"width\":" << workload.width
+           << ",\"height\":" << workload.height
+           << ",\"seed\":" << workload.seed << ",\"warmup\":" << warmup
+           << ",\"repeat\":" << repeat << ",\"shards\":" << fleet_shards
+           << ",\"workers\":" << workers << ",\"clients\":" << clients
+           << ",\"modes\":[" << fleet_mode_json("direct", direct_point)
+           << "}," << fleet_mode_json("routed", routed_point)
+           << ",\"route_overhead_mean_ms\":" << format_fixed(overhead_mean, 4)
+           << ",\"route_overhead_p95_ms\":" << format_fixed(overhead_p95, 4)
+           << "}],\"derived\":{\"routed_relative_throughput\":"
+           << format_fixed(routed_relative, 4) << "}}";
     } else if (compare_pipeline) {
       print_banner(std::cout,
                    "Execution modes, backend " + backend + ", kernel " +

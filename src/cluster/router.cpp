@@ -1,0 +1,410 @@
+#include "cluster/router.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace gaurast::cluster {
+
+namespace {
+
+/// Latency/overhead sample ring bound: a long-running router must not grow
+/// its stats arrays without limit, and 64k samples is plenty for stable
+/// percentiles.
+constexpr std::size_t kMaxSamples = 65536;
+
+void push_sample(std::vector<double>& samples, std::size_t& slot,
+                 double value) {
+  if (samples.size() < kMaxSamples) {
+    samples.push_back(value);
+  } else {
+    samples[slot] = value;
+    slot = (slot + 1) % kMaxSamples;
+  }
+}
+
+double ms_since(std::chrono::steady_clock::time_point then) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - then)
+      .count();
+}
+
+}  // namespace
+
+Router::Router(HostDb& db, RouterConfig config)
+    : db_(db), config_(std::move(config)), front_(*this, [this] {
+        net::FrameServerConfig front;
+        front.host = config_.host;
+        front.port = config_.port;
+        front.idle_timeout_ms = config_.idle_timeout_ms;
+        front.drain_timeout_ms = config_.drain_timeout_ms;
+        front.backlog = config_.backlog;
+        return front;
+      }()) {
+  GAURAST_CHECK(config_.inflight_per_shard >= 1);
+  // The queue is the forward channel itself (forwarders pop it), so a
+  // zero-length "waiting room" would shed everything.
+  GAURAST_CHECK(config_.queue_per_shard >= 1);
+}
+
+Router::~Router() { stop(); }
+
+void Router::start() {
+  {
+    common::MutexLock lock(state_mutex_);
+    GAURAST_CHECK(!running_);
+    running_ = true;
+  }
+  // Workers first, listener last: a request must never arrive before the
+  // crew that forwards it exists.
+  shards_.reserve(db_.size());
+  for (std::size_t i = 0; i < db_.size(); ++i) {
+    shards_.push_back(std::make_unique<Shard>(i));
+    Shard& shard = *shards_.back();
+    for (int f = 0; f < config_.inflight_per_shard; ++f) {
+      shard.forwarders.emplace_back([this, &shard] { forwarder_main(shard); });
+    }
+  }
+  stats_thread_ =
+      std::thread([this] { stats_main(); });  // lint-invariants: allow(raw-concurrency)
+  prober_thread_ =
+      std::thread([this] { prober_main(); });  // lint-invariants: allow(raw-concurrency)
+  front_.start();
+}
+
+void Router::stop() {
+  {
+    common::MutexLock lock(state_mutex_);
+    if (!running_) return;
+    running_ = false;
+  }
+  // FrameServer::stop posts begin_shutdown (no new frames are read), then
+  // runs this drain hook: every queued forward finishes — success,
+  // failover, or kFleetUnavailable — and posts its response onto the loop
+  // before the final flush-and-close sentinel is queued behind them.
+  front_.stop([this] {
+    for (const auto& shard : shards_) {
+      common::MutexLock lock(shard->mutex);
+      shard->closed = true;
+      shard->cv.notify_all();
+    }
+    for (const auto& shard : shards_) {
+      for (std::thread& t : shard->forwarders) t.join();  // lint-invariants: allow(raw-concurrency)
+    }
+    {
+      common::MutexLock lock(stats_queue_mutex_);
+      stats_closed_ = true;
+      stats_cv_.notify_all();
+    }
+    if (stats_thread_.joinable()) stats_thread_.join();
+  });
+  {
+    common::MutexLock lock(prober_mutex_);
+    prober_stop_ = true;
+    prober_cv_.notify_all();
+  }
+  if (prober_thread_.joinable()) prober_thread_.join();
+}
+
+void Router::on_frame(std::uint64_t conn_id, const net::FrameHeader& header,
+                      const std::uint8_t* payload) {
+  switch (header.type) {
+    case net::MessageType::kRenderRequest: {
+      Job job;
+      job.conn_id = conn_id;
+      job.wire = net::deserialize_render_request(payload, header.payload_size);
+      job.admitted = Clock::now();
+      front_.add_pending(conn_id);
+      route(std::move(job));
+      return;
+    }
+    case net::MessageType::kStatsRequest: {
+      if (header.payload_size != 0) {
+        throw net::ProtocolError("stats-request payload must be empty");
+      }
+      common::MutexLock lock(stats_queue_mutex_);
+      if (stats_closed_) {
+        throw net::ProtocolError("router is shutting down");
+      }
+      front_.add_pending(conn_id);
+      stats_queue_.push_back(StatsJob{conn_id, false});
+      stats_cv_.notify_one();
+      return;
+    }
+    case net::MessageType::kRenderResponse:
+    case net::MessageType::kStatsResponse:
+    case net::MessageType::kError:
+      throw net::ProtocolError(std::string("unexpected ") +
+                               net::to_string(header.type) +
+                               " frame from a client");
+  }
+}
+
+void Router::on_http_get(std::uint64_t conn_id, const std::string& target) {
+  if (target == "/healthz") {
+    // Cheap local answer — a fleet-wide poll would make the router's own
+    // liveness probe as slow as its slowest shard.
+    const std::size_t alive = db_.alive_count();
+    front_.respond_http(
+        conn_id, "200 OK",
+        "{\"schema\":\"gaurast-fleet-health/v1\",\"shards_total\":" +
+            std::to_string(db_.size()) + ",\"shards_alive\":" +
+            std::to_string(alive) + "}\n");
+    return;
+  }
+  if (target == "/stats") {
+    common::MutexLock lock(stats_queue_mutex_);
+    if (stats_closed_) {
+      front_.respond_http(conn_id, "503 Service Unavailable",
+                          "router is shutting down\n");
+      return;
+    }
+    front_.add_pending(conn_id);
+    stats_queue_.push_back(StatsJob{conn_id, true});
+    stats_cv_.notify_one();
+    return;
+  }
+  front_.respond_http(conn_id, "404 Not Found",
+                      "unknown target '" + target +
+                          "' (try /healthz or /stats)\n");
+}
+
+void Router::route(Job job) {
+  const std::string scene_key = job.wire.scene_key();
+  const bool job_was_failover = !job.tried.empty();
+  const std::optional<std::size_t> target = db_.route(scene_key, job.tried);
+  if (!target) {
+    finish_unavailable(std::move(job));
+    return;
+  }
+  Shard& shard = *shards_[*target];
+  bool enqueued = false;
+  bool shed = false;
+  {
+    common::MutexLock lock(shard.mutex);
+    if (!shard.closed) {
+      if (shard.queue.size() >=
+          static_cast<std::size_t>(config_.queue_per_shard)) {
+        shed = true;
+      } else {
+        shard.queue.push_back(std::move(job));
+        shard.cv.notify_one();
+        enqueued = true;
+      }
+    }
+  }
+  if (enqueued) {
+    if (!job_was_failover) return;
+    common::MutexLock lock(stats_mutex_);
+    ++counters_.failovers;
+    return;
+  }
+  if (shed) {
+    {
+      common::MutexLock lock(stats_mutex_);
+      ++counters_.shed;
+    }
+    deliver_error(job.conn_id, job.wire.request_id,
+                  net::RenderStatus::kOverloaded,
+                  "router: shard " + db_.shard(*target).label() +
+                      " at capacity",
+                  true);
+    return;
+  }
+  // The shard's channel closed under us (shutdown): no crew will ever pop
+  // this job, so answer now.
+  finish_unavailable(std::move(job));
+}
+
+void Router::finish_unavailable(Job job) {
+  {
+    common::MutexLock lock(stats_mutex_);
+    ++counters_.fleet_unavailable;
+  }
+  deliver_error(job.conn_id, job.wire.request_id,
+                net::RenderStatus::kFleetUnavailable,
+                "fleet unavailable: no routable shard (of " +
+                    std::to_string(db_.size()) + ") for scene '" +
+                    job.wire.scene_key() + "'",
+                true);
+}
+
+void Router::deliver_error(std::uint64_t conn_id, std::uint64_t request_id,
+                           net::RenderStatus status,
+                           const std::string& message, bool on_loop) {
+  net::RenderResponse resp;
+  resp.request_id = request_id;
+  resp.status = status;
+  resp.message = message;
+  auto frame = net::serialize(resp);
+  if (on_loop) {
+    front_.deliver(conn_id, std::move(frame));
+  } else {
+    front_.post_deliver(conn_id, std::move(frame));
+  }
+}
+
+void Router::forwarder_main(Shard& shard) {
+  std::unique_ptr<net::Client> client;
+  for (;;) {
+    Job job;
+    {
+      common::MutexLock lock(shard.mutex);
+      while (shard.queue.empty() && !shard.closed) shard.cv.wait(lock);
+      if (shard.queue.empty()) return;  // closed and drained
+      job = std::move(shard.queue.front());
+      shard.queue.pop_front();
+    }
+    if (forward(shard, client, job)) continue;
+    // Transport failure (already reported to the HostDb): hand the job back
+    // to the loop for the failover walk. The post lands before shutdown's
+    // final sentinel, so a draining router still answers it.
+    job.tried.insert(shard.index);
+    front_.loop().post([this, job = std::move(job)]() mutable {
+      route(std::move(job));
+    });
+  }
+}
+
+bool Router::forward(Shard& shard, std::unique_ptr<net::Client>& client,
+                     Job& job) {
+  const ShardId& id = db_.shard(shard.index);
+  const Clock::time_point start = Clock::now();
+  const bool pooled = client && client->is_alive();
+  net::RenderResponse resp;
+  try {
+    if (!pooled) {
+      client = std::make_unique<net::Client>(id.host, id.port,
+                                             config_.forward_timeout_ms,
+                                             config_.connect_timeout_ms);
+    }
+    resp = client->render(job.wire);
+  } catch (const std::exception&) {
+    // A pooled connection can go stale between is_alive() and the send
+    // (e.g. the shard's idle sweep closed it); that is not evidence the
+    // shard is down, so retry exactly once on a fresh dial.
+    bool retried_ok = false;
+    if (pooled) {
+      try {
+        client = std::make_unique<net::Client>(id.host, id.port,
+                                               config_.forward_timeout_ms,
+                                               config_.connect_timeout_ms);
+        resp = client->render(job.wire);
+        retried_ok = true;
+      } catch (const std::exception&) {
+      }
+    }
+    if (!retried_ok) {
+      client.reset();
+      db_.report_failure(shard.index);
+      return false;
+    }
+  }
+
+  db_.report_success(shard.index);
+  const double round_trip_ms = ms_since(start);
+  {
+    common::MutexLock lock(stats_mutex_);
+    switch (resp.status) {
+      case net::RenderStatus::kOk:
+        ++counters_.routed_ok;
+        push_sample(counters_.latency_ms, latency_slot_,
+                    ms_since(job.admitted));
+        push_sample(counters_.route_overhead_ms, overhead_slot_,
+                    std::max(0.0, round_trip_ms - resp.latency_ms));
+        break;
+      case net::RenderStatus::kOverloaded:
+        ++counters_.overloaded;
+        break;
+      case net::RenderStatus::kServerError:
+      case net::RenderStatus::kFleetUnavailable:
+        ++counters_.server_errors;
+        break;
+    }
+  }
+  front_.post_deliver(job.conn_id, net::serialize(resp));
+  return true;
+}
+
+void Router::stats_main() {
+  for (;;) {
+    StatsJob job;
+    {
+      common::MutexLock lock(stats_queue_mutex_);
+      while (stats_queue_.empty() && !stats_closed_) stats_cv_.wait(lock);
+      if (stats_queue_.empty()) return;  // closed and drained
+      job = stats_queue_.front();
+      stats_queue_.pop_front();
+    }
+    const std::string json = fleet_stats_json();
+    if (job.http) {
+      front_.post_deliver_http(job.conn_id, "200 OK", json + "\n");
+    } else {
+      net::StatsResponse resp;
+      resp.json = json;
+      front_.post_deliver(job.conn_id, net::serialize(resp));
+    }
+  }
+}
+
+void Router::prober_main() {
+  for (;;) {
+    {
+      common::MutexLock lock(prober_mutex_);
+      if (prober_stop_) return;
+      prober_cv_.wait_for(lock, config_.probe_interval_ms);
+      if (prober_stop_) return;
+    }
+    // Probe every shard, dead ones included — a successful probe is the
+    // recovery path back into the routing set.
+    for (std::size_t i = 0; i < db_.size(); ++i) {
+      const ShardId& id = db_.shard(i);
+      try {
+        net::Client probe(id.host, id.port, config_.probe_timeout_ms,
+                          config_.probe_timeout_ms);
+        const std::string response = probe.http_get("/healthz");
+        if (response.rfind("HTTP/1.1 200", 0) == 0) {
+          db_.report_success(i);
+        } else {
+          db_.report_failure(i);
+        }
+      } catch (const std::exception&) {
+        db_.report_failure(i);
+      }
+    }
+  }
+}
+
+std::string Router::fleet_stats_json() {
+  std::vector<ShardStatsEntry> entries;
+  const std::vector<ShardSnapshot> shards = db_.snapshot();
+  entries.reserve(shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    ShardStatsEntry entry;
+    entry.shard = shards[i];
+    // Dead shards are not polled: recovery is the prober's job, and a
+    // stats report must not stack up connect timeouts against a down
+    // fleet.
+    if (shards[i].state != ShardState::kDead) {
+      try {
+        net::Client client(shards[i].id.host, shards[i].id.port,
+                           config_.stats_timeout_ms, config_.stats_timeout_ms);
+        entry.stats_json = client.stats().json;
+        db_.report_success(i);
+      } catch (const std::exception&) {
+        db_.report_failure(i);
+        entry.shard = db_.snapshot()[i];  // reflect the demotion
+      }
+    }
+    entries.push_back(std::move(entry));
+  }
+  return merge_fleet_stats(entries, stats_snapshot());
+}
+
+RouterStatsSnapshot Router::stats_snapshot() const {
+  common::MutexLock lock(stats_mutex_);
+  return counters_;
+}
+
+}  // namespace gaurast::cluster

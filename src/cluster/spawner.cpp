@@ -1,0 +1,253 @@
+#include "cluster/spawner.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <iostream>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace gaurast::cluster {
+
+namespace {
+
+constexpr const char* kAnnouncePrefix = "Listening on ";
+
+void sleep_ms(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+std::string exit_description(int status) {
+  if (WIFEXITED(status)) {
+    return "exit status " + std::to_string(WEXITSTATUS(status));
+  }
+  if (WIFSIGNALED(status)) {
+    return "signal " + std::to_string(WTERMSIG(status));
+  }
+  return "unknown status " + std::to_string(status);
+}
+
+}  // namespace
+
+Spawner::Spawner(SpawnerConfig config) : config_(std::move(config)) {
+  GAURAST_CHECK_MSG(!config_.exe.empty(), "spawner needs an executable path");
+}
+
+Spawner::~Spawner() { stop(); }
+
+void Spawner::launch(Worker& worker, int port) {
+  int pipe_fds[2];
+  if (pipe2(pipe_fds, O_CLOEXEC) != 0) {
+    throw Error(std::string("pipe2 failed: ") + std::strerror(errno));
+  }
+
+  std::vector<std::string> args;
+  args.push_back(config_.exe);
+  args.push_back("serve");
+  args.push_back("--listen");
+  args.push_back(std::to_string(port));
+  for (const std::string& extra : config_.serve_args) args.push_back(extra);
+
+  const pid_t pid = fork();
+  if (pid < 0) {
+    const int saved = errno;
+    close(pipe_fds[0]);
+    close(pipe_fds[1]);
+    throw Error(std::string("fork failed: ") + std::strerror(saved));
+  }
+  if (pid == 0) {
+    // Child: stdout and stderr both feed the supervisor pipe (dup2 clears
+    // O_CLOEXEC on the duplicates; the pipe ends themselves close on exec).
+    dup2(pipe_fds[1], STDOUT_FILENO);
+    dup2(pipe_fds[1], STDERR_FILENO);
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    execv(config_.exe.c_str(), argv.data());
+    // Only reached when exec failed; the message travels the pipe.
+    const char* msg = "execv failed\n";
+    (void)!write(STDERR_FILENO, msg, std::strlen(msg));
+    _exit(127);
+  }
+
+  close(pipe_fds[1]);
+  fcntl(pipe_fds[0], F_SETFL, O_NONBLOCK);
+  worker.pid = pid;
+  worker.stdout_fd = pipe_fds[0];
+  worker.announced = false;
+  worker.line_buf.clear();
+}
+
+std::vector<ShardId> Spawner::spawn(int count) {
+  GAURAST_CHECK_MSG(!spawned_, "spawn() is one-shot");
+  GAURAST_CHECK(count >= 1);
+  spawned_ = true;
+
+  workers_.resize(static_cast<std::size_t>(count));
+  for (Worker& worker : workers_) launch(worker, 0);
+
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(config_.announce_timeout_ms);
+  for (;;) {
+    bool all_announced = true;
+    for (Worker& worker : workers_) {
+      pump_stdout(worker);
+      if (worker.announced) continue;
+      all_announced = false;
+      int status = 0;
+      if (waitpid(worker.pid, &status, WNOHANG) == worker.pid) {
+        pump_stdout(worker);  // surface its last words first
+        worker.pid = -1;
+        throw Error("fleet worker exited before announcing its port (" +
+                    exit_description(status) + ")");
+      }
+    }
+    if (all_announced) break;
+    if (Clock::now() >= deadline) {
+      throw Error("fleet worker did not announce its listen port within " +
+                  std::to_string(config_.announce_timeout_ms) + "ms");
+    }
+    sleep_ms(10);
+  }
+
+  std::vector<ShardId> ids;
+  ids.reserve(workers_.size());
+  for (const Worker& worker : workers_) {
+    ids.push_back(ShardId{worker.host, worker.port});
+  }
+  return ids;
+}
+
+void Spawner::pump_stdout(Worker& worker) {
+  if (worker.stdout_fd < 0) return;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = read(worker.stdout_fd, buf, sizeof(buf));
+    if (n > 0) {
+      worker.line_buf.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // EOF or read error: the write end is gone.
+    close(worker.stdout_fd);
+    worker.stdout_fd = -1;
+    break;
+  }
+
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t nl = worker.line_buf.find('\n', start);
+    if (nl == std::string::npos) break;
+    const std::string line = worker.line_buf.substr(start, nl - start);
+    start = nl + 1;
+    if (!worker.announced && line.rfind(kAnnouncePrefix, 0) == 0) {
+      // "Listening on host:port (backend ..., N workers)" — the address
+      // ends at the first space.
+      std::string spec = line.substr(std::strlen(kAnnouncePrefix));
+      spec = spec.substr(0, spec.find(' '));
+      const ShardId id = ShardId::parse(spec);
+      worker.host = id.host;
+      worker.port = id.port;
+      worker.announced = true;
+      std::cout << "[spawner] worker " << worker.pid << " listening on "
+                << id.label() << "\n"
+                << std::flush;
+      continue;
+    }
+    std::cout << "[worker " << worker.pid << "] " << line << "\n" << std::flush;
+  }
+  worker.line_buf.erase(0, start);
+}
+
+void Spawner::reap(Worker& worker) {
+  if (worker.pid < 0) {
+    // Waiting out a restart backoff.
+    if (!stopped_ && worker.port != 0 && Clock::now() >= worker.restart_at) {
+      ++worker.restarts;
+      launch(worker, worker.port);
+      std::cout << "[spawner] restarted worker " << worker.pid << " on port "
+                << worker.port << " (restart #" << worker.restarts << ")\n"
+                << std::flush;
+    }
+    return;
+  }
+  int status = 0;
+  if (waitpid(worker.pid, &status, WNOHANG) != worker.pid) return;
+  pump_stdout(worker);  // drain its last words
+  if (worker.stdout_fd >= 0) {
+    close(worker.stdout_fd);
+    worker.stdout_fd = -1;
+  }
+  std::cout << "[spawner] worker " << worker.pid << " exited ("
+            << exit_description(status) << ")";
+  if (!stopped_) {
+    std::cout << "; restarting on port " << worker.port << " in "
+              << config_.restart_backoff_ms << "ms";
+  }
+  std::cout << "\n" << std::flush;
+  worker.pid = -1;
+  worker.restart_at =
+      Clock::now() + std::chrono::milliseconds(config_.restart_backoff_ms);
+}
+
+void Spawner::poll() {
+  if (!spawned_ || stopped_) return;
+  for (Worker& worker : workers_) {
+    pump_stdout(worker);
+    reap(worker);
+  }
+}
+
+void Spawner::stop() {
+  if (!spawned_ || stopped_) return;
+  stopped_ = true;
+  for (const Worker& worker : workers_) {
+    if (worker.pid >= 0) kill(worker.pid, SIGTERM);
+  }
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(config_.stop_timeout_ms);
+  for (;;) {
+    bool any_left = false;
+    for (Worker& worker : workers_) {
+      if (worker.pid < 0) continue;
+      reap(worker);  // stopped_ is set: reaping never restarts
+      if (worker.pid >= 0) any_left = true;
+    }
+    if (!any_left) return;
+    if (Clock::now() >= deadline) break;
+    sleep_ms(20);
+  }
+  // Stragglers past the grace period: no more mercy, but still reap — a
+  // zombie crew would outlive the supervisor.
+  for (Worker& worker : workers_) {
+    if (worker.pid < 0) continue;
+    kill(worker.pid, SIGKILL);
+    int status = 0;
+    waitpid(worker.pid, &status, 0);
+    pump_stdout(worker);
+    if (worker.stdout_fd >= 0) {
+      close(worker.stdout_fd);
+      worker.stdout_fd = -1;
+    }
+    std::cout << "[spawner] worker " << worker.pid
+              << " killed after stop timeout\n"
+              << std::flush;
+    worker.pid = -1;
+  }
+}
+
+std::size_t Spawner::alive_count() const {
+  std::size_t n = 0;
+  for (const Worker& worker : workers_) {
+    if (worker.pid >= 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace gaurast::cluster

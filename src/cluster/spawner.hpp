@@ -1,0 +1,101 @@
+// cluster::Spawner — forks and supervises a crew of local `gaurast_cli
+// serve --listen` worker processes, the `route --spawn N` convenience that
+// turns one machine into a self-contained fleet.
+//
+// Lifecycle: spawn() forks each worker onto an ephemeral port (`--listen 0`)
+// with its stdout on a pipe, and blocks until every worker has printed its
+// "Listening on host:port" line — that parsed address is the worker's
+// ShardId for the router's HostDb. poll() (called periodically from the
+// CLI's signal loop; no thread of its own) drains and prefix-logs worker
+// stdout, reaps exited children with waitpid(WNOHANG), logs the exit, and
+// relaunches the worker on its *original* port after a backoff — the
+// HostDb entry stays valid and the prober re-admits the shard on its next
+// successful /healthz. stop() SIGTERMs the crew, waits bounded, and
+// SIGKILLs stragglers: shutdown never hangs on a wedged worker.
+//
+// This is the one module that spawns processes; the lint-invariants
+// `process-spawn` rule confines fork/exec*/wait* to src/cluster.
+#pragma once
+
+#include <sys/types.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "cluster/host_db.hpp"
+
+namespace gaurast::cluster {
+
+struct SpawnerConfig {
+  /// Executable to fork (normally the running gaurast_cli's own path).
+  std::string exe;
+  /// Arguments appended to `serve --listen <port>` for every worker (e.g.
+  /// a pass-through --workers / --backend configuration).
+  std::vector<std::string> serve_args;
+  /// How long spawn() waits for each worker's listen announcement.
+  int announce_timeout_ms = 10000;
+  /// Delay before relaunching an exited worker (a crash-looping worker
+  /// must not spin the supervisor).
+  int restart_backoff_ms = 1000;
+  /// stop(): grace period between SIGTERM and SIGKILL.
+  int stop_timeout_ms = 5000;
+};
+
+class Spawner {
+ public:
+  explicit Spawner(SpawnerConfig config);
+  /// Calls stop().
+  ~Spawner();
+
+  Spawner(const Spawner&) = delete;
+  Spawner& operator=(const Spawner&) = delete;
+
+  /// Forks `count` workers on ephemeral ports and blocks until each has
+  /// announced its listen address (throws gaurast::Error when a worker dies
+  /// or stays silent past announce_timeout_ms). Returns their shard ids in
+  /// worker order. One-shot.
+  std::vector<ShardId> spawn(int count);
+
+  /// Supervises: drains worker stdout (prefix-logged), reaps exits,
+  /// schedules and performs backoff restarts. Call periodically from one
+  /// thread; not thread-safe, cheap when nothing happened.
+  void poll();
+
+  /// SIGTERM every worker, reap with a stop_timeout_ms deadline, SIGKILL
+  /// whatever is left. Idempotent.
+  void stop();
+
+  /// Live (spawned, not currently waiting out a restart backoff) workers.
+  std::size_t alive_count() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// One supervised worker process.
+  struct Worker {
+    pid_t pid = -1;          ///< -1 while waiting out a restart backoff
+    int stdout_fd = -1;      ///< nonblocking read end of the stdout pipe
+    int port = 0;            ///< 0 until the first listen announcement
+    std::string host;
+    std::string line_buf;    ///< partial stdout line
+    bool announced = false;  ///< saw "Listening on host:port"
+    int restarts = 0;
+    Clock::time_point restart_at{};  ///< valid while pid == -1
+  };
+
+  /// Forks one worker listening on `port` (0 = ephemeral); fills pid and
+  /// stdout_fd.
+  void launch(Worker& worker, int port);
+  /// Drains stdout; parses the announcement or prefix-logs the line.
+  void pump_stdout(Worker& worker);
+  /// waitpid(WNOHANG); on exit: final stdout drain, log, schedule restart.
+  void reap(Worker& worker);
+
+  SpawnerConfig config_;
+  std::vector<Worker> workers_;
+  bool spawned_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace gaurast::cluster

@@ -18,7 +18,13 @@ void CliParser::add_flag(const std::string& name,
                          const std::string& default_value,
                          const std::string& help) {
   GAURAST_CHECK_MSG(!flags_.count(name), "duplicate flag --" << name);
-  flags_[name] = Flag{default_value, help, std::nullopt};
+  flags_[name] = Flag{default_value, help, std::nullopt, false, {}};
+}
+
+void CliParser::add_repeatable_flag(const std::string& name,
+                                    const std::string& help) {
+  GAURAST_CHECK_MSG(!flags_.count(name), "duplicate flag --" << name);
+  flags_[name] = Flag{"", help, std::nullopt, true, {}};
 }
 
 bool CliParser::parse(int argc, const char* const* argv) {
@@ -64,7 +70,8 @@ bool CliParser::parse(int argc, const char* const* argv) {
                             " needs a value; run with --help for usage");
       }
     }
-    it->second.value = value;
+    it->second.value = value;  // last occurrence, so set_flags() still works
+    if (it->second.repeatable) it->second.values.push_back(value);
   }
   return true;
 }
@@ -144,6 +151,24 @@ double CliParser::get_double(const std::string& name) const {
     throw CliParseError("flag --" + name + "=" + s + " is out of range");
   }
   return v;
+}
+
+std::vector<std::string> CliParser::get_strings(const std::string& name) const {
+  const Flag& f = find(name);
+  GAURAST_CHECK_MSG(f.repeatable, "flag --" << name << " is not repeatable");
+  std::vector<std::string> out;
+  for (const std::string& occurrence : f.values) {
+    std::size_t begin = 0;
+    while (begin <= occurrence.size()) {
+      const std::size_t comma = occurrence.find(',', begin);
+      const std::size_t end =
+          comma == std::string::npos ? occurrence.size() : comma;
+      if (end > begin) out.push_back(occurrence.substr(begin, end - begin));
+      if (comma == std::string::npos) break;
+      begin = comma + 1;
+    }
+  }
+  return out;
 }
 
 bool CliParser::get_bool(const std::string& name) const {

@@ -31,6 +31,11 @@ class CliParser {
   void add_flag(const std::string& name, const std::string& default_value,
                 const std::string& help);
 
+  /// Declares a flag that may be given multiple times (and whose value may
+  /// itself be a comma-separated list); read it back with get_strings().
+  /// Repeatable flags have no default — absent means an empty list.
+  void add_repeatable_flag(const std::string& name, const std::string& help);
+
   /// Parses argv. Returns false (after printing usage) if --help was given.
   /// Throws gaurast::CliParseError on unknown flags or malformed input; the
   /// message names the offending flag and suggests --help.
@@ -45,6 +50,11 @@ class CliParser {
   int get_positive_int(const std::string& name) const;
   double get_double(const std::string& name) const;
   bool get_bool(const std::string& name) const;
+
+  /// Every value of a repeatable flag, in command-line order, with each
+  /// occurrence additionally split on commas ("--shard a:1 --shard b:2,c:3"
+  /// yields three entries). Empty list when the flag was never given.
+  std::vector<std::string> get_strings(const std::string& name) const;
 
   /// Positional arguments left after flag parsing.
   const std::vector<std::string>& positional() const { return positional_; }
@@ -61,6 +71,8 @@ class CliParser {
     std::string default_value;
     std::string help;
     std::optional<std::string> value;
+    bool repeatable = false;
+    std::vector<std::string> values;  ///< repeatable flags only
   };
 
   const Flag& find(const std::string& name) const;

@@ -19,6 +19,7 @@
 // without the lock).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -70,6 +71,15 @@ class CondVar {
   /// Atomically releases `lock` and sleeps; the lock is reacquired before
   /// return. Spurious wakeups happen: always wait in a predicate loop.
   void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  /// Timed wait: returns false if `timeout_ms` elapsed without a notify,
+  /// true otherwise. The same predicate-loop discipline applies — this is
+  /// for interruptible periodic work (re-check the stop flag, then the
+  /// deadline), not for synchronization by timeout.
+  bool wait_for(MutexLock& lock, int timeout_ms) {
+    return cv_.wait_for(lock.lock_, std::chrono::milliseconds(timeout_ms)) ==
+           std::cv_status::no_timeout;
+  }
 
   void notify_one() noexcept { cv_.notify_one(); }
   void notify_all() noexcept { cv_.notify_all(); }

@@ -2,7 +2,9 @@
 
 #include <arpa/inet.h>
 #include <errno.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
@@ -21,38 +23,117 @@ namespace {
 
 }  // namespace
 
-Client::Client(const std::string& host, int port, int timeout_ms) {
-  fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd_ < 0) throw_errno("socket");
-
-  timeval tv{};
-  tv.tv_sec = timeout_ms / 1000;
-  tv.tv_usec = (timeout_ms % 1000) * 1000;
-  setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
-  setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    close(fd_);
-    fd_ = -1;
-    throw Error("invalid host '" + host + "'");
-  }
-  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
-    const int saved = errno;
-    close(fd_);
-    fd_ = -1;
-    errno = saved;
-    throw_errno(("connect to " + host + ":" + std::to_string(port)).c_str());
-  }
+Client::Client(const std::string& host, int port, int timeout_ms,
+               int connect_timeout_ms)
+    : host_(host),
+      port_(port),
+      timeout_ms_(timeout_ms),
+      connect_timeout_ms_(connect_timeout_ms > 0 ? connect_timeout_ms
+                                                 : timeout_ms) {
+  dial();
 }
 
 Client::~Client() {
   if (fd_ >= 0) close(fd_);
 }
 
+void Client::dial() {
+  fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw_errno("socket");
+
+  // Fail the whole dial attempt with the original errno, fd closed.
+  auto fail = [this](const char* what) -> void {
+    const int saved = errno;
+    close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno(what);
+  };
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port_));
+  if (inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    close(fd_);
+    fd_ = -1;
+    throw Error("invalid host '" + host_ + "'");
+  }
+
+  // Nonblocking connect + poll: SO_SNDTIMEO does not reliably bound the
+  // connect phase, so a black-holed peer (dropped SYNs) would otherwise
+  // stall the caller for the kernel's SYN-retry budget (minutes).
+  const int flags = fcntl(fd_, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd_, F_SETFL, flags | O_NONBLOCK) < 0) {
+    fail("fcntl");
+  }
+  const std::string peer = host_ + ":" + std::to_string(port_);
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    if (errno != EINPROGRESS) fail(("connect to " + peer).c_str());
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLOUT;
+    int rc;
+    do {
+      rc = poll(&pfd, 1, connect_timeout_ms_);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) fail("poll");
+    if (rc == 0) {
+      errno = ETIMEDOUT;
+      fail(("connect to " + peer).c_str());
+    }
+    int err = 0;
+    socklen_t err_len = sizeof err;
+    if (getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &err_len) < 0) {
+      fail("getsockopt");
+    }
+    if (err != 0) {
+      errno = err;
+      fail(("connect to " + peer).c_str());
+    }
+  }
+  if (fcntl(fd_, F_SETFL, flags) < 0) fail("fcntl");
+
+  timeval tv{};
+  tv.tv_sec = timeout_ms_ / 1000;
+  tv.tv_usec = (timeout_ms_ % 1000) * 1000;
+  setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+bool Client::is_alive() const {
+  if (fd_ < 0) return false;
+  // Zero-timeout poll: between requests nothing should be readable, so a
+  // readable fd means EOF/reset (or an unexpected frame — equally fatal for
+  // this one-request-at-a-time client), and POLLERR/POLLHUP are explicit.
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  int rc;
+  do {
+    rc = poll(&pfd, 1, 0);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return false;
+  if (rc == 0) return true;  // quiet and connected
+  return (pfd.revents & (POLLERR | POLLHUP | POLLNVAL | POLLIN)) == 0;
+}
+
+void Client::reconnect() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  dial();
+}
+
+void Client::mark_broken() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
 void Client::send_all(const std::uint8_t* data, std::size_t size) {
+  if (fd_ < 0) throw Error("client connection is down (reconnect first)");
   std::size_t sent = 0;
   while (sent < size) {
     const ssize_t n = send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
@@ -61,6 +142,9 @@ void Client::send_all(const std::uint8_t* data, std::size_t size) {
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
+    const int saved = errno;
+    mark_broken();
+    errno = saved;
     throw_errno("send");
   }
 }
@@ -76,8 +160,14 @@ std::pair<FrameHeader, std::vector<std::uint8_t>> Client::recv_frame() {
         have += static_cast<std::size_t>(n);
         continue;
       }
-      if (n == 0) throw Error("connection closed mid-frame");
+      if (n == 0) {
+        mark_broken();
+        throw Error("connection closed mid-frame");
+      }
       if (errno == EINTR) continue;
+      const int saved = errno;
+      mark_broken();
+      errno = saved;
       throw_errno("recv");
     }
   };
@@ -96,10 +186,12 @@ RenderResponse Client::render(const RenderRequest& request) {
   send_all(frame.data(), frame.size());
   auto [header, payload] = recv_frame();
   if (header.type == MessageType::kError) {
+    mark_broken();  // the sender closes after a kError frame
     throw ProtocolError("server protocol error: " +
                         deserialize_error(payload.data(), payload.size()));
   }
   if (header.type != MessageType::kRenderResponse) {
+    mark_broken();
     throw ProtocolError(std::string("expected render-response, got ") +
                         to_string(header.type));
   }
@@ -111,10 +203,12 @@ StatsResponse Client::stats() {
   send_all(frame.data(), frame.size());
   auto [header, payload] = recv_frame();
   if (header.type == MessageType::kError) {
+    mark_broken();
     throw ProtocolError("server protocol error: " +
                         deserialize_error(payload.data(), payload.size()));
   }
   if (header.type != MessageType::kStatsResponse) {
+    mark_broken();
     throw ProtocolError(std::string("expected stats-response, got ") +
                         to_string(header.type));
   }
@@ -137,8 +231,13 @@ std::string Client::http_get(const std::string& target) {
     }
     if (n == 0) break;  // server closes after the response
     if (errno == EINTR) continue;
+    const int saved = errno;
+    mark_broken();
+    errno = saved;
     throw_errno("recv");
   }
+  // The protocol is one GET per connection; the fd is spent either way.
+  mark_broken();
   return response;
 }
 

@@ -1,7 +1,8 @@
 // net::Client — a deliberately simple blocking client for the gaurast wire
-// protocol, used by tests, the loopback bench, and `gaurast_cli request`.
-// One request in flight at a time per client; throughput comes from running
-// many clients (each bench thread owns one), not from pipelining.
+// protocol, used by tests, the loopback bench, the cluster router's
+// forwarders, and `gaurast_cli request`. One request in flight at a time
+// per client; throughput comes from running many clients (each bench thread
+// owns one), not from pipelining.
 #pragma once
 
 #include <cstdint>
@@ -15,9 +16,13 @@ namespace gaurast::net {
 
 class Client {
  public:
-  /// Connects immediately; throws gaurast::Error on refusal. `timeout_ms`
-  /// bounds every individual send/recv (SO_SNDTIMEO/SO_RCVTIMEO).
-  Client(const std::string& host, int port, int timeout_ms = 30000);
+  /// Connects immediately; throws gaurast::Error on refusal or when the
+  /// connect phase exceeds `connect_timeout_ms` (a black-holed peer must
+  /// not stall the caller — the dial is nonblocking + poll). `timeout_ms`
+  /// bounds every individual send/recv (SO_SNDTIMEO/SO_RCVTIMEO);
+  /// connect_timeout_ms <= 0 means "use timeout_ms for the dial too".
+  Client(const std::string& host, int port, int timeout_ms = 30000,
+         int connect_timeout_ms = 0);
   ~Client();
 
   Client(const Client&) = delete;
@@ -25,7 +30,8 @@ class Client {
 
   /// Sends one render request and blocks for its response. kOverloaded and
   /// kServerError come back as normal responses (the caller decides);
-  /// a kError frame or any transport failure throws.
+  /// a kError frame or any transport failure throws — and marks the
+  /// connection broken (a half-finished frame exchange is unrecoverable).
   RenderResponse render(const RenderRequest& request);
 
   /// Fetches the server's schema-stamped ServiceStats snapshot.
@@ -33,16 +39,34 @@ class Client {
 
   /// Issues a plain HTTP GET for `target` (e.g. "/healthz") and returns
   /// the raw response (status line, headers, body). The server closes the
-  /// connection afterwards, as does this client — use a fresh Client for
-  /// anything further.
+  /// connection afterwards, as does this client — use a fresh Client (or
+  /// reconnect()) for anything further.
   std::string http_get(const std::string& target);
 
+  /// Cheap liveness check: true while the connection is usable. Detects
+  /// broken transports (a thrown render()/stats()) immediately and peer
+  /// close/reset via a zero-timeout poll — a false result means the next
+  /// call would fail, so reconnect() first. A true result is best-effort
+  /// (the peer can still die between the check and the call).
+  bool is_alive() const;
+
+  /// Drops the current connection (if any) and dials the original
+  /// host:port again with the original timeouts. Throws gaurast::Error on
+  /// failure, leaving the client not-alive.
+  void reconnect();
+
  private:
+  void dial();
+  void mark_broken();
   void send_all(const std::uint8_t* data, std::size_t size);
   /// Reads exactly one frame; throws ProtocolError on malformed input and
   /// gaurast::Error on EOF/timeout.
   std::pair<FrameHeader, std::vector<std::uint8_t>> recv_frame();
 
+  std::string host_;
+  int port_ = 0;
+  int timeout_ms_ = 30000;
+  int connect_timeout_ms_ = 0;
   int fd_ = -1;
 };
 

@@ -167,6 +167,7 @@ const char* to_string(RenderStatus status) {
     case RenderStatus::kOk: return "ok";
     case RenderStatus::kOverloaded: return "overloaded";
     case RenderStatus::kServerError: return "server-error";
+    case RenderStatus::kFleetUnavailable: return "fleet-unavailable";
   }
   return "?";
 }
@@ -308,7 +309,7 @@ RenderResponse deserialize_render_response(const std::uint8_t* data,
   RenderResponse msg;
   msg.request_id = r.u64();
   const std::uint8_t status = r.u8();
-  if (status > static_cast<std::uint8_t>(RenderStatus::kServerError)) {
+  if (status > static_cast<std::uint8_t>(RenderStatus::kFleetUnavailable)) {
     throw ProtocolError("unknown render status " + std::to_string(status));
   }
   msg.status = static_cast<RenderStatus>(status);

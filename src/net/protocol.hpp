@@ -40,7 +40,9 @@
 //                    RenderStatus::kOverloaded is the admission-control
 //                    signal: the service queue was full and the request was
 //                    shed — the connection stays open and the client may
-//                    retry.
+//                    retry. RenderStatus::kFleetUnavailable is the cluster
+//                    router's terminal routing failure: no shard could take
+//                    the request (all dead or exhausted by failover).
 //   kStatsRequest    (empty payload)
 //   kStatsResponse   json string — the server's ServiceStats snapshot as
 //                    schema-stamped JSON (kServeStatsSchema).
@@ -96,6 +98,11 @@ enum class RenderStatus : std::uint8_t {
   /// The server could not serve this request (e.g. a backend/kernel option
   /// mismatch); message names the reason.
   kServerError = 2,
+  /// Only a cluster router emits this: every shard of the fleet is dead (or
+  /// failed over exhaustively for this request). The connection stays open;
+  /// the client may retry once the fleet recovers. Single servers never
+  /// send it.
+  kFleetUnavailable = 3,
 };
 
 const char* to_string(MessageType type);

@@ -1,14 +1,5 @@
 #include "net/server.hpp"
 
-#include <arpa/inet.h>
-#include <errno.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <algorithm>
-#include <cstring>
-#include <iostream>
 #include <optional>
 #include <utility>
 
@@ -17,14 +8,6 @@
 
 namespace gaurast::net {
 
-namespace {
-
-[[noreturn]] void throw_errno(const char* what) {
-  throw Error(std::string(what) + ": " + std::strerror(errno));
-}
-
-}  // namespace
-
 std::string stamped_stats_json(const runtime::ServiceStats& stats) {
   const std::string json = runtime::service_stats_json(stats);
   GAURAST_CHECK(!json.empty() && json.front() == '{');
@@ -32,197 +15,37 @@ std::string stamped_stats_json(const runtime::ServiceStats& stats) {
          json.substr(1);
 }
 
+FrameServerConfig Server::front_config(const ServerConfig& config) {
+  FrameServerConfig front;
+  front.host = config.host;
+  front.port = config.port;
+  front.idle_timeout_ms = config.idle_timeout_ms;
+  front.drain_timeout_ms = config.drain_timeout_ms;
+  front.backlog = config.backlog;
+  return front;
+}
+
 Server::Server(runtime::RenderService& service, ServerConfig config)
-    : service_(service), config_(std::move(config)) {}
+    : service_(service),
+      config_(std::move(config)),
+      front_(*this, front_config(config_)) {}
 
 Server::~Server() { stop(); }
 
-void Server::start() {
-  {
-    common::MutexLock lock(state_mutex_);
-    GAURAST_CHECK(!running_);
-    running_ = true;
-  }
-  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) throw_errno("socket");
-  const int enable = 1;
-  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof enable);
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
-  if (inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
-    close(listen_fd_);
-    listen_fd_ = -1;
-    throw Error("invalid listen host '" + config_.host + "'");
-  }
-  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
-      listen(listen_fd_, config_.backlog) < 0) {
-    const int saved = errno;
-    close(listen_fd_);
-    listen_fd_ = -1;
-    errno = saved;
-    throw_errno(("listen on " + config_.host).c_str());
-  }
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof bound;
-  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
-                  &bound_len) < 0) {
-    throw_errno("getsockname");
-  }
-  port_ = ntohs(bound.sin_port);
-
-  loop_.add_fd(listen_fd_, kReadable, [this](std::uint32_t) {
-    handle_accept();
-  });
-  // Tick often enough that an idle timeout is enforced within ~a quarter of
-  // its length, but never busier than 10ms.
-  int tick_ms = 250;
-  if (config_.idle_timeout_ms > 0) {
-    tick_ms = std::clamp(config_.idle_timeout_ms / 4, 10, 250);
-  }
-  loop_.set_tick([this] { on_tick(); }, tick_ms);
-  loop_thread_ =
-      std::thread([this] {  // lint-invariants: allow(raw-concurrency)
-        try {
-          loop_.run();
-        } catch (const std::exception& e) {
-          // A reactor-level failure (not a per-connection one) is fatal to
-          // serving; surface it rather than dying silently.
-          std::cerr << "net::Server loop failed: " << e.what() << "\n";
-        }
-      });
-}
+void Server::start() { front_.start(); }
 
 void Server::stop() {
-  {
-    common::MutexLock lock(state_mutex_);
-    if (!running_) return;
-    running_ = false;
-  }
-  // Ordering: (1) stop accepting and stop reading new frames, (2) let the
-  // service finish every accepted job — each completion posts its response
-  // onto the loop before drain() returns — then (3) a sentinel task behind
-  // those posts flushes and closes. The loop exits once every connection
-  // has drained.
-  loop_.post([this] { begin_shutdown(); });
-  service_.drain();
-  loop_.post([this] { maybe_finish_shutdown(); });
-  // start() may have thrown before the loop thread was spawned; joining a
-  // non-joinable thread from ~Server would terminate the process.
-  if (loop_thread_.joinable()) loop_thread_.join();
-  if (listen_fd_ >= 0) {
-    close(listen_fd_);
-    listen_fd_ = -1;
-  }
+  // The drain hook runs between "stop reading new frames" and the final
+  // flush: every accepted job completes and posts its response first.
+  front_.stop([this] { service_.drain(); });
 }
 
-void Server::handle_accept() {
-  for (;;) {
-    const int fd = accept4(listen_fd_, nullptr, nullptr,
-                           SOCK_NONBLOCK | SOCK_CLOEXEC);
-    if (fd < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
-      if (errno == EINTR) continue;
-      return;  // transient accept failures (ECONNABORTED, ...) — keep serving
-    }
-    const std::uint64_t id = next_conn_id_++;
-    Connection conn;
-    conn.fd = fd;
-    conn.id = id;
-    conn.last_activity = Clock::now();
-    conns_.emplace(id, std::move(conn));
-    loop_.add_fd(fd, kReadable, [this, id](std::uint32_t events) {
-      handle_conn_event(id, events);
-    });
-  }
-}
-
-void Server::handle_conn_event(std::uint64_t conn_id, std::uint32_t events) {
-  auto it = conns_.find(conn_id);
-  if (it == conns_.end()) return;
-  Connection& conn = it->second;
-
-  if (events & kWritable) {
-    flush_writes(conn);
-    if (conns_.find(conn_id) == conns_.end()) return;  // flush closed it
-  }
-  if (!(events & kReadable)) return;
-
-  bool peer_closed = false;
-  for (;;) {
-    std::uint8_t buf[4096];
-    const ssize_t n = recv(conn.fd, buf, sizeof buf, 0);
-    if (n > 0) {
-      conn.read_buf.insert(conn.read_buf.end(), buf, buf + n);
-      // During draining only write progress counts as activity — otherwise
-      // a peer that keeps sending but never reads holds shutdown open.
-      if (!draining_) conn.last_activity = Clock::now();
-      continue;
-    }
-    if (n == 0) {
-      peer_closed = true;
-      break;
-    }
-    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-    if (errno == EINTR) continue;
-    close_connection(conn_id);  // reset or worse — nothing left to flush
-    return;
-  }
-
-  if (!conn.closing && !draining_) process_read_buffer(conn);
-  if (conns_.find(conn_id) == conns_.end()) return;
-  if (peer_closed) {
-    conn.closing = true;
-    maybe_close(conn);
-  }
-}
-
-void Server::process_read_buffer(Connection& conn) {
-  // HTTP probe detection: the binary protocol's magic can never start with
-  // ASCII "GET ", so sniffing the first bytes is unambiguous.
-  if (!conn.http && conn.read_buf.size() >= 4 &&
-      std::memcmp(conn.read_buf.data(), "GET ", 4) == 0) {
-    conn.http = true;
-  }
-  if (conn.http) {
-    handle_http(conn);
-    return;
-  }
-
-  const std::uint64_t conn_id = conn.id;
-  while (!conn.closing && conn.read_buf.size() >= kHeaderBytes) {
-    FrameHeader header;
-    try {
-      header = decode_header(conn.read_buf.data());
-    } catch (const ProtocolError& e) {
-      protocol_error(conn, e.what());
-      return;
-    }
-    const std::size_t total = kHeaderBytes + header.payload_size;
-    if (conn.read_buf.size() < total) return;  // wait for the rest
-    try {
-      dispatch_frame(conn, header, conn.read_buf.data() + kHeaderBytes);
-    } catch (const ProtocolError& e) {
-      protocol_error(conn, e.what());
-      return;
-    }
-    // dispatch_frame can erase the connection (respond -> flush_writes ->
-    // EPIPE -> close_connection); `conn` dangles then. Map nodes are
-    // stable, so if the id is still present the reference is still good.
-    if (conns_.find(conn_id) == conns_.end()) return;
-    conn.read_buf.erase(conn.read_buf.begin(),
-                        conn.read_buf.begin() +
-                            static_cast<std::ptrdiff_t>(total));
-  }
-}
-
-void Server::dispatch_frame(Connection& conn, const FrameHeader& header,
-                            const std::uint8_t* payload) {
+void Server::on_frame(std::uint64_t conn_id, const FrameHeader& header,
+                      const std::uint8_t* payload) {
   switch (header.type) {
     case MessageType::kRenderRequest:
-      handle_render(conn, deserialize_render_request(payload,
-                                                     header.payload_size));
+      handle_render(conn_id, deserialize_render_request(payload,
+                                                        header.payload_size));
       return;
     case MessageType::kStatsRequest: {
       if (header.payload_size != 0) {
@@ -230,7 +53,7 @@ void Server::dispatch_frame(Connection& conn, const FrameHeader& header,
       }
       StatsResponse resp;
       resp.json = stamped_stats_json(service_.stats());
-      respond(conn, serialize(resp));
+      front_.respond(conn_id, serialize(resp));
       return;
     }
     case MessageType::kRenderResponse:
@@ -241,7 +64,7 @@ void Server::dispatch_frame(Connection& conn, const FrameHeader& header,
   }
 }
 
-void Server::handle_render(Connection& conn, RenderRequest wire) {
+void Server::handle_render(std::uint64_t conn_id, RenderRequest wire) {
   const bool want_image = (wire.flags & kWantImage) != 0;
 
   // Server-side refusals are explicit kServerError responses naming the
@@ -251,7 +74,7 @@ void Server::handle_render(Connection& conn, RenderRequest wire) {
     resp.request_id = wire.request_id;
     resp.status = RenderStatus::kServerError;
     resp.message = why;
-    respond(conn, serialize(resp));
+    front_.respond(conn_id, serialize(resp));
   };
 
   const std::string server_backend = service_.backend().name();
@@ -305,7 +128,6 @@ void Server::handle_render(Connection& conn, RenderRequest wire) {
   // loop never copies an image) and posts the finished frame through the
   // wakeup pipe. The connection id survives the round trip, the pointer
   // does not need to.
-  const std::uint64_t conn_id = conn.id;
   const std::uint64_t request_id = wire.request_id;
   request.on_complete = [this, conn_id, request_id,
                          want_image](const runtime::JobResult& result) {
@@ -328,10 +150,7 @@ void Server::handle_render(Connection& conn, RenderRequest wire) {
         resp.pixels.push_back(px.z);
       }
     }
-    auto frame = serialize(resp);
-    loop_.post([this, conn_id, frame = std::move(frame)]() mutable {
-      deliver(conn_id, std::move(frame));
-    });
+    front_.post_deliver(conn_id, serialize(resp));
   };
 
   auto future = service_.try_submit(std::move(request));
@@ -342,178 +161,23 @@ void Server::handle_render(Connection& conn, RenderRequest wire) {
     resp.request_id = request_id;
     resp.status = RenderStatus::kOverloaded;
     resp.message = "service queue full: request shed";
-    respond(conn, serialize(resp));
+    front_.respond(conn_id, serialize(resp));
     return;
   }
-  ++conn.pending_jobs;
+  // The worker's completion cannot land before this runs: we are on the
+  // loop thread and post_deliver queues behind the current task.
+  front_.add_pending(conn_id);
 }
 
-void Server::handle_http(Connection& conn) {
-  static const std::uint8_t kTerminator[] = {'\r', '\n', '\r', '\n'};
-  auto it = std::search(conn.read_buf.begin(), conn.read_buf.end(),
-                        std::begin(kTerminator), std::end(kTerminator));
-  if (it == conn.read_buf.end()) {
-    if (conn.read_buf.size() > 8192) {
-      protocol_error(conn, "oversized HTTP request head");
-    }
-    return;  // headers not complete yet
-  }
-
-  const std::string head(conn.read_buf.begin(), it);
-  conn.read_buf.clear();
-  const std::size_t target_begin = head.find(' ');
-  const std::size_t target_end =
-      target_begin == std::string::npos
-          ? std::string::npos
-          : head.find(' ', target_begin + 1);
-  std::string target;
-  if (target_end != std::string::npos) {
-    target = head.substr(target_begin + 1, target_end - target_begin - 1);
-  }
-
-  std::string status = "200 OK";
-  std::string body;
+void Server::on_http_get(std::uint64_t conn_id, const std::string& target) {
   if (target == "/healthz" || target == "/stats") {
-    body = stamped_stats_json(service_.stats()) + "\n";
+    front_.respond_http(conn_id, "200 OK",
+                        stamped_stats_json(service_.stats()) + "\n");
   } else {
-    status = "404 Not Found";
-    body = "unknown target '" + target + "' (try /healthz or /stats)\n";
+    front_.respond_http(conn_id, "404 Not Found",
+                        "unknown target '" + target +
+                            "' (try /healthz or /stats)\n");
   }
-  const std::string response =
-      "HTTP/1.1 " + status +
-      "\r\nContent-Type: application/json\r\nContent-Length: " +
-      std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" + body;
-  std::vector<std::uint8_t> bytes(response.begin(), response.end());
-  conn.closing = true;  // one probe per connection, like Connection: close
-  respond(conn, std::move(bytes));
-}
-
-void Server::protocol_error(Connection& conn, const std::string& message) {
-  conn.closing = true;
-  conn.read_buf.clear();
-  respond(conn, serialize_error(message));
-}
-
-void Server::respond(Connection& conn, std::vector<std::uint8_t> frame) {
-  conn.write_buf.insert(conn.write_buf.end(), frame.begin(), frame.end());
-  flush_writes(conn);
-}
-
-void Server::flush_writes(Connection& conn) {
-  while (conn.write_pos < conn.write_buf.size()) {
-    const ssize_t n =
-        send(conn.fd, conn.write_buf.data() + conn.write_pos,
-             conn.write_buf.size() - conn.write_pos, MSG_NOSIGNAL);
-    if (n > 0) {
-      conn.write_pos += static_cast<std::size_t>(n);
-      conn.last_activity = Clock::now();
-      continue;
-    }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      if (!conn.want_write) {
-        conn.want_write = true;
-        loop_.modify_fd(conn.fd, kReadable | kWritable);
-      }
-      return;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    close_connection(conn.id);  // peer gone (EPIPE/ECONNRESET)
-    return;
-  }
-  conn.write_buf.clear();
-  conn.write_pos = 0;
-  if (conn.want_write) {
-    conn.want_write = false;
-    loop_.modify_fd(conn.fd, kReadable);
-  }
-  maybe_close(conn);
-}
-
-void Server::maybe_close(Connection& conn) {
-  if (conn.closing && conn.pending_jobs == 0 &&
-      conn.write_pos >= conn.write_buf.size()) {
-    close_connection(conn.id);
-  }
-}
-
-void Server::close_connection(std::uint64_t conn_id) {
-  auto it = conns_.find(conn_id);
-  if (it == conns_.end()) return;
-  loop_.remove_fd(it->second.fd);
-  close(it->second.fd);
-  conns_.erase(it);
-  if (draining_) maybe_finish_shutdown();
-}
-
-void Server::deliver(std::uint64_t conn_id,
-                     std::vector<std::uint8_t> frame) {
-  auto it = conns_.find(conn_id);
-  if (it == conns_.end()) return;  // connection died while the job ran
-  Connection& conn = it->second;
-  --conn.pending_jobs;
-  respond(conn, std::move(frame));
-  if (conns_.find(conn_id) != conns_.end() && draining_) {
-    conn.closing = true;
-    maybe_close(conn);
-  }
-  if (draining_) maybe_finish_shutdown();
-}
-
-void Server::on_tick() {
-  const Clock::time_point now = Clock::now();
-  const auto ms_since = [now](Clock::time_point then) {
-    return std::chrono::duration_cast<std::chrono::milliseconds>(now - then)
-        .count();
-  };
-  if (config_.idle_timeout_ms > 0) {
-    std::vector<std::uint64_t> idle;
-    for (const auto& [id, conn] : conns_) {
-      if (conn.pending_jobs > 0) continue;  // a job in flight is activity
-      if (ms_since(conn.last_activity) > config_.idle_timeout_ms) {
-        idle.push_back(id);
-      }
-    }
-    for (std::uint64_t id : idle) close_connection(id);
-  }
-  if (draining_) {
-    // Shutdown must terminate even with the idle sweep disabled: a peer
-    // that never reads leaves write_buf undrained and maybe_close never
-    // fires. Force-close connections with no job in flight and no send
-    // progress within the drain bound.
-    std::vector<std::uint64_t> stuck;
-    for (const auto& [id, conn] : conns_) {
-      if (conn.pending_jobs > 0) continue;
-      if (ms_since(conn.last_activity) > config_.drain_timeout_ms) {
-        stuck.push_back(id);
-      }
-    }
-    for (std::uint64_t id : stuck) close_connection(id);
-    maybe_finish_shutdown();
-  }
-}
-
-void Server::begin_shutdown() {
-  draining_ = true;
-  if (listen_fd_ >= 0) {
-    loop_.remove_fd(listen_fd_);
-    close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  // Existing connections: stop consuming new requests (handle_conn_event
-  // checks draining_), flush what is owed, close when nothing is in flight.
-  std::vector<std::uint64_t> closable;
-  for (auto& [id, conn] : conns_) {
-    conn.closing = true;
-    if (conn.pending_jobs == 0 && conn.write_pos >= conn.write_buf.size()) {
-      closable.push_back(id);
-    }
-  }
-  for (std::uint64_t id : closable) close_connection(id);
-  maybe_finish_shutdown();
-}
-
-void Server::maybe_finish_shutdown() {
-  if (draining_ && conns_.empty()) loop_.stop();
 }
 
 }  // namespace gaurast::net

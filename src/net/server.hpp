@@ -1,32 +1,22 @@
 // net::Server — the TCP front-end that makes a RenderService externally
 // reachable.
 //
-// One EventLoop thread owns the listen socket and every connection
-// (per-connection read/write buffers, idle timeouts, protocol parsing).
-// Render requests are bridged onto RenderService::try_submit: a shed job
-// becomes an explicit RenderStatus::kOverloaded wire response — admission
-// control the client can see and retry, never a silent drop — and job
-// completions re-enter the loop through EventLoop::post's wakeup pipe (the
-// RenderRequest::on_complete hook), so no service worker ever touches a
-// socket. Besides the binary protocol the server answers plain
-// `GET /healthz` and `GET /stats` HTTP probes with the schema-stamped
-// ServiceStats JSON.
-//
-// Threading: all connection state is confined to the loop thread;
-// cross-thread traffic goes through EventLoop::post. The only server-level
-// mutex guards the started/stopped lifecycle flags.
+// The connection machinery (epoll loop, buffers, idle/drain timeouts,
+// frame/HTTP parsing) lives in net::FrameServer; this class is the
+// RenderService adapter on top of it. Render requests are bridged onto
+// RenderService::try_submit: a shed job becomes an explicit
+// RenderStatus::kOverloaded wire response — admission control the client
+// can see and retry, never a silent drop — and job completions re-enter the
+// loop through FrameServer::post_deliver (the RenderRequest::on_complete
+// hook), so no service worker ever touches a socket. Besides the binary
+// protocol the server answers plain `GET /healthz` and `GET /stats` HTTP
+// probes with the schema-stamped ServiceStats JSON.
 #pragma once
 
-#include <chrono>
 #include <cstdint>
-#include <map>
 #include <string>
-#include <thread>  // lint-invariants: allow(raw-concurrency)
-#include <vector>
 
-#include "common/mutex.hpp"
-#include "common/thread_annotations.hpp"
-#include "net/event_loop.hpp"
+#include "net/frame_server.hpp"
 #include "net/protocol.hpp"
 #include "runtime/service.hpp"
 
@@ -54,7 +44,7 @@ struct ServerConfig {
   std::uint64_t max_gaussian_count = 10'000'000;
 };
 
-class Server {
+class Server : private FrameHandler {
  public:
   /// The service must outlive the server. start() is not implicit.
   Server(runtime::RenderService& service, ServerConfig config);
@@ -65,77 +55,30 @@ class Server {
 
   /// Binds, listens, and spawns the loop thread. Throws gaurast::Error on
   /// socket failures (e.g. port in use).
-  void start() GAURAST_EXCLUDES(state_mutex_);
+  void start();
 
   /// Graceful shutdown: stops accepting, lets the service drain every
   /// accepted job, flushes each connection's pending responses, then joins
   /// the loop thread. Idempotent.
-  void stop() GAURAST_EXCLUDES(state_mutex_);
+  void stop();
 
   /// The bound port (resolves ephemeral binds). Valid after start().
-  int port() const { return port_; }
+  int port() const { return front_.port(); }
   const ServerConfig& config() const { return config_; }
 
  private:
-  using Clock = std::chrono::steady_clock;
+  // FrameHandler (loop thread).
+  void on_frame(std::uint64_t conn_id, const FrameHeader& header,
+                const std::uint8_t* payload) override;
+  void on_http_get(std::uint64_t conn_id, const std::string& target) override;
 
-  /// Per-connection state, loop-thread-confined. Keyed by a monotonically
-  /// increasing id (never a reused fd), so a completion posted for a
-  /// connection that died in the meantime resolves to "gone", not to an
-  /// unrelated client.
-  struct Connection {
-    int fd = -1;
-    std::uint64_t id = 0;
-    std::vector<std::uint8_t> read_buf;
-    std::vector<std::uint8_t> write_buf;
-    std::size_t write_pos = 0;
-    Clock::time_point last_activity;
-    int pending_jobs = 0;
-    bool http = false;        ///< speaking HTTP, not the binary protocol
-    bool closing = false;     ///< close once flushed and no jobs in flight
-    bool want_write = false;  ///< EPOLLOUT currently registered
-  };
+  void handle_render(std::uint64_t conn_id, RenderRequest wire);
 
-  // Everything below runs on the loop thread.
-  void handle_accept();
-  void handle_conn_event(std::uint64_t conn_id, std::uint32_t events);
-  void process_read_buffer(Connection& conn);
-  void dispatch_frame(Connection& conn, const FrameHeader& header,
-                      const std::uint8_t* payload);
-  void handle_render(Connection& conn, RenderRequest wire);
-  void handle_http(Connection& conn);
-  /// Serializes a kError frame, queues it, and marks the connection for
-  /// close-after-flush — the malformed-frame contract.
-  void protocol_error(Connection& conn, const std::string& message);
-  void respond(Connection& conn, std::vector<std::uint8_t> frame);
-  void flush_writes(Connection& conn);
-  /// Applies the unified close condition (closing + flushed + idle).
-  void maybe_close(Connection& conn);
-  void close_connection(std::uint64_t conn_id);
-  /// Completion path: posted from RenderService workers with the already
-  /// serialized response frame.
-  void deliver(std::uint64_t conn_id, std::vector<std::uint8_t> frame);
-  void on_tick();
-  void begin_shutdown();
-  void maybe_finish_shutdown();
+  static FrameServerConfig front_config(const ServerConfig& config);
 
   runtime::RenderService& service_;
   ServerConfig config_;
-  EventLoop loop_;
-  int listen_fd_ = -1;
-  int port_ = 0;
-
-  std::uint64_t next_conn_id_ = 1;
-  std::map<std::uint64_t, Connection> conns_;
-  bool draining_ = false;
-
-  // The loop thread is the module's one sanctioned std::thread: the epoll
-  // reactor needs a dedicated runner, and common::parallel_for_workers is a
-  // fork-join helper, not a long-lived event thread.
-  std::thread loop_thread_;  // lint-invariants: allow(raw-concurrency)
-
-  mutable common::Mutex state_mutex_;
-  bool running_ GAURAST_GUARDED_BY(state_mutex_) = false;
+  FrameServer front_;
 };
 
 }  // namespace gaurast::net

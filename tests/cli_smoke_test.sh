@@ -390,6 +390,88 @@ run 1 request --port 0 || true
 expect_contains "$ERR" "--port" "request requires a positive port"
 expect_clean "$ERR" "request port diagnostic"
 
+# 19. Sharded fleet: `route --spawn 2` forks two supervised serve workers,
+# routes wire requests scene-affinely, keeps serving (degraded) when a
+# worker is killed -9, restarts it on the same port, and shuts down
+# cleanly on SIGTERM with a final fleet-stats document.
+run 1 route || true
+expect_contains "$ERR" "exactly one fleet" "route requires --shard or --spawn"
+expect_clean "$ERR" "route fleet-source diagnostic"
+run 1 route --shard 127.0.0.1:4000 --spawn 2 || true
+expect_contains "$ERR" "exactly one fleet" "route rejects --shard plus --spawn"
+run 1 route --shard not-a-spec || true
+expect_contains "$ERR" "--shard" "bad shard spec names the flag"
+expect_clean "$ERR" "bad shard spec diagnostic"
+run 1 route --shard 127.0.0.1:4000 --workers 2 || true
+expect_contains "$ERR" "requires --spawn" "worker config without --spawn rejected"
+expect_clean "$ERR" "worker config diagnostic"
+
+ROUTE_LOG="$TMP/route.log"
+"$CLI" route --spawn 2 --backend sw --workers 1 >"$ROUTE_LOG" 2>&1 &
+ROUTE_PID=$!
+ROUTE_PORT=""
+for _ in $(seq 1 200); do
+  ROUTE_PORT=$(sed -n 's/^Listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$ROUTE_LOG")
+  [[ -n "$ROUTE_PORT" ]] && break
+  sleep 0.1
+done
+if [[ -z "$ROUTE_PORT" ]]; then
+  echo "FAIL: route --spawn never reported its port" >&2
+  cat "$ROUTE_LOG" >&2
+  FAILURES=$((FAILURES + 1))
+  kill -9 "$ROUTE_PID" 2>/dev/null || true
+else
+  expect_contains "$(cat "$ROUTE_LOG")" "Routing across 2 shards" "route banner counts the fleet"
+  # A frame routed through the fleet front-end.
+  FLEET_PPM="$TMP/fleet.ppm"
+  run 0 request --port "$ROUTE_PORT" --synthetic 100 --width 32 --height 24 --out "$FLEET_PPM" || true
+  expect_contains "$STDOUT" "ok" "routed request reports ok status"
+  if [[ ! -s "$FLEET_PPM" ]]; then
+    echo "FAIL: routed request did not write $FLEET_PPM" >&2
+    FAILURES=$((FAILURES + 1))
+  fi
+  # The stats endpoint through the router is the merged fleet document.
+  run 0 request --port "$ROUTE_PORT" --stats || true
+  expect_contains "$STDOUT" '"schema":"gaurast-fleet-stats/v1"' "routed stats is the fleet document"
+  expect_contains "$STDOUT" '"gaurast-serve-stats/v1"' "fleet document embeds per-shard stats"
+  # Kill one worker -9: the fleet keeps serving (failover) and the
+  # supervisor restarts the corpse on its original port.
+  WORKER_PID=$(sed -n 's/^\[spawner\] worker \([0-9]*\) listening on.*/\1/p' "$ROUTE_LOG" | head -1)
+  if [[ -z "$WORKER_PID" ]]; then
+    echo "FAIL: spawner never announced a worker pid" >&2
+    cat "$ROUTE_LOG" >&2
+    FAILURES=$((FAILURES + 1))
+  else
+    kill -9 "$WORKER_PID"
+    run 0 request --port "$ROUTE_PORT" --synthetic 100 --width 32 --height 24 || true
+    expect_contains "$STDOUT" "ok" "fleet serves degraded after kill -9"
+    RESTARTED=""
+    for _ in $(seq 1 150); do
+      if grep -q "restarting on port" "$ROUTE_LOG" && \
+         grep -q "\[spawner\] restarted worker" "$ROUTE_LOG"; then
+        RESTARTED=yes
+        break
+      fi
+      sleep 0.1
+    done
+    if [[ -z "$RESTARTED" ]]; then
+      echo "FAIL: spawner never restarted the killed worker" >&2
+      cat "$ROUTE_LOG" >&2
+      FAILURES=$((FAILURES + 1))
+    fi
+  fi
+  kill -TERM "$ROUTE_PID"
+  ROUTE_EXIT=0
+  wait "$ROUTE_PID" || ROUTE_EXIT=$?
+  if [[ "$ROUTE_EXIT" -ne 0 ]]; then
+    echo "FAIL: route exited $ROUTE_EXIT after SIGTERM" >&2
+    cat "$ROUTE_LOG" >&2
+    FAILURES=$((FAILURES + 1))
+  fi
+  expect_contains "$(cat "$ROUTE_LOG")" "shutting down" "route announces graceful shutdown"
+  expect_contains "$(cat "$ROUTE_LOG")" '"schema":"gaurast-fleet-stats/v1"' "route prints a final fleet report"
+fi
+
 if [[ "$FAILURES" -ne 0 ]]; then
   echo "cli_smoke_test: $FAILURES failure(s)" >&2
   exit 1

@@ -611,6 +611,109 @@ TEST(Server, FrameThenImmediateResetKeepsServing) {
   });
 }
 
+TEST(Client, IsAliveDetectsPeerCloseAndReconnectRecovers) {
+  runtime::ServiceConfig sconfig;
+  sconfig.backend = "sw";
+  runtime::RenderService service(sconfig);
+  auto server = std::make_unique<Server>(service, ServerConfig{});
+  server->start();
+  const int port = server->port();
+
+  Client client("127.0.0.1", port);
+  EXPECT_TRUE(client.is_alive());
+  EXPECT_NE(client.stats().json.find("gaurast-serve-stats"),
+            std::string::npos);
+  EXPECT_TRUE(client.is_alive()) << "a served request must not kill liveness";
+
+  // Stop the server: the FIN must flip is_alive to false without any
+  // send/recv attempt from our side.
+  server->stop();
+  server.reset();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (client.is_alive()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "is_alive never noticed the peer close";
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // Reconnect against the dead port fails loudly and leaves us not-alive.
+  EXPECT_THROW(client.reconnect(), Error);
+  EXPECT_FALSE(client.is_alive());
+
+  // Restart on the same port: reconnect() restores a working connection.
+  ServerConfig config;
+  config.port = port;
+  Server restarted(service, config);
+  restarted.start();
+  client.reconnect();
+  EXPECT_TRUE(client.is_alive());
+  EXPECT_NE(client.stats().json.find("gaurast-serve-stats"),
+            std::string::npos);
+  restarted.stop();
+}
+
+TEST(Client, TransportFailureMarksConnectionBroken) {
+  runtime::ServiceConfig sconfig;
+  sconfig.backend = "sw";
+  runtime::RenderService service(sconfig);
+  Server server(service, {});
+  server.start();
+
+  Client client("127.0.0.1", server.port());
+  // http_get is one-shot by contract: the server closes after responding,
+  // so the client must mark itself broken rather than pretend the
+  // connection is reusable.
+  EXPECT_NE(client.http_get("/healthz").find("200 OK"), std::string::npos);
+  EXPECT_FALSE(client.is_alive());
+  EXPECT_THROW(client.stats(), Error);
+  client.reconnect();
+  EXPECT_NE(client.stats().json.find("gaurast-serve-stats"),
+            std::string::npos);
+  server.stop();
+}
+
+TEST(Client, ConnectTimeoutFailsFastNotForever) {
+  // A black-holed peer, built on loopback: a listener whose accept queue is
+  // deliberately saturated drops further SYNs on the floor, so a connect
+  // neither completes nor gets refused — exactly the failure mode the
+  // connect timeout exists for. The dial must fail within its bound, not
+  // sit in the kernel's minutes-long default.
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+  socklen_t len = sizeof addr;
+  ASSERT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 0), 0);  // minimal queue, never accepted
+
+  // Saturate the queue with nonblocking dials that nobody will accept.
+  std::vector<int> fillers;
+  for (int i = 0; i < 4; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    ASSERT_GE(fd, 0);
+    (void)::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+    fillers.push_back(fd);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW(Client("127.0.0.1", ntohs(addr.sin_port),
+                      /*timeout_ms=*/30000, /*connect_timeout_ms=*/300),
+               Error);
+  const auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+  EXPECT_LT(elapsed_ms, 10000) << "connect ignored its timeout";
+
+  for (const int fd : fillers) ::close(fd);
+  ::close(listen_fd);
+}
+
 TEST(Server, StopForceClosesPeersThatNeverRead) {
   runtime::ServiceConfig sconfig;
   sconfig.workers = 2;

@@ -15,11 +15,12 @@ is the report's *shape*:
   * identical top-level schema tag (schema drift must bump the committed
     baseline in the same PR),
   * every aggregated section the baseline has (micro / service / pipeline /
-    wire) present with its expected per-section schema tag,
+    wire / fleet) present with its expected per-section schema tag,
   * every micro benchmark name in the baseline still reported (a silently
     dropped benchmark is how perf trajectories rot),
   * the derived headline metrics still computed (raster_fast_speedup,
-    pipelined_speedup, wire_relative_throughput).
+    pipelined_speedup, wire_relative_throughput,
+    routed_relative_throughput).
 
 It also writes an informational current/baseline ratio table (markdown) to
 --summary, or to $GITHUB_STEP_SUMMARY when set, or stdout — so every CI run
@@ -36,14 +37,19 @@ import sys
 # Every schema tag this gate understands. A report (baseline or current)
 # carrying any other tag is rejected outright — one rule for the top level
 # and every section, so new reports must be registered here to pass.
-SECTIONS = ("micro", "service", "pipeline", "wire")
+SECTIONS = ("micro", "service", "pipeline", "wire", "fleet")
 
 KNOWN_SCHEMAS = {
-    "": {"gaurast-bench-pipeline/v2", "gaurast-bench-pipeline/v3"},
+    "": {
+        "gaurast-bench-pipeline/v2",
+        "gaurast-bench-pipeline/v3",
+        "gaurast-bench-pipeline/v4",
+    },
     "micro": {"gaurast-bench-micro/v1"},
     "service": {"gaurast-bench-service/v1"},
     "pipeline": {"gaurast-bench-service-pipeline/v1"},
     "wire": {"gaurast-bench-service-wire/v1"},
+    "fleet": {"gaurast-bench-service-fleet/v1"},
 }
 
 
@@ -126,6 +132,7 @@ def check_shape(baseline, current):
         ("micro", "raster_fast_speedup"),
         ("pipeline", "pipelined_speedup"),
         ("wire", "wire_relative_throughput"),
+        ("fleet", "routed_relative_throughput"),
     )
     for section, key in derived_expectations:
         if section not in baseline:
@@ -170,6 +177,7 @@ def ratio_table(baseline, current):
         ("micro", "sort_parallel_speedup"),
         ("pipeline", "pipelined_speedup"),
         ("wire", "wire_relative_throughput"),
+        ("fleet", "routed_relative_throughput"),
     ):
         base_val = baseline.get(section, {}).get("derived", {}).get(key)
         cur_val = current.get(section, {}).get("derived", {}).get(key)

@@ -1,13 +1,14 @@
 #!/usr/bin/env bash
 # bench_pipeline.sh — runs the canonical pipeline benchmark configurations
 # and aggregates their machine-readable reports into one
-# BENCH_pipeline.json (schema gaurast-bench-pipeline/v3):
+# BENCH_pipeline.json (schema gaurast-bench-pipeline/v4):
 #
-#   {"schema":"gaurast-bench-pipeline/v3","quick":<bool>,
+#   {"schema":"gaurast-bench-pipeline/v4","quick":<bool>,
 #    "micro":    <gaurast-bench-micro/v1 report>,
 #    "service":  <gaurast-bench-service/v1 report>,
 #    "pipeline": <gaurast-bench-service-pipeline/v1 report>,
-#    "wire":     <gaurast-bench-service-wire/v1 report>}
+#    "wire":     <gaurast-bench-service-wire/v1 report>,
+#    "fleet":    <gaurast-bench-service-fleet/v1 report>}
 #
 # The canonical (non-quick) configuration is bench_micro's flag defaults
 # (20000 Gaussians at 320x240, warmup 2, repeat 5 — the config the recorded
@@ -16,9 +17,12 @@
 # serving comparison at equal total worker count on the canonical
 # 20000-Gaussian 320x240 scene, plus the loopback wire-vs-in-process serving
 # comparison (net::Server / net::Client over a real TCP socket, image
-# payloads included). --quick shrinks everything to a small scene
-# and a single repeat so CI can exercise the JSON paths, both kernels, and
-# both execution modes on every PR in seconds.
+# payloads included), plus the direct-vs-routed sharded-fleet comparison
+# (cluster::Router fronting loopback shards; reports the routed/direct
+# throughput ratio and per-frame route overhead). --quick shrinks
+# everything to a small scene and a single repeat so CI can exercise the
+# JSON paths, both kernels, and both execution modes on every PR in
+# seconds.
 #
 # Usage: tools/bench_pipeline.sh [--build-dir DIR] [--out FILE] [--quick]
 set -euo pipefail
@@ -58,6 +62,7 @@ SERVICE_FLAGS=(--backend sw --kernel fast)
 PIPELINE_FLAGS=(--pipeline --backend sw --kernel fast --stage-workers 1,1,2
                 --queue 4)
 WIRE_FLAGS=(--listen-loopback --backend sw --kernel fast)
+FLEET_FLAGS=(--fleet 2 --backend sw --kernel fast)
 if [[ "$QUICK" == 1 ]]; then
   MICRO_FLAGS+=(--synthetic 4000 --width 160 --height 120 --warmup 1 --repeat 1)
   SERVICE_FLAGS+=(--jobs 6 --width 96 --height 72 --warmup 0 --repeat 1)
@@ -65,16 +70,22 @@ if [[ "$QUICK" == 1 ]]; then
                    --warmup 0 --repeat 1)
   WIRE_FLAGS+=(--jobs 4 --width 96 --height 72 --scene-size 2000
                --workers 1 --clients 2 --warmup 0 --repeat 1)
+  FLEET_FLAGS+=(--jobs 4 --width 96 --height 72
+                --workers 1 --clients 2 --warmup 0 --repeat 1)
 else
   # Canonical: bench_micro defaults; a fuller service sweep; the execution
   # -mode comparison on the canonical 20k/320x240 scene. --queue 4 bounds
   # the pipeline's in-flight frame window (keeps per-frame buffers warm in
   # the allocator) and gives monolithic the same request-queue bound.
+  # The fleet comparison keeps the default mixed scene sizes so the
+  # rendezvous hash actually spreads load across both shards.
   SERVICE_FLAGS+=(--jobs 24 --warmup 1 --repeat 3)
   PIPELINE_FLAGS+=(--jobs 24 --width 320 --height 240 --scene-size 20000
                    --warmup 1 --repeat 5)
   WIRE_FLAGS+=(--jobs 16 --width 320 --height 240 --scene-size 20000
                --workers 2 --clients 4 --warmup 1 --repeat 3)
+  FLEET_FLAGS+=(--jobs 16 --width 320 --height 240
+                --workers 2 --clients 4 --warmup 1 --repeat 3)
 fi
 
 # ${arr[@]+...} guards: expanding an empty array under `set -u` is an
@@ -88,9 +99,11 @@ echo "== bench_service_throughput ${PIPELINE_FLAGS[*]}"
 "$SERVICE" "${PIPELINE_FLAGS[@]}" --json "$TMP/pipeline.json"
 echo "== bench_service_throughput ${WIRE_FLAGS[*]}"
 "$SERVICE" "${WIRE_FLAGS[@]}" --json "$TMP/wire.json"
+echo "== bench_service_throughput ${FLEET_FLAGS[*]}"
+"$SERVICE" "${FLEET_FLAGS[@]}" --json "$TMP/fleet.json"
 
 {
-  printf '{"schema":"gaurast-bench-pipeline/v3","quick":%s,"micro":' \
+  printf '{"schema":"gaurast-bench-pipeline/v4","quick":%s,"micro":' \
          "$([[ "$QUICK" == 1 ]] && echo true || echo false)"
   tr -d '\n' < "$TMP/micro.json"
   printf ',"service":'
@@ -99,12 +112,16 @@ echo "== bench_service_throughput ${WIRE_FLAGS[*]}"
   tr -d '\n' < "$TMP/pipeline.json"
   printf ',"wire":'
   tr -d '\n' < "$TMP/wire.json"
+  printf ',"fleet":'
+  tr -d '\n' < "$TMP/fleet.json"
   printf '}\n'
 } > "$OUT"
 
 SPEEDUP=$(sed -n 's/.*"raster_fast_speedup":\([0-9.]*\).*/\1/p' "$OUT")
 PIPE_SPEEDUP=$(sed -n 's/.*"pipelined_speedup":\([0-9.]*\).*/\1/p' "$OUT")
 WIRE_REL=$(sed -n 's/.*"wire_relative_throughput":\([0-9.]*\).*/\1/p' "$OUT")
+FLEET_REL=$(sed -n 's/.*"routed_relative_throughput":\([0-9.]*\).*/\1/p' "$OUT")
 echo "Wrote $OUT (raster fast-vs-reference speedup: ${SPEEDUP:-n/a}x," \
      "pipelined-vs-monolithic serve: ${PIPE_SPEEDUP:-n/a}x," \
-     "wire-vs-in-process serve: ${WIRE_REL:-n/a}x)"
+     "wire-vs-in-process serve: ${WIRE_REL:-n/a}x," \
+     "routed-vs-direct fleet: ${FLEET_REL:-n/a}x)"

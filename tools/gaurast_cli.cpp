@@ -17,6 +17,10 @@
 //                        [--width W] [--height H] [--out img.ppm]
 //                        [--backend NAME] [--kernel reference|fast]
 //                        [--stats]
+//   gaurast_cli route    [--listen PORT] --shard H:P [--shard H:P ...]
+//   gaurast_cli route    [--listen PORT] --spawn N [--workers W] [--queue Q]
+//                        [--backend NAME] [--kernel reference|fast]
+//                        [--threads T] [--json out.json]
 //   gaurast_cli backends [--json out.json|-]
 //   gaurast_cli report
 //
@@ -27,9 +31,14 @@
 // reports throughput/latency — or, with --listen, serves real clients over
 // the gaurast wire protocol (net::Server) until SIGINT/SIGTERM. `request`
 // is the matching wire client: it renders one frame on a running server (or
-// fetches its stats snapshot with --stats). `backends` lists the engine
-// registry — every --backend value, its capabilities and operating point.
-// `report` prints the headline paper-reproduction summary.
+// fetches its stats snapshot with --stats). `route` fronts a sharded fleet:
+// it speaks the same wire protocol as `serve --listen` but forwards each
+// request to the shard that owns its scene (rendezvous hashing over the
+// alive shards of cluster::HostDb), with health probing, failover, and
+// merged gaurast-fleet-stats/v1 reporting; --spawn forks and supervises N
+// local workers instead of joining pre-started --shard ones. `backends`
+// lists the engine registry — every --backend value, its capabilities and
+// operating point. `report` prints the headline paper-reproduction summary.
 //
 // Backend names, help text and flag validation all come from the engine
 // registry (engine/registry.hpp); registering a new operating point there
@@ -51,6 +60,9 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/host_db.hpp"
+#include "cluster/router.hpp"
+#include "cluster/spawner.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/config_io.hpp"
@@ -521,6 +533,111 @@ int cmd_request(const CliParser& cli) {
   return 0;
 }
 
+// The running binary's own path, for `route --spawn` to fork workers from.
+// /proc/self/exe is authoritative on Linux and works even when argv[0] is a
+// bare name resolved through PATH.
+std::string self_exe_path() {
+  std::error_code ec;
+  const std::filesystem::path exe =
+      std::filesystem::read_symlink("/proc/self/exe", ec);
+  if (!ec) return exe.string();
+  return "/proc/self/exe";
+}
+
+int cmd_route(const CliParser& cli) {
+  const int listen_port = cli.get_int("listen");
+  if (listen_port < 0 || listen_port > 65535) {
+    throw CliParseError("--listen must be a TCP port in [0, 65535] "
+                        "(0 = ephemeral)");
+  }
+  const int spawn_count = cli.get_int("spawn");
+  if (spawn_count < 0) {
+    throw CliParseError("--spawn must be >= 1");
+  }
+  const std::vector<std::string> shard_specs = cli.get_strings("shard");
+  if ((spawn_count > 0) == !shard_specs.empty()) {
+    throw CliParseError(
+        "route fronts exactly one fleet: pass pre-started shards with "
+        "--shard host:port (repeatable) or fork local workers with "
+        "--spawn N, not both and not neither");
+  }
+  for (const char* flag : {"workers", "queue", "backend", "kernel",
+                           "threads"}) {
+    if (spawn_count == 0 && flag_was_set(cli, flag)) {
+      throw CliParseError(std::string("--") + flag +
+                          " configures spawned workers and requires --spawn "
+                          "(pre-started --shard servers bring their own "
+                          "configuration)");
+    }
+  }
+  const std::string json_path = cli.get_string("json");
+  OutputFileProbe json_probe(json_path, "json");
+
+  std::unique_ptr<cluster::Spawner> spawner;
+  std::vector<cluster::ShardId> shards;
+  if (spawn_count > 0) {
+    cluster::SpawnerConfig spawner_config;
+    spawner_config.exe = self_exe_path();
+    // Worker configuration passes through verbatim; a bad value surfaces as
+    // the worker's own CLI diagnostic on the supervisor's stdout.
+    for (const char* flag : {"workers", "queue", "backend", "kernel",
+                             "threads"}) {
+      if (flag_was_set(cli, flag)) {
+        spawner_config.serve_args.push_back(std::string("--") + flag);
+        spawner_config.serve_args.push_back(cli.get_string(flag));
+      }
+    }
+    spawner = std::make_unique<cluster::Spawner>(std::move(spawner_config));
+    shards = spawner->spawn(spawn_count);
+  } else {
+    shards.reserve(shard_specs.size());
+    for (const std::string& spec : shard_specs) {
+      shards.push_back(flag_value("shard", [&] {
+        return cluster::ShardId::parse(spec);
+      }));
+    }
+  }
+
+  cluster::HostDb db(shards);
+  cluster::RouterConfig router_config;
+  router_config.port = listen_port;
+  cluster::Router router(db, router_config);
+  router.start();
+  std::cout << "Routing across " << db.size() << " shard"
+            << (db.size() == 1 ? "" : "s") << " (";
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    std::cout << (i ? ", " : "") << db.shard(i).label();
+  }
+  std::cout << ")" << std::endl;
+  // Same announcement line as `serve --listen`, so anything that parses one
+  // can front either.
+  std::cout << "Listening on " << router_config.host << ":" << router.port()
+            << std::endl;
+
+  g_stop_requested = 0;
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  while (!g_stop_requested) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (spawner) spawner->poll();
+  }
+  std::cout << "Signal received, shutting down" << std::endl;
+  // Final fleet report while the shards are still up; stopping the router
+  // first keeps new requests out of the snapshot.
+  router.stop();
+  const std::string fleet_json = router.fleet_stats_json();
+  if (spawner) spawner->stop();
+
+  std::cout << fleet_json << '\n';
+  if (!json_path.empty()) {
+    std::ofstream os(json_path, std::ios::trunc);
+    os << fleet_json << '\n';
+    json_probe.disarm();
+    std::cout << "Wrote " << json_path << '\n';
+  }
+  return 0;
+}
+
 int cmd_serve(const CliParser& cli) {
   runtime::ServiceConfig service_config;
   const bool pipelined = cli.get_bool("pipeline");
@@ -645,8 +762,9 @@ int cmd_report() {
   return 0;
 }
 
-constexpr std::array<std::string_view, 7> kCommands = {
-    "render", "simulate", "replay", "serve", "request", "backends", "report"};
+constexpr std::array<std::string_view, 8> kCommands = {
+    "render", "simulate", "replay", "serve",
+    "request", "route",    "backends", "report"};
 
 /// Flags each command actually consumes. Flags are declared once globally
 /// (so every help screen is complete), but a flag set for a command that
@@ -665,6 +783,9 @@ const std::vector<std::string>& command_flags(const std::string& command) {
       {"request",
        {"host", "port", "synthetic", "seed", "width", "height", "out",
         "backend", "kernel", "stats"}},
+      {"route",
+       {"listen", "shard", "spawn", "workers", "queue", "backend", "kernel",
+        "threads", "json"}},
       {"backends", {"json"}},
       {"report", {}},
   };
@@ -683,7 +804,8 @@ void reject_foreign_flags(const CliParser& cli, const std::string& command) {
 
 void print_top_usage(std::ostream& os) {
   os << "usage: gaurast_cli "
-        "<render|simulate|replay|serve|request|backends|report> [flags]\n"
+        "<render|simulate|replay|serve|request|route|backends|report> "
+        "[flags]\n"
         "       gaurast_cli <command> --help\n"
         "\n"
         "Commands:\n"
@@ -696,6 +818,10 @@ void print_top_usage(std::ostream& os) {
         "            serve the wire protocol on a TCP port with --listen\n"
         "  request   render one frame on (or fetch stats from) a running "
         "serve --listen\n"
+        "  route     front a sharded fleet: scene-affine routing across "
+        "--shard\n"
+        "            servers (or --spawn N forked local workers) with "
+        "failover\n"
         "  backends  list the registered engine backends and their "
         "capabilities\n"
         "  report    print the headline paper-reproduction summary\n";
@@ -753,9 +879,17 @@ int main(int argc, char** argv) {
                "serve: pipelined worker split preprocess,sort,raster "
                "(with --pipeline)");
   cli.add_flag("listen", "0",
-               "serve: listen for gaurast wire-protocol clients on this TCP "
-               "port (0 = ephemeral) instead of generating a workload; "
-               "SIGINT/SIGTERM shuts down gracefully");
+               "serve/route: listen for gaurast wire-protocol clients on "
+               "this TCP port (0 = ephemeral) instead of generating a "
+               "workload; SIGINT/SIGTERM shuts down gracefully");
+  cli.add_repeatable_flag(
+      "shard",
+      "route: fleet shard as host:port (repeat the flag or comma-separate "
+      "for more shards)");
+  cli.add_flag("spawn", "0",
+               "route: fork N local 'serve --listen' workers as the fleet "
+               "(supervised: exits are logged and restarted on the same "
+               "port) instead of joining --shard servers");
   cli.add_flag("host", "127.0.0.1", "request: server host");
   cli.add_flag("port", "0", "request: server port (as printed by --listen)");
   cli.add_flag("stats", "false",
@@ -766,8 +900,8 @@ int main(int argc, char** argv) {
                "Step-3 executor: " + engine::join_names(engine::names()) +
                    " (render/serve; see 'gaurast_cli backends')");
   cli.add_flag("json", "",
-               "serve/backends: also write a machine-readable JSON report "
-               "('-' for stdout with 'backends')");
+               "serve/route/backends: also write a machine-readable JSON "
+               "report ('-' for stdout with 'backends')");
   try {
     if (!cli.parse(argc - 1, argv + 1)) return 0;
     if (!cli.positional().empty()) {
@@ -780,6 +914,7 @@ int main(int argc, char** argv) {
     if (command == "replay") return cmd_replay(cli);
     if (command == "serve") return cmd_serve(cli);
     if (command == "request") return cmd_request(cli);
+    if (command == "route") return cmd_route(cli);
     if (command == "backends") return cmd_backends(cli);
     if (command == "report") return cmd_report();
     // Unreachable while kCommands and the chain above stay in sync.

@@ -33,6 +33,13 @@ Rules (see --list-rules):
                        GAURAST_EXCLUDES reference in the same file - a mutex
                        nothing is annotated against protects nothing the
                        analysis can see.
+  process-spawn        Process lifecycle syscalls (fork, vfork, the exec*
+                       family, posix_spawn*, waitpid, waitid) are
+                       confined to src/cluster/, the one module that
+                       supervises worker processes (cluster::Spawner).
+                       Everything else must not fork: a stray fork in
+                       library code duplicates threads, locks, and fds in
+                       states the rest of the stack never reasons about.
 
 A finding can be waived for one line with a trailing comment:
 
@@ -60,6 +67,9 @@ KERNEL_DIRS = ("src/pipeline", "src/gsmath")
 
 # The one module allowed to make raw socket / epoll syscalls.
 RAW_SOCKETS_EXEMPT_DIRS = ("src/net",)
+
+# The one module allowed to fork/exec/reap worker processes.
+PROCESS_SPAWN_EXEMPT_DIRS = ("src/cluster",)
 
 # The single sanctioned construction site for engine backends.
 REGISTRY_SOURCE = "src/engine/registry.cpp"
@@ -125,6 +135,31 @@ RAW_SOCKET_FUNCTIONS = (
 # identifier character.
 RAW_SOCKETS_RE = re.compile(
     r"(?<![\w.:>])(?:::\s*)?(?:" + "|".join(RAW_SOCKET_FUNCTIONS) + r")\s*\("
+)
+
+# Process lifecycle entry points. Same free-call-only matching as the socket
+# rule: the lookbehind rejects member and qualified calls. Bare `wait` is
+# deliberately absent — a method *declaration* like `void wait(MutexLock&)`
+# is indistinguishable from a free call to the syscall, and CondVar::wait
+# makes that collision a certainty; waitpid/waitid cover reaping.
+PROCESS_SPAWN_FUNCTIONS = (
+    "fork",
+    "vfork",
+    "execl",
+    "execlp",
+    "execle",
+    "execv",
+    "execve",
+    "execvp",
+    "execvpe",
+    "posix_spawn",
+    "posix_spawnp",
+    "waitpid",
+    "waitid",
+)
+
+PROCESS_SPAWN_RE = re.compile(
+    r"(?<![\w.:>])(?:::\s*)?(?:" + "|".join(PROCESS_SPAWN_FUNCTIONS) + r")\s*\("
 )
 
 WAIVER_RE = re.compile(r"//\s*lint-invariants:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
@@ -288,6 +323,30 @@ def check_raw_sockets(src: SourceFile, _all: list[SourceFile]) -> list[Finding]:
 
 
 # --------------------------------------------------------------------------
+# Rule: process-spawn
+# --------------------------------------------------------------------------
+
+
+def check_process_spawn(src: SourceFile, _all: list[SourceFile]) -> list[Finding]:
+    if not src.rel.startswith("src/") or in_dirs(src.rel, PROCESS_SPAWN_EXEMPT_DIRS):
+        return []
+    findings = []
+    for m in PROCESS_SPAWN_RE.finditer(src.scrubbed):
+        call = m.group(0).rstrip("( \t").lstrip(": \t")
+        findings.append(
+            Finding(
+                src.path,
+                line_of(src.scrubbed, m.start()),
+                "process-spawn",
+                f"process lifecycle call {call}() outside src/cluster/; "
+                "forking/reaping workers belongs to cluster::Spawner so "
+                "child-process state stays in one supervised place",
+            )
+        )
+    return findings
+
+
+# --------------------------------------------------------------------------
 # Rule: check-in-kernel-loop
 # --------------------------------------------------------------------------
 
@@ -433,6 +492,10 @@ RULES: dict[str, tuple[str, RuleFn]] = {
     "raw-sockets": (
         "raw socket / epoll syscalls outside src/net/",
         check_raw_sockets,
+    ),
+    "process-spawn": (
+        "fork/exec*/wait* process syscalls outside src/cluster/",
+        check_process_spawn,
     ),
     "check-in-kernel-loop": (
         "GAURAST_CHECK inside loop bodies in src/pipeline//src/gsmath/",

@@ -188,6 +188,75 @@ class RawSocketsTest(unittest.TestCase):
         self.assertEqual(run({"src/runtime/legacy.cpp": body}), [])
 
 
+class ProcessSpawnTest(unittest.TestCase):
+    def test_seeded_fork_caught(self) -> None:
+        body = (
+            "#include <unistd.h>\n"
+            "int spawn() { return fork(); }\n"
+        )
+        findings = run({"src/runtime/helper.cpp": body})
+        self.assertEqual(rules_of(findings), ["process-spawn"])
+        self.assertEqual(findings[0].line, 2)
+        self.assertIn("fork()", findings[0].message)
+
+    def test_exec_family_and_waitpid_caught(self) -> None:
+        body = (
+            "void f(char** argv) {\n"
+            "  ::vfork();\n"
+            "  execv(argv[0], argv);\n"
+            "  execvp(argv[0], argv);\n"
+            "  posix_spawn(nullptr, argv[0], nullptr, nullptr, argv, nullptr);\n"
+            "  int status = 0;\n"
+            "  ::waitpid(-1, &status, 0);\n"
+            "}\n"
+        )
+        findings = run({"src/engine/escape.cpp": body})
+        self.assertEqual(rules_of(findings), ["process-spawn"] * 5)
+
+    def test_cluster_module_exempt(self) -> None:
+        body = (
+            "#include <sys/wait.h>\n"
+            "#include <unistd.h>\n"
+            "void supervise(char** argv) {\n"
+            "  if (fork() == 0) execv(argv[0], argv);\n"
+            "  int status = 0;\n"
+            "  waitpid(-1, &status, 0);\n"
+            "}\n"
+        )
+        self.assertEqual(run({"src/cluster/spawner.cpp": body}), [])
+
+    def test_member_calls_and_condvar_wait_ignored(self) -> None:
+        body = (
+            "void f(Pool& pool, CondVar& cv, MutexLock& lock) {\n"
+            "  pool.fork();\n"
+            "  scheduler->waitpid(7);\n"
+            "  cv.wait(lock);\n"
+            "  cv.wait_for(lock, 100);\n"
+            "}\n"
+        )
+        self.assertEqual(run({"src/runtime/pool.cpp": body}), [])
+
+    def test_wait_method_declaration_ignored(self) -> None:
+        body = (
+            "class CondVar {\n"
+            " public:\n"
+            "  void wait(MutexLock& lock);\n"
+            "};\n"
+        )
+        self.assertEqual(run({"src/gpu/sync.hpp": body}), [])
+
+    def test_comment_and_string_ignored(self) -> None:
+        body = '// fork() the worker\nauto s = "execv(path, argv)";\n'
+        self.assertEqual(run({"src/scene/doc.cpp": body}), [])
+
+    def test_waiver_suppresses(self) -> None:
+        body = (
+            "int f() { return fork(); }"
+            "  // lint-invariants: allow(process-spawn)\n"
+        )
+        self.assertEqual(run({"src/runtime/legacy.cpp": body}), [])
+
+
 class KernelLoopTest(unittest.TestCase):
     def test_seeded_violation_caught(self) -> None:
         body = (
