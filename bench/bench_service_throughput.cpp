@@ -30,6 +30,16 @@
 // and the router's own per-frame route-overhead numbers, so the price of
 // the fleet front-end is a tracked number instead of folklore.
 //
+// --faults measures what failures cost: the same request list, every
+// request carrying a --deadline-ms budget, runs once clean and once with
+// --fault-plan armed at the router's forwarding seam (cluster.forward),
+// over an identical routed fleet of 2 loopback shards. The report carries
+// both passes' tail latency and outcome counts (ok / deadline-exceeded /
+// unavailable) plus the faulted/clean throughput ratio and the faulted
+// pass's deadline hit rate, so the price of retries, failovers, and
+// deadline shedding under a known fault rate is a tracked number instead
+// of folklore. The plan is seeded, so injections are reproducible.
+//
 // Each measured point runs `--warmup` unmeasured full workload passes
 // followed by `--repeat` measured passes (every pass on a fresh,
 // scene-prewarmed service, so pass timing measures serving, not scene
@@ -63,6 +73,17 @@
 //                          "route_overhead_mean_ms":...,
 //                          "route_overhead_p95_ms":...}],
 //                "derived":{"routed_relative_throughput":...}}
+//   --faults:   {"schema":"gaurast-bench-service-faults/v1",
+//                ...same config fields...,"shards":2,"workers":W,
+//                "clients":C,"deadline_ms":D,"fault_plan":"...",
+//                "modes":[{"mode":"clean",...,"ok":...,
+//                          "deadline_exceeded":...,"unavailable":...,
+//                          "deadline_hit_rate":...,"retries":...,
+//                          "failovers":...},
+//                         {"mode":"faulted",...}],
+//                "derived":{"faulted_relative_throughput":...,
+//                           "faulted_deadline_hit_rate":...,
+//                           "faulted_p99_ms":...}}
 //
 //   bench_service_throughput [--jobs N] [--backend NAME]
 //                            [--kernel reference|fast]
@@ -72,6 +93,7 @@
 //                            [--pipeline] [--stage-workers P,S,R]
 //                            [--listen-loopback] [--clients C] [--workers W]
 //                            [--fleet N]
+//                            [--faults] [--deadline-ms D] [--fault-plan SPEC]
 //                            [--json out.json]
 //
 // --backend takes any name in the engine registry (`gaurast_cli backends`);
@@ -94,6 +116,7 @@
 #include "cluster/host_db.hpp"
 #include "cluster/router.hpp"
 #include "common/cli.hpp"
+#include "common/fault.hpp"
 #include "common/table.hpp"
 #include "engine/registry.hpp"
 #include "net/client.hpp"
@@ -166,6 +189,18 @@ int main(int argc, char** argv) {
   cli.add_flag("fleet", "0",
                "compare direct-to-shard vs routed-through-cluster::Router "
                "serving over this many loopback shards (0 = off)");
+  cli.add_flag("faults", "false",
+               "compare clean vs fault-injected routed serving over 2 "
+               "loopback shards; every request carries --deadline-ms and "
+               "the faulted pass arms --fault-plan");
+  cli.add_flag("deadline-ms", "250",
+               "per-request deadline budget (with --faults)");
+  cli.add_flag("fault-plan",
+               "seed=11;cluster.forward:error:p=0.01;"
+               "cluster.forward:delay=10:p=0.05",
+               "GAURAST_FAULT_PLAN spec armed during the faulted pass "
+               "(with --faults); keep it to router-internal points like "
+               "cluster.forward or the bench's own clients misbehave");
   cli.add_flag("json", "", "write machine-readable results to this path");
   try {
     if (!cli.parse(argc, argv)) return 0;
@@ -194,12 +229,13 @@ int main(int argc, char** argv) {
     const bool listen_loopback = cli.get_bool("listen-loopback");
     const int fleet_shards = cli.get_int("fleet");
     if (fleet_shards < 0) throw CliParseError("--fleet must be >= 0");
+    const bool run_faults = cli.get_bool("faults");
     if ((listen_loopback ? 1 : 0) + (compare_pipeline ? 1 : 0) +
-            (fleet_shards > 0 ? 1 : 0) >
+            (fleet_shards > 0 ? 1 : 0) + (run_faults ? 1 : 0) >
         1) {
       throw CliParseError(
-          "--listen-loopback, --pipeline, and --fleet are separate "
-          "comparisons; run them as separate invocations");
+          "--listen-loopback, --pipeline, --fleet, and --faults are "
+          "separate comparisons; run them as separate invocations");
     }
     const runtime::StageWorkers stage_workers =
         runtime::stage_workers_from_string(cli.get_string("stage-workers"));
@@ -692,6 +728,245 @@ int main(int argc, char** argv) {
            << ",\"route_overhead_p95_ms\":" << format_fixed(overhead_p95, 4)
            << "}],\"derived\":{\"routed_relative_throughput\":"
            << format_fixed(routed_relative, 4) << "}}";
+    } else if (run_faults) {
+      const int clients = cli.get_positive_int("clients");
+      const int workers = cli.get_positive_int("workers");
+      const int deadline_ms = cli.get_positive_int("deadline-ms");
+      const std::string fault_plan = cli.get_string("fault-plan");
+      fault::parse_plan(fault_plan);  // reject a typo'd plan before any pass
+      constexpr int kShards = 2;
+      runtime::ServiceConfig config;
+      config.workers = workers;
+      config.backend = backend;
+      config.renderer.kernel = kernel;
+      config.queue_capacity =
+          static_cast<std::size_t>(cli.get_positive_int("queue"));
+
+      // One request list shared by both passes, every request carrying the
+      // same deadline budget, full image payloads: the faulted pass pays
+      // the real retry/failover cost, pixels included.
+      std::vector<net::RenderRequest> requests;
+      for (const runtime::WorkloadRequest& req :
+           runtime::generate_workload(workload)) {
+        net::RenderRequest wire = net::default_render_request(
+            req.gaussian_count, req.scene_seed, workload.width,
+            workload.height);
+        wire.request_id = static_cast<std::uint64_t>(requests.size()) + 1;
+        wire.flags = net::kWantImage;
+        wire.deadline_ms = static_cast<std::uint32_t>(deadline_ms);
+        requests.push_back(std::move(wire));
+      }
+
+      struct FaultsPass {
+        double fps = 0.0;                  ///< kOk frames per wall second
+        std::vector<double> latencies_ms;  ///< kOk round trips only
+        std::uint64_t ok = 0;
+        std::uint64_t deadline_exceeded = 0;
+        std::uint64_t unavailable = 0;  ///< kFleetUnavailable and friends
+        cluster::RouterStatsSnapshot router_stats;
+      };
+
+      // One pass over a fresh routed fleet of kShards loopback shards. The
+      // faulted variant arms --fault-plan for the duration of the client
+      // run; the seeded plan makes the injection sequence reproducible
+      // pass to pass. The clean variant runs the identical fleet disarmed.
+      const auto run_faults_pass = [&](bool faulted) {
+        std::vector<std::unique_ptr<runtime::RenderService>> services;
+        std::vector<std::unique_ptr<net::Server>> servers;
+        std::vector<cluster::ShardId> ids;
+        for (int s = 0; s < kShards; ++s) {
+          services.push_back(std::make_unique<runtime::RenderService>(config));
+          for (const auto& [key, master] : master_scenes) {
+            services.back()->scene(key, [&master = master] { return master; });
+          }
+          servers.push_back(std::make_unique<net::Server>(
+              *services.back(), net::ServerConfig{}));
+          servers.back()->start();
+          ids.push_back(cluster::ShardId{"127.0.0.1", servers.back()->port()});
+        }
+        cluster::HostDb db(ids);
+        cluster::RouterConfig router_config;
+        // Capacity sized so the router never sheds for queue reasons: the
+        // outcome mix should reflect faults and deadlines, not admission.
+        router_config.inflight_per_shard = clients;
+        router_config.queue_per_shard = static_cast<int>(requests.size());
+        cluster::Router router(db, router_config);
+        router.start();
+
+        std::vector<std::vector<double>> latencies(
+            static_cast<std::size_t>(clients));
+        std::atomic<std::uint64_t> ok{0};
+        std::atomic<std::uint64_t> deadline_hit{0};
+        std::atomic<std::uint64_t> unavailable{0};
+        if (faulted) fault::arm(fault_plan);
+        const auto t0 = std::chrono::steady_clock::now();
+        std::vector<std::thread> threads;
+        for (int t = 0; t < clients; ++t) {
+          threads.emplace_back([&, t] {
+            net::Client conn("127.0.0.1", router.port());
+            for (std::size_t i = static_cast<std::size_t>(t);
+                 i < requests.size(); i += static_cast<std::size_t>(clients)) {
+              const auto start = std::chrono::steady_clock::now();
+              const net::RenderResponse resp = conn.render(requests[i]);
+              switch (resp.status) {
+                case net::RenderStatus::kOk:
+                  ok.fetch_add(1);
+                  latencies[static_cast<std::size_t>(t)].push_back(
+                      std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count());
+                  break;
+                case net::RenderStatus::kDeadlineExceeded:
+                  deadline_hit.fetch_add(1);
+                  break;
+                default:
+                  unavailable.fetch_add(1);
+                  break;
+              }
+            }
+          });
+        }
+        for (std::thread& t : threads) t.join();
+        const double wall_s =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        fault::disarm();
+        FaultsPass pass;
+        pass.router_stats = router.stats_snapshot();
+        router.stop();
+        for (auto& server : servers) server->stop();
+        pass.ok = ok.load();
+        pass.deadline_exceeded = deadline_hit.load();
+        pass.unavailable = unavailable.load();
+        pass.fps =
+            wall_s > 0.0 ? static_cast<double>(pass.ok) / wall_s : 0.0;
+        for (std::vector<double>& per_client : latencies) {
+          pass.latencies_ms.insert(pass.latencies_ms.end(),
+                                   per_client.begin(), per_client.end());
+        }
+        return pass;
+      };
+
+      print_banner(std::cout,
+                   "Clean vs fault-injected routed serving, backend " +
+                       backend + ", kernel " + pipeline::to_string(kernel) +
+                       ", " + std::to_string(workload.jobs) + " jobs x " +
+                       std::to_string(repeat) + " passes, " +
+                       std::to_string(kShards) + " shards x " +
+                       std::to_string(workers) + " workers, " +
+                       std::to_string(clients) + " clients, deadline " +
+                       std::to_string(deadline_ms) + " ms");
+
+      // Interleaved passes, same rationale as the other comparisons.
+      struct FaultsPoint {
+        double fps_sum = 0.0;
+        double fps_mean = 0.0;
+        double fps_best = 0.0;
+        FaultsPass best;
+
+        void add_pass(FaultsPass pass) {
+          fps_sum += pass.fps;
+          if (pass.fps >= fps_best) {
+            fps_best = pass.fps;
+            best = std::move(pass);
+          }
+        }
+        void finalize(int passes) {
+          fps_mean = fps_sum / static_cast<double>(passes);
+        }
+      };
+      FaultsPoint clean_point;
+      FaultsPoint faulted_point;
+      for (int pass = -warmup; pass < repeat; ++pass) {
+        FaultsPass clean_pass = run_faults_pass(/*faulted=*/false);
+        FaultsPass faulted_pass = run_faults_pass(/*faulted=*/true);
+        if (pass < 0) continue;
+        clean_point.add_pass(std::move(clean_pass));
+        faulted_point.add_pass(std::move(faulted_pass));
+      }
+      clean_point.finalize(repeat);
+      faulted_point.finalize(repeat);
+      const double faulted_relative =
+          clean_point.fps_mean > 0.0
+              ? faulted_point.fps_mean / clean_point.fps_mean
+              : 0.0;
+      const auto hit_rate = [](const FaultsPass& pass) {
+        const std::uint64_t total =
+            pass.ok + pass.deadline_exceeded + pass.unavailable;
+        return total > 0
+                   ? static_cast<double>(pass.deadline_exceeded) /
+                         static_cast<double>(total)
+                   : 0.0;
+      };
+
+      TablePrinter table({"Mode", "Clients", "Throughput", "p50", "p95",
+                          "p99", "Deadline", "Retries"});
+      const auto faults_row = [&](const std::string& name,
+                                  FaultsPoint& point) {
+        table.add_row(
+            {name, std::to_string(clients),
+             format_fixed(point.fps_mean, 1) + " fps",
+             format_time_ms(percentile_ms(point.best.latencies_ms, 0.50)),
+             format_time_ms(percentile_ms(point.best.latencies_ms, 0.95)),
+             format_time_ms(percentile_ms(point.best.latencies_ms, 0.99)),
+             format_percent(hit_rate(point.best)),
+             std::to_string(point.best.router_stats.retries)});
+      };
+      faults_row("clean", clean_point);
+      faults_row("faulted", faulted_point);
+      table.print(std::cout);
+      std::cout << "Faulted/clean throughput: "
+                << format_ratio(faulted_relative, 3) << '\n'
+                << "Faulted pass outcomes: " << faulted_point.best.ok
+                << " ok, " << faulted_point.best.deadline_exceeded
+                << " deadline-exceeded, " << faulted_point.best.unavailable
+                << " unavailable ("
+                << faulted_point.best.router_stats.retries << " retries, "
+                << faulted_point.best.router_stats.failovers
+                << " failovers)\n";
+
+      const auto faults_mode_json = [&](const std::string& name,
+                                        FaultsPoint& point) {
+        std::vector<double>& lat = point.best.latencies_ms;
+        return "{\"mode\":\"" + name + "\",\"throughput_mean_fps\":" +
+               format_fixed(point.fps_mean, 4) + ",\"throughput_best_fps\":" +
+               format_fixed(point.fps_best, 4) + ",\"latency_p50_ms\":" +
+               format_fixed(percentile_ms(lat, 0.50), 4) +
+               ",\"latency_p95_ms\":" +
+               format_fixed(percentile_ms(lat, 0.95), 4) +
+               ",\"latency_p99_ms\":" +
+               format_fixed(percentile_ms(lat, 0.99), 4) +
+               ",\"ok\":" + std::to_string(point.best.ok) +
+               ",\"deadline_exceeded\":" +
+               std::to_string(point.best.deadline_exceeded) +
+               ",\"unavailable\":" + std::to_string(point.best.unavailable) +
+               ",\"deadline_hit_rate\":" +
+               format_fixed(hit_rate(point.best), 6) + ",\"retries\":" +
+               std::to_string(point.best.router_stats.retries) +
+               ",\"failovers\":" +
+               std::to_string(point.best.router_stats.failovers) + "}";
+      };
+      json << "{\"schema\":\"gaurast-bench-service-faults/v1\","
+           << "\"backend\":\"" << backend << "\",\"kernel\":\""
+           << pipeline::to_string(kernel) << "\",\"jobs\":" << workload.jobs
+           << ",\"width\":" << workload.width
+           << ",\"height\":" << workload.height
+           << ",\"seed\":" << workload.seed << ",\"warmup\":" << warmup
+           << ",\"repeat\":" << repeat << ",\"shards\":" << kShards
+           << ",\"workers\":" << workers << ",\"clients\":" << clients
+           << ",\"deadline_ms\":" << deadline_ms << ",\"fault_plan\":\""
+           << fault_plan << "\",\"modes\":["
+           << faults_mode_json("clean", clean_point) << ","
+           << faults_mode_json("faulted", faulted_point)
+           << "],\"derived\":{\"faulted_relative_throughput\":"
+           << format_fixed(faulted_relative, 4)
+           << ",\"faulted_deadline_hit_rate\":"
+           << format_fixed(hit_rate(faulted_point.best), 6)
+           << ",\"faulted_p99_ms\":"
+           << format_fixed(
+                  percentile_ms(faulted_point.best.latencies_ms, 0.99), 4)
+           << "}}";
     } else if (compare_pipeline) {
       print_banner(std::cout,
                    "Execution modes, backend " + backend + ", kernel " +

@@ -78,7 +78,9 @@ std::string merge_fleet_stats(const std::vector<ShardStatsEntry>& shards,
      << ",\"overloaded\":" << router.overloaded
      << ",\"server_errors\":" << router.server_errors
      << ",\"shed\":" << router.shed << ",\"failovers\":" << router.failovers
-     << ",\"fleet_unavailable\":" << router.fleet_unavailable;
+     << ",\"fleet_unavailable\":" << router.fleet_unavailable
+     << ",\"deadline_exceeded\":" << router.deadline_exceeded
+     << ",\"retries\":" << router.retries;
   emit_latency_fields(os, "latency", router.latency_ms);
   emit_latency_fields(os, "route_overhead", router.route_overhead_ms);
   os << "},\"shards\":[";
@@ -86,7 +88,9 @@ std::string merge_fleet_stats(const std::vector<ShardStatsEntry>& shards,
     const ShardStatsEntry& entry = shards[i];
     os << (i ? "," : "") << "{\"host\":\"" << entry.shard.id.host
        << "\",\"port\":" << entry.shard.id.port << ",\"state\":\""
-       << to_string(entry.shard.state) << "\",\"stats\":";
+       << to_string(entry.shard.state)
+       << "\",\"breaker_open\":" << (entry.shard.breaker_open ? "true" : "false")
+       << ",\"breaker_trips\":" << entry.shard.breaker_trips << ",\"stats\":";
     if (entry.stats_json) {
       os << *entry.stats_json;
     } else {

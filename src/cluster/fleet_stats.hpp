@@ -9,10 +9,12 @@
 //    "fleet":{submitted, completed, rejected, scene_cache_hits,
 //             scene_cache_misses},                    <- summed over shards
 //    "router":{routed_ok, overloaded, server_errors, shed, failovers,
-//              fleet_unavailable, latency_* (router-observed, ms),
+//              fleet_unavailable, deadline_exceeded, retries,
+//              latency_* (router-observed, ms),
 //              route_overhead_* (router latency minus the shard-reported
 //              per-request latency_ms, ms)},
-//    "shards":[{"host","port","state","stats":<shard JSON or null>}, ...]}
+//    "shards":[{"host","port","state","breaker_open","breaker_trips",
+//               "stats":<shard JSON or null>}, ...]}
 //
 // Latency is deliberately reported per shard (each entry embeds the
 // shard's own gaurast-serve-stats/v1 snapshot verbatim) rather than
@@ -51,6 +53,12 @@ struct RouterStatsSnapshot {
   std::uint64_t shed = 0;            ///< router-level queue-full sheds
   std::uint64_t failovers = 0;       ///< forwards retried on another shard
   std::uint64_t fleet_unavailable = 0;
+  /// Requests answered kDeadlineExceeded — expired at the router (any
+  /// hand-off point) or shed by a shard against the derated budget.
+  std::uint64_t deadline_exceeded = 0;
+  /// RetryPolicy-approved retries performed (every re-route after a failed
+  /// forward; a subset also counts in `failovers` once re-enqueued).
+  std::uint64_t retries = 0;
   /// Router-observed end-to-end latency per forwarded request (ms).
   std::vector<double> latency_ms;
   /// Route overhead per kOk forward: router-observed round trip minus the

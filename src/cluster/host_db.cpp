@@ -66,6 +66,8 @@ HostDb::HostDb(std::vector<ShardId> shards, HostDbConfig config)
     : shards_(std::move(shards)), config_(config) {
   GAURAST_CHECK_MSG(!shards_.empty(), "a fleet needs at least one shard");
   GAURAST_CHECK(config_.dead_after_failures >= 1);
+  GAURAST_CHECK(config_.breaker_trip_failures >= 0);
+  GAURAST_CHECK(config_.breaker_open_ms >= 0);
   common::MutexLock lock(mutex_);
   health_.resize(shards_.size());
 }
@@ -75,6 +77,11 @@ ShardState HostDb::state(std::size_t index) const {
   return health_[index].state;
 }
 
+bool HostDb::breaker_open(std::size_t index) const {
+  common::MutexLock lock(mutex_);
+  return health_[index].breaker_open;
+}
+
 std::vector<ShardSnapshot> HostDb::snapshot() const {
   common::MutexLock lock(mutex_);
   std::vector<ShardSnapshot> out;
@@ -82,7 +89,8 @@ std::vector<ShardSnapshot> HostDb::snapshot() const {
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     const Health& h = health_[i];
     out.push_back(ShardSnapshot{shards_[i], h.state, h.successes, h.failures,
-                                h.consecutive_failures});
+                                h.consecutive_failures, h.breaker_open,
+                                h.breaker_trips});
   }
   return out;
 }
@@ -102,6 +110,15 @@ void HostDb::report_success(std::size_t index) {
   ++h.successes;
   h.consecutive_failures = 0;
   h.state = ShardState::kAlive;
+  // Half-open recovery: a success inside the cooldown is ignored by the
+  // breaker (a flapping shard must sit out the full window); the first one
+  // after it closes the breaker and re-admits the shard.
+  if (h.breaker_open &&
+      Clock::now() >=
+          h.breaker_opened_at +
+              std::chrono::milliseconds(config_.breaker_open_ms)) {
+    h.breaker_open = false;
+  }
 }
 
 void HostDb::report_failure(std::size_t index) {
@@ -112,6 +129,15 @@ void HostDb::report_failure(std::size_t index) {
   h.state = h.consecutive_failures >= config_.dead_after_failures
                 ? ShardState::kDead
                 : ShardState::kSuspect;
+  // The trip timestamp is NOT refreshed by further failures: the cooldown
+  // measures from the trip, so a shard that keeps failing while open can
+  // still recover on the first post-cooldown success.
+  if (config_.breaker_trip_failures > 0 && !h.breaker_open &&
+      h.consecutive_failures >= config_.breaker_trip_failures) {
+    h.breaker_open = true;
+    h.breaker_opened_at = Clock::now();
+    ++h.breaker_trips;
+  }
 }
 
 std::vector<std::size_t> HostDb::hrw_order(
@@ -143,7 +169,9 @@ std::optional<std::size_t> HostDb::route(
   common::MutexLock lock(mutex_);
   for (const std::size_t index : order) {
     if (exclude.count(index)) continue;
-    if (health_[index].state != ShardState::kDead) return index;
+    if (health_[index].state == ShardState::kDead) continue;
+    if (health_[index].breaker_open) continue;
+    return index;
   }
   return std::nullopt;
 }

@@ -1,0 +1,53 @@
+#include "cluster/retry_policy.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+
+namespace gaurast::cluster {
+
+const char* to_string(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kConnect: return "connect";
+    case FailureKind::kTimeout: return "timeout";
+    case FailureKind::kOverloaded: return "overloaded";
+  }
+  return "?";
+}
+
+RetryPolicy::RetryPolicy(RetryPolicyConfig config) : config_(config) {
+  GAURAST_CHECK(config_.max_attempts >= 1);
+  GAURAST_CHECK(config_.base_backoff_ms >= 1);
+  GAURAST_CHECK(config_.max_backoff_ms >= config_.base_backoff_ms);
+}
+
+RetryDecision RetryPolicy::on_failure(std::uint64_t request_id, int failures,
+                                      FailureKind kind) const {
+  GAURAST_DCHECK(failures >= 1);
+  RetryDecision decision;
+  if (failures >= config_.max_attempts) return decision;  // budget spent
+  decision.retry = true;
+  if (kind == FailureKind::kConnect) return decision;  // immediate failover
+
+  // Capped exponential: base * 2^(failures-1), saturating well before the
+  // shift can overflow.
+  std::int64_t backoff = config_.base_backoff_ms;
+  for (int i = 1; i < failures && backoff < config_.max_backoff_ms; ++i) {
+    backoff *= 2;
+  }
+  backoff = std::min<std::int64_t>(backoff, config_.max_backoff_ms);
+
+  // Deterministic jitter in [backoff/2, backoff]: the delay is a pure
+  // function of (seed, request_id, failures) — replayable, yet two requests
+  // failing together do not retry in lockstep.
+  SplitMix64 mixer(config_.seed ^ (request_id * 0x9E3779B97F4A7C15ULL) ^
+                   static_cast<std::uint64_t>(failures));
+  Pcg32 rng(mixer.next());
+  const std::uint32_t half = static_cast<std::uint32_t>(backoff / 2);
+  decision.backoff_ms =
+      static_cast<int>(half + rng.next_below(half + 1));
+  return decision;
+}
+
+}  // namespace gaurast::cluster

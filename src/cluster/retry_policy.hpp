@@ -1,0 +1,78 @@
+// cluster::RetryPolicy — the router's explicit retry contract: a
+// per-request attempt budget plus capped exponential backoff with
+// deterministic jitter.
+//
+// The policy decides WHETHER a failed forward may try again and HOW LONG
+// to wait first; the router supplies the failure classification and owns
+// everything the decision cannot see (is there an untried shard left, has
+// the request's deadline already passed). Retries are only ever consulted
+// for failures that did not consume work on a shard:
+//
+//   kConnect    — the dial or an established connection failed before a
+//                 response arrived. Immediate failover (no backoff): the
+//                 shard is gone, waiting cannot help, and a different
+//                 shard serves the retry.
+//   kTimeout    — the forward timed out. Backoff applies: timeouts are the
+//                 congestion signal, and hammering the fleet makes them
+//                 worse.
+//   kOverloaded — the shard answered kOverloaded (admission shed). Backoff
+//                 applies, and the router only consults the policy when an
+//                 untried shard exists; otherwise the shard's own response
+//                 passes through untouched.
+//
+// A rendered response — any status the shard produced by doing the work —
+// is NEVER retried: render requests are not idempotent in cost, and the
+// client asked once.
+//
+// Jitter is deterministic: the delay for (seed, request_id, attempt) is a
+// pure function, so a chaos run replays bit-identically under one seed.
+#pragma once
+
+#include <cstdint>
+
+namespace gaurast::cluster {
+
+struct RetryPolicyConfig {
+  /// Total forward attempts per request across all shards (first try
+  /// included). 1 disables retries entirely.
+  int max_attempts = 3;
+  /// Backoff before retry #1 (attempt #2); doubles per further failure.
+  int base_backoff_ms = 10;
+  /// Backoff growth cap.
+  int max_backoff_ms = 250;
+  /// Jitter stream seed — same seed, same request ids, same delays.
+  std::uint64_t seed = 1;
+};
+
+enum class FailureKind : std::uint8_t {
+  kConnect = 0,
+  kTimeout = 1,
+  kOverloaded = 2,
+};
+
+const char* to_string(FailureKind kind);
+
+struct RetryDecision {
+  /// False when the attempt budget is spent: deliver a terminal error.
+  bool retry = false;
+  /// Pre-retry delay (0 for connect failures — failover is immediate).
+  int backoff_ms = 0;
+};
+
+class RetryPolicy {
+ public:
+  explicit RetryPolicy(RetryPolicyConfig config = {});
+
+  const RetryPolicyConfig& config() const { return config_; }
+
+  /// Decision after the `failures`-th failed attempt (1-based) of
+  /// `request_id`. Pure: no internal state advances, so concurrent
+  /// forwarders may share one policy without locking.
+  RetryDecision on_failure(std::uint64_t request_id, int failures,
+                           FailureKind kind) const;
+
+ private:
+  RetryPolicyConfig config_;
+};
+
+}  // namespace gaurast::cluster

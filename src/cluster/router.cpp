@@ -1,9 +1,12 @@
 #include "cluster/router.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>  // lint-invariants: allow(raw-concurrency)
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 
 namespace gaurast::cluster {
 
@@ -30,10 +33,27 @@ double ms_since(std::chrono::steady_clock::time_point then) {
       .count();
 }
 
+/// Slack added to a deadline-derated hop timeout: the shard should get the
+/// chance to answer kDeadlineExceeded itself before the socket gives up.
+constexpr int kDeadlineSlackMs = 50;
+
+/// Transport failures split into the RetryPolicy's classes by exception
+/// type; anything unclassified (including injected faults) counts as a
+/// connect failure — retryable, immediately, elsewhere.
+FailureKind classify_failure(const std::exception& e) {
+  if (dynamic_cast<const net::TimeoutError*>(&e) != nullptr) {
+    return FailureKind::kTimeout;
+  }
+  return FailureKind::kConnect;
+}
+
 }  // namespace
 
 Router::Router(HostDb& db, RouterConfig config)
-    : db_(db), config_(std::move(config)), front_(*this, [this] {
+    : db_(db),
+      config_(std::move(config)),
+      retry_policy_(config_.retry),
+      front_(*this, [this] {
         net::FrameServerConfig front;
         front.host = config_.host;
         front.port = config_.port;
@@ -113,8 +133,20 @@ void Router::on_frame(std::uint64_t conn_id, const net::FrameHeader& header,
     case net::MessageType::kRenderRequest: {
       Job job;
       job.conn_id = conn_id;
-      job.wire = net::deserialize_render_request(payload, header.payload_size);
+      // The frame's version byte picks the payload decode: a v1 request
+      // has no deadline_ms field and decodes with no deadline.
+      job.wire = net::deserialize_render_request(payload, header.payload_size,
+                                                 header.version);
       job.admitted = Clock::now();
+      // Deadline admission mirrors net::Server — pin the absolute deadline
+      // once at receipt; the rest of the router only compares against it.
+      std::uint32_t deadline_ms = job.wire.deadline_ms;
+      if (deadline_ms == 0 && config_.default_deadline_ms > 0) {
+        deadline_ms = static_cast<std::uint32_t>(config_.default_deadline_ms);
+      }
+      if (deadline_ms > 0) {
+        job.deadline = job.admitted + std::chrono::milliseconds(deadline_ms);
+      }
       front_.add_pending(conn_id);
       route(std::move(job));
       return;
@@ -171,6 +203,13 @@ void Router::on_http_get(std::uint64_t conn_id, const std::string& target) {
 }
 
 void Router::route(Job job) {
+  // Deadline gate at every (re-)route: a request whose budget ran out —
+  // in the connection buffer, in a shard queue, or across failed forwards
+  // — is answered, not forwarded.
+  if (job.deadline && Clock::now() >= *job.deadline) {
+    finish_deadline_exceeded(std::move(job), true);
+    return;
+  }
   const std::string scene_key = job.wire.scene_key();
   const bool job_was_failover = !job.tried.empty();
   const std::optional<std::size_t> target = db_.route(scene_key, job.tried);
@@ -230,6 +269,26 @@ void Router::finish_unavailable(Job job) {
                 true);
 }
 
+void Router::finish_deadline_exceeded(Job job, bool on_loop) {
+  {
+    common::MutexLock lock(stats_mutex_);
+    ++counters_.deadline_exceeded;
+  }
+  deliver_error(job.conn_id, job.wire.request_id,
+                net::RenderStatus::kDeadlineExceeded,
+                "deadline expired at the router after " +
+                    std::to_string(job.failures) + " failed forward(s)",
+                on_loop);
+}
+
+std::optional<std::int64_t> Router::remaining_ms(const Job& job) {
+  if (!job.deadline) return std::nullopt;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        *job.deadline - Clock::now())
+                        .count();
+  return std::max<std::int64_t>(left, 0);
+}
+
 void Router::deliver_error(std::uint64_t conn_id, std::uint64_t request_id,
                            net::RenderStatus status,
                            const std::string& message, bool on_loop) {
@@ -256,53 +315,124 @@ void Router::forwarder_main(Shard& shard) {
       job = std::move(shard.queue.front());
       shard.queue.pop_front();
     }
-    if (forward(shard, client, job)) continue;
-    // Transport failure (already reported to the HostDb): hand the job back
-    // to the loop for the failover walk. The post lands before shutdown's
-    // final sentinel, so a draining router still answers it.
+    // A job can outwait its budget in the shard queue — shed it here
+    // rather than burn a forward slot rendering for nobody.
+    if (job.deadline && Clock::now() >= *job.deadline) {
+      finish_deadline_exceeded(std::move(job), false);
+      continue;
+    }
+    const std::optional<FailureKind> failed = forward(shard, client, job);
+    if (!failed) continue;
+    // Failed forward (health already reported): consult the retry budget.
+    ++job.failures;
     job.tried.insert(shard.index);
+    const RetryDecision decision = retry_policy_.on_failure(
+        job.wire.request_id, job.failures, *failed);
+    if (!decision.retry) {
+      // Budget spent. kOverloaded never lands here undelivered (forward()
+      // only withholds it when the budget remains), so the terminal answer
+      // is the transport one.
+      finish_unavailable(std::move(job));
+      continue;
+    }
+    {
+      common::MutexLock lock(stats_mutex_);
+      ++counters_.retries;
+    }
+    if (decision.backoff_ms > 0) {
+      // Backoff on the forwarder thread, clamped to the remaining budget —
+      // a deadline must cut a backoff short, never the other way around.
+      std::int64_t sleep_ms = decision.backoff_ms;
+      if (const auto left = remaining_ms(job)) {
+        sleep_ms = std::min<std::int64_t>(sleep_ms, *left);
+      }
+      if (sleep_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+      }
+    }
+    // Hand the job back to the loop for the failover walk. The post lands
+    // before shutdown's final sentinel, so a draining router still
+    // answers it.
     front_.loop().post([this, job = std::move(job)]() mutable {
       route(std::move(job));
     });
   }
 }
 
-bool Router::forward(Shard& shard, std::unique_ptr<net::Client>& client,
-                     Job& job) {
+std::optional<FailureKind> Router::forward(
+    Shard& shard, std::unique_ptr<net::Client>& client, Job& job) {
   const ShardId& id = db_.shard(shard.index);
   const Clock::time_point start = Clock::now();
+
+  // Derate this hop to the remaining budget: the shard hears only what is
+  // left of the deadline (so it can shed an expired job itself), and the
+  // socket timeout shrinks to the budget plus response slack — a stalled
+  // shard times this hop out roughly when the deadline passes instead of
+  // holding the forwarder for the full forward_timeout_ms.
+  int hop_timeout_ms = config_.forward_timeout_ms;
+  if (const auto left = remaining_ms(job)) {
+    job.wire.deadline_ms =
+        static_cast<std::uint32_t>(std::max<std::int64_t>(*left, 1));
+    hop_timeout_ms = static_cast<int>(std::max<std::int64_t>(
+        1, std::min<std::int64_t>(hop_timeout_ms, *left + kDeadlineSlackMs)));
+  }
+
   const bool pooled = client && client->is_alive();
   net::RenderResponse resp;
-  try {
-    if (!pooled) {
+  FailureKind kind = FailureKind::kConnect;
+  const auto attempt = [&](bool fresh_dial) {
+    GAURAST_FAULT_POINT("cluster.forward");
+    if (fresh_dial) {
       client = std::make_unique<net::Client>(id.host, id.port,
                                              config_.forward_timeout_ms,
                                              config_.connect_timeout_ms);
     }
+    client->set_timeout_ms(hop_timeout_ms);
     resp = client->render(job.wire);
-  } catch (const std::exception&) {
+  };
+  try {
+    attempt(!pooled);
+  } catch (const std::exception& first) {
+    kind = classify_failure(first);
     // A pooled connection can go stale between is_alive() and the send
     // (e.g. the shard's idle sweep closed it); that is not evidence the
-    // shard is down, so retry exactly once on a fresh dial.
+    // shard is down, so retry exactly once on a fresh dial. Timeouts are
+    // excluded — a stale socket fails fast, a timeout already ate the
+    // budget once.
     bool retried_ok = false;
-    if (pooled) {
+    if (pooled && kind == FailureKind::kConnect) {
       try {
-        client = std::make_unique<net::Client>(id.host, id.port,
-                                               config_.forward_timeout_ms,
-                                               config_.connect_timeout_ms);
-        resp = client->render(job.wire);
+        attempt(true);
         retried_ok = true;
-      } catch (const std::exception&) {
+      } catch (const std::exception& second) {
+        kind = classify_failure(second);
       }
     }
     if (!retried_ok) {
       client.reset();
       db_.report_failure(shard.index);
-      return false;
+      return kind;
     }
   }
 
   db_.report_success(shard.index);
+
+  // A shard's admission shed is retryable on another shard — but only
+  // when the retry budget and an untried shard both remain. Otherwise the
+  // shard's own kOverloaded response passes through untouched (the
+  // single-shard contract predating the retry policy).
+  if (resp.status == net::RenderStatus::kOverloaded) {
+    const RetryDecision peek = retry_policy_.on_failure(
+        job.wire.request_id, job.failures + 1, FailureKind::kOverloaded);
+    if (peek.retry) {
+      std::set<std::size_t> tried = job.tried;
+      tried.insert(shard.index);
+      if (db_.route(job.wire.scene_key(), tried)) {
+        return FailureKind::kOverloaded;
+      }
+    }
+  }
+
   const double round_trip_ms = ms_since(start);
   {
     common::MutexLock lock(stats_mutex_);
@@ -317,6 +447,11 @@ bool Router::forward(Shard& shard, std::unique_ptr<net::Client>& client,
       case net::RenderStatus::kOverloaded:
         ++counters_.overloaded;
         break;
+      case net::RenderStatus::kDeadlineExceeded:
+        // The shard shed it against the derated budget we sent — the
+        // same terminal answer the router itself would have given.
+        ++counters_.deadline_exceeded;
+        break;
       case net::RenderStatus::kServerError:
       case net::RenderStatus::kFleetUnavailable:
         ++counters_.server_errors;
@@ -324,7 +459,7 @@ bool Router::forward(Shard& shard, std::unique_ptr<net::Client>& client,
     }
   }
   front_.post_deliver(job.conn_id, net::serialize(resp));
-  return true;
+  return std::nullopt;
 }
 
 void Router::stats_main() {

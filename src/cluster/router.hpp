@@ -9,9 +9,20 @@
 // kOverloaded — the same admission-control contract the shards themselves
 // use, and a shard's own kOverloaded/kServerError responses pass through
 // untouched. A transport failure against a shard reports into the health
-// state machine and fails the request over to the scene's next shard in
-// HRW order; when no shard is routable the client gets an explicit
+// state machine and — under the RetryPolicy's attempt budget — fails the
+// request over to the scene's next shard in HRW order (connect failures
+// immediately, timeouts after a jittered backoff); when the budget is
+// spent or no shard is routable the client gets an explicit
 // kFleetUnavailable response — bounded errors, never a hang.
+//
+// Deadlines: a request's wire deadline_ms (or RouterConfig's default) is
+// pinned as an absolute deadline at admission. Expiry is checked at every
+// hand-off — admission, each (re-)route, each forwarder pop — and an
+// expired request is answered kDeadlineExceeded instead of forwarded.
+// Before each forward the wire deadline_ms is rewritten to the REMAINING
+// budget and the per-hop client timeout is derated to match, so a shard
+// never renders for a client that stopped waiting and a slow hop cannot
+// eat the budget of the failover that follows it.
 //
 // Health: a prober thread issues periodic HTTP /healthz probes against
 // every shard (dead ones included — that is the recovery path), feeding the
@@ -31,6 +42,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <thread>  // lint-invariants: allow(raw-concurrency)
@@ -38,6 +50,7 @@
 
 #include "cluster/fleet_stats.hpp"
 #include "cluster/host_db.hpp"
+#include "cluster/retry_policy.hpp"
 #include "common/mutex.hpp"
 #include "common/thread_annotations.hpp"
 #include "net/client.hpp"
@@ -67,6 +80,12 @@ struct RouterConfig {
   int probe_timeout_ms = 500;
   /// Per-shard bound when assembling a fleet stats report.
   int stats_timeout_ms = 2000;
+  /// Deadline budget (ms) applied to requests that carry none (wire
+  /// deadline_ms == 0). 0 = no default: undeadlined requests forward
+  /// unconditionally. Requests with their own budget keep it.
+  int default_deadline_ms = 0;
+  /// Retry budget and backoff for failed forwards.
+  RetryPolicyConfig retry;
 };
 
 class Router : private net::FrameHandler {
@@ -105,8 +124,13 @@ class Router : private net::FrameHandler {
     std::uint64_t conn_id = 0;
     net::RenderRequest wire;
     Clock::time_point admitted;
-    /// Shards already tried (transport failures) — the failover walk
-    /// excludes them so a flapping fleet cannot loop a request forever.
+    /// Absolute deadline pinned at admission (wire deadline_ms or the
+    /// router default, relative to receipt); nullopt = no deadline.
+    std::optional<Clock::time_point> deadline;
+    /// Failed forward attempts so far — the RetryPolicy's budget input.
+    int failures = 0;
+    /// Shards already tried (failed forwards) — the failover walk excludes
+    /// them so a flapping fleet cannot loop a request forever.
     std::set<std::size_t> tried;
   };
 
@@ -137,6 +161,12 @@ class Router : private net::FrameHandler {
   /// Routes (or re-routes, after a failover) one job. Loop thread.
   void route(Job job);
   void finish_unavailable(Job job);
+  /// Answers kDeadlineExceeded for an expired job. `on_loop` as for
+  /// deliver_error.
+  void finish_deadline_exceeded(Job job, bool on_loop);
+  /// Milliseconds left before the job's deadline; nullopt when it has
+  /// none. Clamped at 0.
+  static std::optional<std::int64_t> remaining_ms(const Job& job);
 
   // Worker bodies.
   void forwarder_main(Shard& shard);
@@ -144,9 +174,15 @@ class Router : private net::FrameHandler {
   void prober_main();
 
   /// One forward attempt against `shard` using the forwarder's pooled
-  /// client. Returns true when a response was delivered (any status);
-  /// false on transport failure (already reported) — the caller fails over.
-  bool forward(Shard& shard, std::unique_ptr<net::Client>& client, Job& job);
+  /// client. Returns nullopt when a response was delivered (any status);
+  /// otherwise the failure classification (health already reported) — the
+  /// caller consults the RetryPolicy and fails over. A shard kOverloaded
+  /// answer comes back as FailureKind::kOverloaded (undelivered) only when
+  /// the retry budget and an untried shard both remain; otherwise it is
+  /// delivered as-is.
+  std::optional<FailureKind> forward(Shard& shard,
+                                     std::unique_ptr<net::Client>& client,
+                                     Job& job);
 
   void deliver_error(std::uint64_t conn_id, std::uint64_t request_id,
                      net::RenderStatus status, const std::string& message,
@@ -154,6 +190,7 @@ class Router : private net::FrameHandler {
 
   HostDb& db_;
   RouterConfig config_;
+  RetryPolicy retry_policy_;
   net::FrameServer front_;
 
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -5,12 +5,14 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <iostream>
 #include <thread>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 
 namespace gaurast::cluster {
 
@@ -34,6 +36,24 @@ std::string exit_description(int status) {
 
 }  // namespace
 
+RestartBackoff::RestartBackoff(RestartBackoffConfig config)
+    : config_(config), rng_(SplitMix64(config.seed).next()) {
+  GAURAST_CHECK(config_.base_ms >= 0);
+  GAURAST_CHECK(config_.max_ms >= config_.base_ms);
+  GAURAST_CHECK(config_.healthy_reset_ms >= 0);
+}
+
+int RestartBackoff::on_exit(std::int64_t uptime_ms) {
+  if (uptime_ms >= config_.healthy_reset_ms) streak_ = 0;
+  ++streak_;
+  std::int64_t backoff = config_.base_ms;
+  for (int i = 1; i < streak_ && backoff < config_.max_ms; ++i) backoff *= 2;
+  backoff = std::min<std::int64_t>(backoff, config_.max_ms);
+  // ±25% deterministic jitter: a crew felled together fans back out.
+  return static_cast<int>(
+      static_cast<double>(backoff) * (0.75 + 0.5 * rng_.uniform()));
+}
+
 Spawner::Spawner(SpawnerConfig config) : config_(std::move(config)) {
   GAURAST_CHECK_MSG(!config_.exe.empty(), "spawner needs an executable path");
 }
@@ -41,6 +61,7 @@ Spawner::Spawner(SpawnerConfig config) : config_(std::move(config)) {
 Spawner::~Spawner() { stop(); }
 
 void Spawner::launch(Worker& worker, int port) {
+  GAURAST_FAULT_POINT("cluster.spawner.launch");
   int pipe_fds[2];
   if (pipe2(pipe_fds, O_CLOEXEC) != 0) {
     throw Error(std::string("pipe2 failed: ") + std::strerror(errno));
@@ -82,6 +103,7 @@ void Spawner::launch(Worker& worker, int port) {
   worker.stdout_fd = pipe_fds[0];
   worker.announced = false;
   worker.line_buf.clear();
+  worker.started_at = Clock::now();
 }
 
 std::vector<ShardId> Spawner::spawn(int count) {
@@ -90,7 +112,17 @@ std::vector<ShardId> Spawner::spawn(int count) {
   spawned_ = true;
 
   workers_.resize(static_cast<std::size_t>(count));
-  for (Worker& worker : workers_) launch(worker, 0);
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    RestartBackoffConfig backoff;
+    backoff.base_ms = config_.restart_backoff_ms;
+    backoff.max_ms =
+        std::max(config_.restart_backoff_max_ms, config_.restart_backoff_ms);
+    backoff.healthy_reset_ms = config_.healthy_reset_ms;
+    // Independent per-worker jitter streams from the one seed.
+    backoff.seed = SplitMix64(config_.backoff_seed ^ (i + 1)).next();
+    workers_[i].backoff = RestartBackoff(backoff);
+    launch(workers_[i], 0);
+  }
 
   const Clock::time_point deadline =
       Clock::now() + std::chrono::milliseconds(config_.announce_timeout_ms);
@@ -170,7 +202,21 @@ void Spawner::reap(Worker& worker) {
     // Waiting out a restart backoff.
     if (!stopped_ && worker.port != 0 && Clock::now() >= worker.restart_at) {
       ++worker.restarts;
-      launch(worker, worker.port);
+      try {
+        launch(worker, worker.port);
+      } catch (const std::exception& e) {
+        // A failed relaunch (fork/pipe exhaustion, injected fault) is an
+        // instant zero-uptime crash: back off again rather than take the
+        // supervisor down with the worker.
+        const int delay_ms = worker.backoff.on_exit(0);
+        std::cout << "[spawner] relaunch on port " << worker.port
+                  << " failed (" << e.what() << "); retrying in " << delay_ms
+                  << "ms\n"
+                  << std::flush;
+        worker.restart_at =
+            Clock::now() + std::chrono::milliseconds(delay_ms);
+        return;
+      }
       std::cout << "[spawner] restarted worker " << worker.pid << " on port "
                 << worker.port << " (restart #" << worker.restarts << ")\n"
                 << std::flush;
@@ -184,16 +230,20 @@ void Spawner::reap(Worker& worker) {
     close(worker.stdout_fd);
     worker.stdout_fd = -1;
   }
+  const std::int64_t uptime_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                            worker.started_at)
+          .count();
+  const int delay_ms = worker.backoff.on_exit(uptime_ms);
   std::cout << "[spawner] worker " << worker.pid << " exited ("
             << exit_description(status) << ")";
   if (!stopped_) {
-    std::cout << "; restarting on port " << worker.port << " in "
-              << config_.restart_backoff_ms << "ms";
+    std::cout << "; restarting on port " << worker.port << " in " << delay_ms
+              << "ms (crash streak " << worker.backoff.streak() << ")";
   }
   std::cout << "\n" << std::flush;
   worker.pid = -1;
-  worker.restart_at =
-      Clock::now() + std::chrono::milliseconds(config_.restart_backoff_ms);
+  worker.restart_at = Clock::now() + std::chrono::milliseconds(delay_ms);
 }
 
 void Spawner::poll() {

@@ -20,12 +20,52 @@
 #include <sys/types.h>
 
 #include <chrono>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "cluster/host_db.hpp"
+#include "common/prng.hpp"
 
 namespace gaurast::cluster {
+
+/// Restart pacing for one supervised worker: capped exponential backoff
+/// over the CRASH STREAK (consecutive exits without a healthy run), with
+/// deterministic ±25% jitter so a crew of workers felled by one cause does
+/// not relaunch in lockstep. A worker that stayed up healthy_reset_ms
+/// before exiting has its streak forgiven — a deploy-then-crash a day
+/// later starts from the base backoff again, not the cap.
+///
+/// Pure bookkeeping (no clocks, no sleeps): the caller feeds uptimes in
+/// and schedules the returned delay, which makes the schedule
+/// unit-testable without forking a single process.
+struct RestartBackoffConfig {
+  /// Delay after the first crash of a streak; doubles per further crash.
+  int base_ms = 1000;
+  /// Backoff growth cap.
+  int max_ms = 30000;
+  /// A run at least this long resets the crash streak.
+  int healthy_reset_ms = 10000;
+  /// Jitter stream seed — one deterministic delay sequence per seed.
+  std::uint64_t seed = 1;
+};
+
+class RestartBackoff {
+ public:
+  explicit RestartBackoff(RestartBackoffConfig config = {});
+
+  /// Called once per worker exit with how long the worker ran. Returns the
+  /// jittered delay (ms) to wait before relaunching; advances the streak.
+  int on_exit(std::int64_t uptime_ms);
+
+  /// Consecutive crashes in the current streak (after the last on_exit).
+  int streak() const { return streak_; }
+
+ private:
+  RestartBackoffConfig config_;
+  Pcg32 rng_;
+  int streak_ = 0;
+};
 
 struct SpawnerConfig {
   /// Executable to fork (normally the running gaurast_cli's own path).
@@ -35,9 +75,16 @@ struct SpawnerConfig {
   std::vector<std::string> serve_args;
   /// How long spawn() waits for each worker's listen announcement.
   int announce_timeout_ms = 10000;
-  /// Delay before relaunching an exited worker (a crash-looping worker
-  /// must not spin the supervisor).
+  /// Base delay before relaunching an exited worker (a crash-looping
+  /// worker must not spin the supervisor); doubles per consecutive crash.
   int restart_backoff_ms = 1000;
+  /// Cap on the per-worker restart backoff growth.
+  int restart_backoff_max_ms = 30000;
+  /// A worker that ran at least this long before exiting restarts from
+  /// the base backoff again (its crash streak is forgiven).
+  int healthy_reset_ms = 10000;
+  /// Seed for the deterministic restart-jitter streams (one per worker).
+  std::uint64_t backoff_seed = 1;
   /// stop(): grace period between SIGTERM and SIGKILL.
   int stop_timeout_ms = 5000;
 };
@@ -81,7 +128,9 @@ class Spawner {
     std::string line_buf;    ///< partial stdout line
     bool announced = false;  ///< saw "Listening on host:port"
     int restarts = 0;
+    Clock::time_point started_at{};  ///< last launch time (uptime input)
     Clock::time_point restart_at{};  ///< valid while pid == -1
+    RestartBackoff backoff;
   };
 
   /// Forks one worker listening on `port` (0 = ephemeral); fills pid and

@@ -1,0 +1,267 @@
+#include "common/fault.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <thread>
+#include <utility>
+
+#include "common/mutex.hpp"
+#include "common/prng.hpp"
+
+namespace gaurast::fault {
+
+namespace internal {
+std::atomic<bool> g_armed{false};
+}  // namespace internal
+
+namespace {
+
+/// FNV-1a over the point name: folds each rule's point into its PCG32
+/// stream seed so two rules on different points draw independent streams
+/// from the same plan seed.
+std::uint64_t hash_name(const std::string& name) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+struct RuleState {
+  Rule rule;
+  Pcg32 rng;  // per-rule stream: plan seed x point name x rule index
+};
+
+/// All armed state lives behind one mutex; the lock is only ever taken when
+/// a plan is armed (the macro's relaxed-load fast path short-circuits
+/// first) or while (dis)arming, so disarmed production code never contends.
+struct Registry {
+  common::Mutex mutex;
+  bool armed GAURAST_GUARDED_BY(mutex) = false;
+  std::vector<RuleState> rules GAURAST_GUARDED_BY(mutex);
+  std::map<std::string, std::uint64_t> hits GAURAST_GUARDED_BY(mutex);
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+[[noreturn]] void parse_error(const std::string& spec, const std::string& why) {
+  throw Error("bad fault plan '" + spec + "': " + why);
+}
+
+double parse_probability(const std::string& spec, const std::string& text) {
+  std::size_t used = 0;
+  double p = -1.0;
+  try {
+    p = std::stod(text, &used);
+  } catch (const std::exception&) {
+    parse_error(spec, "bad probability '" + text + "'");
+  }
+  if (used != text.size() || p < 0.0 || p > 1.0) {
+    parse_error(spec, "probability '" + text + "' not in [0, 1]");
+  }
+  return p;
+}
+
+std::uint64_t parse_count(const std::string& spec, const std::string& text,
+                          const char* what) {
+  std::size_t used = 0;
+  unsigned long long n = 0;
+  try {
+    n = std::stoull(text, &used);
+  } catch (const std::exception&) {
+    parse_error(spec, std::string("bad ") + what + " '" + text + "'");
+  }
+  if (used != text.size()) {
+    parse_error(spec, std::string("bad ") + what + " '" + text + "'");
+  }
+  return static_cast<std::uint64_t>(n);
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string::npos) {
+      parts.push_back(text.substr(start));
+      return parts;
+    }
+    parts.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+Rule parse_rule(const std::string& spec, const std::string& text) {
+  const std::vector<std::string> fields = split(text, ':');
+  if (fields.size() != 3) {
+    parse_error(spec, "rule '" + text + "' is not point:action:trigger");
+  }
+  Rule rule;
+  rule.point = fields[0];
+  if (rule.point.empty()) {
+    parse_error(spec, "rule '" + text + "' has an empty point name");
+  }
+
+  const std::string& action = fields[1];
+  const std::size_t eq = action.find('=');
+  const std::string verb = action.substr(0, eq);
+  if (verb == "error") {
+    rule.action = Action::kError;
+  } else if (verb == "drop") {
+    rule.action = Action::kDrop;
+  } else if (verb == "crash") {
+    rule.action = Action::kCrash;
+  } else if (verb == "delay") {
+    rule.action = Action::kDelay;
+    if (eq == std::string::npos) {
+      parse_error(spec, "delay needs a millisecond argument (delay=MS)");
+    }
+    rule.delay_ms = static_cast<int>(
+        parse_count(spec, action.substr(eq + 1), "delay"));
+  } else {
+    parse_error(spec, "unknown action '" + verb + "'");
+  }
+  if (verb != "delay" && eq != std::string::npos) {
+    parse_error(spec, "action '" + verb + "' takes no argument");
+  }
+
+  const std::string& trigger = fields[2];
+  if (trigger.rfind("p=", 0) == 0) {
+    rule.probability = parse_probability(spec, trigger.substr(2));
+  } else if (trigger.rfind("nth=", 0) == 0) {
+    rule.nth = parse_count(spec, trigger.substr(4), "nth");
+    if (rule.nth == 0) {
+      parse_error(spec, "nth trigger is 1-based; nth=0 never fires");
+    }
+  } else {
+    parse_error(spec, "unknown trigger '" + trigger + "' (want p=P or nth=N)");
+  }
+  return rule;
+}
+
+}  // namespace
+
+const char* to_string(Action action) {
+  switch (action) {
+    case Action::kNone:
+      return "none";
+    case Action::kError:
+      return "error";
+    case Action::kDelay:
+      return "delay";
+    case Action::kDrop:
+      return "drop";
+    case Action::kCrash:
+      return "crash";
+  }
+  return "unknown";
+}
+
+Plan parse_plan(const std::string& spec) {
+  Plan plan;
+  bool saw_rule = false;
+  for (const std::string& part : split(spec, ';')) {
+    if (part.empty()) {
+      continue;
+    }
+    if (!saw_rule && plan.rules.empty() && part.rfind("seed=", 0) == 0) {
+      plan.seed = parse_count(spec, part.substr(5), "seed");
+      continue;
+    }
+    plan.rules.push_back(parse_rule(spec, part));
+    saw_rule = true;
+  }
+  if (plan.rules.empty()) {
+    parse_error(spec, "no rules");
+  }
+  return plan;
+}
+
+void arm(const Plan& plan) {
+  Registry& reg = registry();
+  common::MutexLock lock(reg.mutex);
+  reg.rules.clear();
+  reg.hits.clear();
+  std::uint64_t index = 0;
+  for (const Rule& rule : plan.rules) {
+    SplitMix64 mix(plan.seed ^ hash_name(rule.point) ^ (index * 0x9E37ULL));
+    reg.rules.push_back(RuleState{rule, Pcg32(mix.next())});
+    ++index;
+  }
+  reg.armed = true;
+  internal::g_armed.store(true, std::memory_order_relaxed);
+}
+
+void arm(const std::string& spec) { arm(parse_plan(spec)); }
+
+void disarm() {
+  Registry& reg = registry();
+  common::MutexLock lock(reg.mutex);
+  internal::g_armed.store(false, std::memory_order_relaxed);
+  reg.armed = false;
+  reg.rules.clear();
+  reg.hits.clear();
+}
+
+bool arm_from_env() {
+  const char* spec = std::getenv("GAURAST_FAULT_PLAN");
+  if (spec == nullptr || spec[0] == '\0') {
+    return false;
+  }
+  arm(std::string(spec));
+  return true;
+}
+
+Hit evaluate(const char* point) {
+  Action action = Action::kNone;
+  int delay_ms = 0;
+  {
+    Registry& reg = registry();
+    common::MutexLock lock(reg.mutex);
+    if (!reg.armed) {
+      return {};
+    }
+    const std::uint64_t hit = ++reg.hits[point];
+    for (RuleState& rs : reg.rules) {
+      if (rs.rule.point != point) {
+        continue;
+      }
+      bool fire = false;
+      if (rs.rule.nth > 0) {
+        fire = hit == rs.rule.nth;
+      } else if (rs.rule.probability >= 0.0) {
+        fire = rs.rng.uniform() < rs.rule.probability;
+      }
+      if (fire) {
+        action = rs.rule.action;
+        delay_ms = rs.rule.delay_ms;
+        break;
+      }
+    }
+  }
+  // Act outside the lock: a sleeping rule must not serialize other points.
+  if (action == Action::kCrash) {
+    // A crashed worker does not unwind, flush, or run atexit hooks.
+    ::_exit(86);
+  }
+  if (action == Action::kDelay && delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  return Hit{action, delay_ms};
+}
+
+void inject(const char* point) {
+  const Hit hit = evaluate(point);
+  if (hit.action == Action::kError || hit.action == Action::kDrop) {
+    throw InjectedFault(point, hit.action);
+  }
+}
+
+}  // namespace gaurast::fault

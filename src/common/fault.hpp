@@ -1,0 +1,129 @@
+// Deterministic fault injection: named fault points + seeded fault plans.
+//
+// Production code marks its failure seams with GAURAST_FAULT_POINT("name").
+// When no plan is armed (the default, and the only state production ever
+// runs in) a fault point is one relaxed atomic load and a not-taken branch —
+// it injects nothing, allocates nothing, and takes no lock. Tests and the
+// load generator arm a FaultPlan (in code, or via the GAURAST_FAULT_PLAN
+// environment variable) to make specific points misbehave on demand:
+//
+//   plan   := [seed=N;]rule(;rule)*
+//   rule   := point:action[=arg]:trigger
+//   action := error | delay=MS | drop | crash
+//   trigger:= p=PROB | nth=N
+//
+//   GAURAST_FAULT_PLAN='seed=7;cluster.forward:error:p=0.3' gaurast serve
+//
+// `error` and `drop` throw InjectedFault from the fault point (callers that
+// need drop-specific handling, e.g. closing a connection instead of
+// erroring it, use evaluate() directly); `delay=MS` sleeps; `crash` exits
+// the process immediately, as a crashed worker would. Triggers are
+// deterministic: `nth=N` fires on exactly the N-th hit of the point
+// (1-based), `p=PROB` draws from a PCG32 stream seeded from the plan seed
+// and the point name, so the same plan against the same execution order
+// injects the same faults. Arming (FaultPlan construction, plan parsing,
+// env reads) is confined to this module and test code — enforced by the
+// `fault-points` rule of tools/lint_invariants.py.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace gaurast::fault {
+
+/// What an armed rule does to its fault point when the trigger fires.
+enum class Action : std::uint8_t {
+  kNone = 0,  ///< trigger did not fire — proceed normally
+  kError,     ///< throw InjectedFault from the fault point
+  kDelay,     ///< sleep delay_ms, then proceed
+  kDrop,      ///< connection-drop: InjectedFault from inject(); seams with
+              ///< drop-specific handling (close the fd) use evaluate()
+  kCrash,     ///< _exit the process immediately (a crashed worker)
+};
+
+const char* to_string(Action action);
+
+/// Thrown by a fault point whose armed rule fired with `error` (or `drop`,
+/// when the seam has no drop-specific handling).
+class InjectedFault : public Error {
+ public:
+  InjectedFault(const std::string& point, Action action)
+      : Error("injected fault at " + point + " (" + to_string(action) + ")"),
+        action_(action) {}
+
+  Action action() const { return action_; }
+
+ private:
+  Action action_;
+};
+
+/// One armed rule: when `point` is hit and the trigger fires, take `action`.
+/// Exactly one of `probability` (>= 0) or `nth` (> 0) is the trigger.
+struct Rule {
+  std::string point;
+  Action action = Action::kError;
+  int delay_ms = 0;          ///< kDelay only
+  double probability = -1.0; ///< trigger: fire with this probability
+  std::uint64_t nth = 0;     ///< trigger: fire on exactly the nth hit
+};
+
+/// A seeded set of rules. Same plan + same hit order => same injections.
+struct Plan {
+  std::uint64_t seed = 1;
+  std::vector<Rule> rules;
+};
+
+/// Parses the GAURAST_FAULT_PLAN spec syntax (see file comment).
+/// Throws gaurast::Error on malformed specs.
+Plan parse_plan(const std::string& spec);
+
+/// Arms `plan` process-wide (replacing any armed plan) / disarms it.
+void arm(const Plan& plan);
+void arm(const std::string& spec);
+void disarm();
+
+/// Arms from the GAURAST_FAULT_PLAN environment variable if set and
+/// non-empty. Returns true when a plan was armed.
+bool arm_from_env();
+
+namespace internal {
+extern std::atomic<bool> g_armed;
+}  // namespace internal
+
+/// Fast path: false (one relaxed load) unless a plan is armed.
+inline bool armed() {
+  return internal::g_armed.load(std::memory_order_relaxed);
+}
+
+/// Result of hitting a fault point: the action to take (kNone when no rule
+/// fired). Delay sleeping for kDelay has already happened inside evaluate();
+/// the caller handles kError / kDrop / kCrash-survivors itself.
+struct Hit {
+  Action action = Action::kNone;
+  int delay_ms = 0;
+};
+
+/// Records a hit of `point` against the armed plan and returns what fired.
+/// kDelay rules sleep here and report the action taken; kCrash rules _exit
+/// and do not return. Callers use this (instead of inject()) when kDrop
+/// needs seam-specific handling.
+Hit evaluate(const char* point);
+
+/// evaluate() + default behaviour: throws InjectedFault for kError and
+/// kDrop, returns normally otherwise.
+void inject(const char* point);
+
+}  // namespace gaurast::fault
+
+/// The instrumentation macro production seams use. Disarmed cost: one
+/// relaxed atomic load.
+#define GAURAST_FAULT_POINT(point)            \
+  do {                                        \
+    if (::gaurast::fault::armed()) {          \
+      ::gaurast::fault::inject(point);        \
+    }                                         \
+  } while (false)

@@ -12,13 +12,38 @@
 #include <cstring>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 
 namespace gaurast::net {
 
 namespace {
 
+/// Classifies the errno into the client's error taxonomy: timeout budgets
+/// (SO_RCVTIMEO/SO_SNDTIMEO expiry surfaces as EAGAIN/EWOULDBLOCK, the
+/// poll-bounded dial as ETIMEDOUT) throw TimeoutError; dead transports
+/// throw ConnectionError; anything else is a plain Error.
 [[noreturn]] void throw_errno(const char* what) {
-  throw Error(std::string(what) + ": " + std::strerror(errno));
+  const int err = errno;
+  const std::string message =
+      std::string(what) + ": " + std::strerror(err);
+  switch (err) {
+    case ETIMEDOUT:
+    case EAGAIN:
+#if EWOULDBLOCK != EAGAIN
+    case EWOULDBLOCK:
+#endif
+      throw TimeoutError(message);
+    case ECONNREFUSED:
+    case ECONNRESET:
+    case ECONNABORTED:
+    case EPIPE:
+    case ENOTCONN:
+    case EHOSTUNREACH:
+    case ENETUNREACH:
+      throw ConnectionError(message);
+    default:
+      throw Error(message);
+  }
 }
 
 }  // namespace
@@ -38,6 +63,7 @@ Client::~Client() {
 }
 
 void Client::dial() {
+  GAURAST_FAULT_POINT("net.client.connect");
   fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd_ < 0) throw_errno("socket");
 
@@ -93,11 +119,21 @@ void Client::dial() {
   }
   if (fcntl(fd_, F_SETFL, flags) < 0) fail("fcntl");
 
+  apply_timeout();
+}
+
+void Client::apply_timeout() {
   timeval tv{};
   tv.tv_sec = timeout_ms_ / 1000;
   tv.tv_usec = (timeout_ms_ % 1000) * 1000;
   setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
   setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+void Client::set_timeout_ms(int timeout_ms) {
+  if (timeout_ms <= 0) return;
+  timeout_ms_ = timeout_ms;
+  if (fd_ >= 0) apply_timeout();
 }
 
 bool Client::is_alive() const {
@@ -133,7 +169,17 @@ void Client::mark_broken() {
 }
 
 void Client::send_all(const std::uint8_t* data, std::size_t size) {
-  if (fd_ < 0) throw Error("client connection is down (reconnect first)");
+  if (fd_ < 0) {
+    throw ConnectionError("client connection is down (reconnect first)");
+  }
+  try {
+    GAURAST_FAULT_POINT("net.client.send");
+  } catch (...) {
+    // An injected send fault behaves like a transport failure: the frame
+    // may be half-written, so the connection is spent.
+    mark_broken();
+    throw;
+  }
   std::size_t sent = 0;
   while (sent < size) {
     const ssize_t n = send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
@@ -150,6 +196,12 @@ void Client::send_all(const std::uint8_t* data, std::size_t size) {
 }
 
 std::pair<FrameHeader, std::vector<std::uint8_t>> Client::recv_frame() {
+  try {
+    GAURAST_FAULT_POINT("net.client.recv");
+  } catch (...) {
+    mark_broken();
+    throw;
+  }
   std::uint8_t header_bytes[kHeaderBytes];
   std::size_t got = 0;
   auto read_exact = [this](std::uint8_t* out, std::size_t want,
@@ -162,7 +214,7 @@ std::pair<FrameHeader, std::vector<std::uint8_t>> Client::recv_frame() {
       }
       if (n == 0) {
         mark_broken();
-        throw Error("connection closed mid-frame");
+        throw ConnectionError("connection closed mid-frame");
       }
       if (errno == EINTR) continue;
       const int saved = errno;

@@ -14,13 +14,30 @@
 
 namespace gaurast::net {
 
+/// A send/recv/connect phase exceeded its timeout budget: the peer may be
+/// alive but slow. Retrying elsewhere costs the same budget again, so retry
+/// policies treat this as budget-consuming (backoff before the next try).
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what) : Error(what) {}
+};
+
+/// The transport itself failed — connection refused, reset, EOF mid-frame,
+/// broken pipe. The peer did no work on the request, so retry policies may
+/// re-dial (or fail over) immediately without consuming backoff budget.
+class ConnectionError : public Error {
+ public:
+  explicit ConnectionError(const std::string& what) : Error(what) {}
+};
+
 class Client {
  public:
-  /// Connects immediately; throws gaurast::Error on refusal or when the
-  /// connect phase exceeds `connect_timeout_ms` (a black-holed peer must
-  /// not stall the caller — the dial is nonblocking + poll). `timeout_ms`
-  /// bounds every individual send/recv (SO_SNDTIMEO/SO_RCVTIMEO);
-  /// connect_timeout_ms <= 0 means "use timeout_ms for the dial too".
+  /// Connects immediately; throws ConnectionError on refusal and
+  /// TimeoutError when the connect phase exceeds `connect_timeout_ms` (a
+  /// black-holed peer must not stall the caller — the dial is nonblocking +
+  /// poll). `timeout_ms` bounds every individual send/recv
+  /// (SO_SNDTIMEO/SO_RCVTIMEO); connect_timeout_ms <= 0 means "use
+  /// timeout_ms for the dial too".
   Client(const std::string& host, int port, int timeout_ms = 30000,
          int connect_timeout_ms = 0);
   ~Client();
@@ -30,8 +47,10 @@ class Client {
 
   /// Sends one render request and blocks for its response. kOverloaded and
   /// kServerError come back as normal responses (the caller decides);
-  /// a kError frame or any transport failure throws — and marks the
-  /// connection broken (a half-finished frame exchange is unrecoverable).
+  /// a kError frame or any transport failure throws — TimeoutError when a
+  /// timeout budget ran out, ConnectionError when the transport died — and
+  /// marks the connection broken (a half-finished frame exchange is
+  /// unrecoverable).
   RenderResponse render(const RenderRequest& request);
 
   /// Fetches the server's schema-stamped ServiceStats snapshot.
@@ -55,8 +74,17 @@ class Client {
   /// failure, leaving the client not-alive.
   void reconnect();
 
+  /// Rebounds the per-operation send/recv timeout on the live connection
+  /// (and for future dials). Lets a router derate a pooled connection's
+  /// timeout to a request's remaining deadline budget without re-dialing.
+  /// Values <= 0 are ignored.
+  void set_timeout_ms(int timeout_ms);
+
+  int timeout_ms() const { return timeout_ms_; }
+
  private:
   void dial();
+  void apply_timeout();
   void mark_broken();
   void send_all(const std::uint8_t* data, std::size_t size);
   /// Reads exactly one frame; throws ProtocolError on malformed input and

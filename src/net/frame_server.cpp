@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 
 namespace gaurast::net {
 
@@ -247,6 +248,21 @@ void FrameServer::respond(std::uint64_t conn_id,
                           std::vector<std::uint8_t> frame) {
   auto it = conns_.find(conn_id);
   if (it == conns_.end()) return;
+  if (fault::armed()) {
+    // The server-side injection seam: every outgoing response (binary and
+    // HTTP) passes through here. kDrop — and kError, which has nobody to
+    // throw to on the loop thread — severs the connection instead of
+    // answering, so the peer sees EOF mid-exchange; kDelay slept inside
+    // evaluate(); kCrash never returns (a crashed worker).
+    const fault::Hit hit = fault::evaluate("net.server.respond");
+    if (hit.action == fault::Action::kDrop ||
+        hit.action == fault::Action::kError) {
+      close_connection(conn_id);
+      return;
+    }
+    it = conns_.find(conn_id);
+    if (it == conns_.end()) return;
+  }
   Connection& conn = it->second;
   conn.write_buf.insert(conn.write_buf.end(), frame.begin(), frame.end());
   flush_writes(conn);

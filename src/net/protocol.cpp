@@ -168,6 +168,7 @@ const char* to_string(RenderStatus status) {
     case RenderStatus::kOverloaded: return "overloaded";
     case RenderStatus::kServerError: return "server-error";
     case RenderStatus::kFleetUnavailable: return "fleet-unavailable";
+    case RenderStatus::kDeadlineExceeded: return "deadline-exceeded";
   }
   return "?";
 }
@@ -216,9 +217,10 @@ FrameHeader decode_header(const std::uint8_t* data) {
     }());
   }
   const std::uint8_t version = r.u8();
-  if (version != kProtocolVersion) {
+  if (version < kMinProtocolVersion || version > kProtocolVersion) {
     throw ProtocolError("unsupported protocol version " +
                         std::to_string(version) + " (this peer speaks " +
+                        std::to_string(kMinProtocolVersion) + ".." +
                         std::to_string(kProtocolVersion) + ")");
   }
   const std::uint8_t type = r.u8();
@@ -232,6 +234,7 @@ FrameHeader decode_header(const std::uint8_t* data) {
   }
   FrameHeader header;
   header.type = static_cast<MessageType>(type);
+  header.version = version;
   header.payload_size = r.u32();
   if (header.payload_size > kMaxPayloadBytes) {
     throw ProtocolError("oversized frame payload (" +
@@ -255,11 +258,13 @@ std::vector<std::uint8_t> serialize(const RenderRequest& msg) {
   put_u32(payload, msg.flags);
   put_string(payload, msg.backend);
   put_string(payload, msg.kernel);
+  put_u32(payload, msg.deadline_ms);  // v2+
   return frame(MessageType::kRenderRequest, std::move(payload));
 }
 
 RenderRequest deserialize_render_request(const std::uint8_t* data,
-                                         std::size_t size) {
+                                         std::size_t size,
+                                         std::uint8_t version) {
   Reader r(data, size, "render-request");
   RenderRequest msg;
   msg.request_id = r.u64();
@@ -274,6 +279,11 @@ RenderRequest deserialize_render_request(const std::uint8_t* data,
   msg.flags = r.u32();
   msg.backend = r.string();
   msg.kernel = r.string();
+  // v1 payloads end at kernel (deadline_ms keeps its zero default); a v2
+  // payload must carry the field — truncation is a loud ProtocolError.
+  if (version >= 2) {
+    msg.deadline_ms = r.u32();
+  }
   r.finish();
   if (msg.width <= 0 || msg.height <= 0) {
     throw ProtocolError("render-request image dimensions must be positive");
@@ -309,7 +319,7 @@ RenderResponse deserialize_render_response(const std::uint8_t* data,
   RenderResponse msg;
   msg.request_id = r.u64();
   const std::uint8_t status = r.u8();
-  if (status > static_cast<std::uint8_t>(RenderStatus::kFleetUnavailable)) {
+  if (status > static_cast<std::uint8_t>(RenderStatus::kDeadlineExceeded)) {
     throw ProtocolError("unknown render status " + std::to_string(status));
   }
   msg.status = static_cast<RenderStatus>(status);

@@ -8,11 +8,18 @@
 //   offset  size  field
 //   ------  ----  -----------------------------------------------------
 //        0     4  magic          kFrameMagic ("GAUR")
-//        4     1  version        kProtocolVersion (the version byte)
+//        4     1  version        kMinProtocolVersion..kProtocolVersion
 //        5     1  type           MessageType
 //        6     2  reserved       must be zero
 //        8     4  payload_size   <= kMaxPayloadBytes
 //       12     n  payload        MessageType-specific encoding below
+//
+// Versioning: peers emit kProtocolVersion and accept every version in
+// [kMinProtocolVersion, kProtocolVersion]. A minor version bump appends
+// fields to payload encodings; decoders branch on the received frame's
+// version byte, so an old peer's frames keep decoding (the appended fields
+// take their zero defaults) while a new-version frame truncated before an
+// appended field is still rejected loudly.
 //
 // A peer that receives a frame violating any of these rules (bad magic,
 // unknown version, nonzero reserved bits, oversized payload, unknown type,
@@ -26,12 +33,16 @@
 //   kRenderRequest   request_id u64, gaussian_count u64, scene_seed u64,
 //                    width u32, height u32, fov_y f32, eye f32[3],
 //                    target f32[3], up f32[3], flags u32 (bit 0 =
-//                    kWantImage), backend string, kernel string.
+//                    kWantImage), backend string, kernel string,
+//                    deadline_ms u32 (version >= 2 only; 0 = no deadline).
 //                    Empty backend/kernel mean "whatever the server is
 //                    configured with"; a non-empty value that differs from
 //                    the serving configuration yields a kServerError
 //                    response naming the mismatch (explicit rejection, not
-//                    a silent substitution).
+//                    a silent substitution). deadline_ms is the remaining
+//                    latency budget in milliseconds, counted from the
+//                    moment the receiver reads the frame; a router rewrites
+//                    it to the remaining budget before each forward.
 //   kRenderResponse  request_id u64, status u8 (RenderStatus), job_id u64,
 //                    latency_ms f64, queue_wait_ms f64, service_ms f64,
 //                    message string (empty unless status != kOk),
@@ -42,7 +53,12 @@
 //                    shed — the connection stays open and the client may
 //                    retry. RenderStatus::kFleetUnavailable is the cluster
 //                    router's terminal routing failure: no shard could take
-//                    the request (all dead or exhausted by failover).
+//                    the request (all dead or retry budget exhausted).
+//                    RenderStatus::kDeadlineExceeded means the request's
+//                    deadline_ms budget ran out before a render could
+//                    complete — shed at admission, in the queue, or at a
+//                    router hop; never sent for a request without a
+//                    deadline, so version-1 peers never see it.
 //   kStatsRequest    (empty payload)
 //   kStatsResponse   json string — the server's ServiceStats snapshot as
 //                    schema-stamped JSON (kServeStatsSchema).
@@ -63,9 +79,17 @@ namespace gaurast::net {
 /// Frame magic: "GAUR" read as a little-endian u32.
 inline constexpr std::uint32_t kFrameMagic = 0x52554147u;
 
-/// The wire-format version byte. Bump on any incompatible change to the
-/// frame layout or payload encodings; peers reject other versions.
-inline constexpr std::uint8_t kProtocolVersion = 1;
+/// The wire-format version byte peers emit. Minor bumps append payload
+/// fields (decoders branch on the received version); an incompatible change
+/// must also raise kMinProtocolVersion.
+///
+/// v1: initial protocol. v2: RenderRequest gains trailing deadline_ms u32;
+/// RenderStatus gains kDeadlineExceeded.
+inline constexpr std::uint8_t kProtocolVersion = 2;
+
+/// Oldest version byte still accepted. Frames outside
+/// [kMinProtocolVersion, kProtocolVersion] are protocol errors.
+inline constexpr std::uint8_t kMinProtocolVersion = 1;
 
 /// Fixed frame-header size in bytes (magic + version + type + reserved +
 /// payload_size).
@@ -103,6 +127,11 @@ enum class RenderStatus : std::uint8_t {
   /// the client may retry once the fleet recovers. Single servers never
   /// send it.
   kFleetUnavailable = 3,
+  /// The request carried a deadline_ms budget and it ran out before a
+  /// render could complete: shed at admission, dropped from a service
+  /// queue, or given up by a router hop. Only requests that set a deadline
+  /// can receive it, so version-1 peers (which cannot set one) never do.
+  kDeadlineExceeded = 4,
 };
 
 const char* to_string(MessageType type);
@@ -134,6 +163,10 @@ struct RenderRequest {
   std::uint32_t flags = 0;  ///< kWantImage, ...
   std::string backend;      ///< empty = server default
   std::string kernel;       ///< empty = server default
+  /// Remaining latency budget in milliseconds, counted from the moment the
+  /// receiver reads the frame; 0 = no deadline. Wire version >= 2 only —
+  /// a v1 frame decodes with no deadline.
+  std::uint32_t deadline_ms = 0;
 
   /// The scene-cache key this request resolves to (matches the workload
   /// generator's "synthetic-<count>-s<seed>" keys).
@@ -176,11 +209,14 @@ RenderRequest default_render_request(std::uint64_t gaussian_count,
 struct FrameHeader {
   MessageType type = MessageType::kError;
   std::uint32_t payload_size = 0;
+  /// The version byte the frame carried — payload decoders branch on it.
+  std::uint8_t version = kProtocolVersion;
 };
 
-/// Validates `kHeaderBytes` of header and returns the decoded type/size.
-/// Throws ProtocolError on bad magic, version, reserved bits, payload size,
-/// or unknown message type.
+/// Validates `kHeaderBytes` of header and returns the decoded
+/// type/size/version. Throws ProtocolError on bad magic, a version outside
+/// [kMinProtocolVersion, kProtocolVersion], reserved bits, payload size, or
+/// unknown message type.
 FrameHeader decode_header(const std::uint8_t* data);
 
 std::vector<std::uint8_t> serialize(const RenderRequest& msg);
@@ -192,8 +228,14 @@ std::vector<std::uint8_t> serialize_error(const std::string& message);
 /// Payload decoders; `data`/`size` span exactly the frame payload. Every
 /// decoder consumes the payload exactly — trailing bytes are a
 /// ProtocolError, as is any truncation.
+///
+/// deserialize_render_request takes the frame's version byte (from
+/// FrameHeader::version): a v1 payload ends at `kernel` and decodes with
+/// deadline_ms = 0; a v2 payload must carry the trailing deadline_ms u32.
 RenderRequest deserialize_render_request(const std::uint8_t* data,
-                                         std::size_t size);
+                                         std::size_t size,
+                                         std::uint8_t version =
+                                             kProtocolVersion);
 RenderResponse deserialize_render_response(const std::uint8_t* data,
                                            std::size_t size);
 StatsResponse deserialize_stats_response(const std::uint8_t* data,

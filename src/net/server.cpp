@@ -1,5 +1,6 @@
 #include "net/server.hpp"
 
+#include <chrono>
 #include <optional>
 #include <utility>
 
@@ -44,8 +45,11 @@ void Server::on_frame(std::uint64_t conn_id, const FrameHeader& header,
                       const std::uint8_t* payload) {
   switch (header.type) {
     case MessageType::kRenderRequest:
-      handle_render(conn_id, deserialize_render_request(payload,
-                                                        header.payload_size));
+      // The frame's version byte picks the payload decode: a v1 request
+      // has no deadline_ms field and decodes with no deadline.
+      handle_render(conn_id,
+                    deserialize_render_request(payload, header.payload_size,
+                                               header.version));
       return;
     case MessageType::kStatsRequest: {
       if (header.payload_size != 0) {
@@ -66,6 +70,31 @@ void Server::on_frame(std::uint64_t conn_id, const FrameHeader& header,
 
 void Server::handle_render(std::uint64_t conn_id, RenderRequest wire) {
   const bool want_image = (wire.flags & kWantImage) != 0;
+
+  // Deadline admission. deadline_ms is a relative budget counted from
+  // receipt; requests without one inherit the server's configured default
+  // (0 = none). The absolute deadline is pinned here, once, and travels
+  // with the job so the dequeuing worker can shed it if the budget runs
+  // out in the queue.
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point received = Clock::now();
+  std::uint32_t deadline_ms = wire.deadline_ms;
+  if (deadline_ms == 0 && config_.default_deadline_ms > 0) {
+    deadline_ms = static_cast<std::uint32_t>(config_.default_deadline_ms);
+  }
+  std::optional<Clock::time_point> deadline;
+  if (deadline_ms > 0) {
+    deadline = received + std::chrono::milliseconds(deadline_ms);
+  }
+  if (deadline && Clock::now() >= *deadline) {
+    RenderResponse resp;
+    resp.request_id = wire.request_id;
+    resp.status = RenderStatus::kDeadlineExceeded;
+    resp.message = "deadline of " + std::to_string(deadline_ms) +
+                   "ms expired before admission";
+    front_.respond(conn_id, serialize(resp));
+    return;
+  }
 
   // Server-side refusals are explicit kServerError responses naming the
   // reason — the wire contract mirrors the CLI's capability diagnostics.
@@ -123,6 +152,7 @@ void Server::handle_render(std::uint64_t conn_id, RenderRequest wire) {
     return;
   }
   runtime::RenderRequest request{std::move(scene), std::move(*camera)};
+  request.deadline = deadline;
 
   // Completion bridge: the serving worker serializes the response (so the
   // loop never copies an image) and posts the finished frame through the
@@ -133,11 +163,19 @@ void Server::handle_render(std::uint64_t conn_id, RenderRequest wire) {
                          want_image](const runtime::JobResult& result) {
     RenderResponse resp;
     resp.request_id = request_id;
-    resp.status = RenderStatus::kOk;
     resp.job_id = result.job_id;
     resp.latency_ms = result.latency_ms;
     resp.queue_wait_ms = result.queue_wait_ms;
     resp.service_ms = result.service_ms;
+    if (result.deadline_expired) {
+      // The worker shed the job: its deadline passed in the queue. There
+      // is no frame; the client hears exactly why.
+      resp.status = RenderStatus::kDeadlineExceeded;
+      resp.message = "deadline expired in the service queue";
+      front_.post_deliver(conn_id, serialize(resp));
+      return;
+    }
+    resp.status = RenderStatus::kOk;
     if (want_image) {
       const Image& image = result.frame.image;
       resp.has_image = true;

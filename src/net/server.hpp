@@ -42,6 +42,10 @@ struct ServerConfig {
   /// Requests above this are refused with kServerError before any scene is
   /// generated (a wire-reachable allocation guard).
   std::uint64_t max_gaussian_count = 10'000'000;
+  /// Deadline budget (ms) applied to requests that carry none
+  /// (wire deadline_ms == 0). 0 = no default: undeadlined requests render
+  /// unconditionally. Requests with their own budget keep it.
+  int default_deadline_ms = 0;
 };
 
 class Server : private FrameHandler {

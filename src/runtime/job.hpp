@@ -13,9 +13,11 @@
 // no matter which worker runs the job or how many workers the service has.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 
 #include "engine/backend.hpp"
 #include "scene/camera.hpp"
@@ -39,6 +41,12 @@ struct RenderRequest {
   scene::Camera camera;
   std::uint64_t id = 0;  ///< assigned by the service at submit time
 
+  /// Absolute completion deadline. A worker that dequeues the job after
+  /// this instant sheds it instead of rendering: the result comes back with
+  /// deadline_expired set (and no frame), on_complete still fires, and the
+  /// drop is counted in ServiceStats. Unset = render unconditionally.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+
   /// Optional completion hook, invoked on the worker that finishes the job
   /// (after the service records the completion, before the future
   /// resolves). This is the bridge event-driven callers use instead of
@@ -60,6 +68,11 @@ struct JobResult {
   double queue_wait_ms = 0.0;  ///< submit -> job start
   double service_ms = 0.0;     ///< job start -> job end
   double latency_ms = 0.0;     ///< submit -> job end
+
+  /// The request's deadline had already passed when a worker dequeued it:
+  /// the job was shed without rendering and `frame` is empty. Callers that
+  /// bridge to the wire answer RenderStatus::kDeadlineExceeded.
+  bool deadline_expired = false;
 };
 
 /// One frame through one backend. The backend is const-shared across

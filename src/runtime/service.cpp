@@ -140,6 +140,20 @@ JobResult RenderService::execute(RenderRequest request,
   auto on_complete = std::move(request.on_complete);
   request.on_complete = nullptr;
   const Clock::time_point start = Clock::now();
+  if (request.deadline && start > *request.deadline) {
+    // The deadline passed while the job sat in the queue: rendering now
+    // would burn a worker on a frame nobody can use. Shed it — but the job
+    // still completes its lifecycle (future resolves, on_complete fires),
+    // so no accepted job is ever lost.
+    JobResult result;
+    result.job_id = request.id;
+    result.deadline_expired = true;
+    result.queue_wait_ms = to_ms(start - enqueue_time);
+    result.latency_ms = result.queue_wait_ms;
+    record_deadline_drop();
+    if (on_complete) on_complete(result);
+    return result;
+  }
   JobResult result =
       FrameJob(*backend_, frame_options_, std::move(request)).execute();
   const Clock::time_point end = Clock::now();
@@ -191,6 +205,14 @@ void RenderService::record_completion(const JobResult& result) {
   queue_wait_sum_ms_ += result.queue_wait_ms;
   service_sum_ms_ += result.service_ms;
   latencies_ms_.push_back(result.latency_ms);
+  last_completion_ = Clock::now();
+}
+
+void RenderService::record_deadline_drop() {
+  common::MutexLock lock(stats_mutex_);
+  // Not a completion: the latency samples and throughput describe rendered
+  // frames only. The drop has its own counter.
+  ++deadline_dropped_;
   last_completion_ = Clock::now();
 }
 
@@ -282,6 +304,7 @@ ServiceStats RenderService::stats() const {
     s.submitted = submitted_;
     s.completed = completed_;
     s.rejected = rejected_;
+    s.deadline_dropped = deadline_dropped_;
     s.scene_cache_hits = cache_hits_;
     s.scene_cache_misses = cache_misses_;
     latencies = latencies_ms_;
@@ -338,6 +361,10 @@ void print_service_stats(std::ostream& os, const ServiceStats& stats) {
   if (stats.rejected > 0) {
     table.add_row({"Jobs rejected", std::to_string(stats.rejected)});
   }
+  if (stats.deadline_dropped > 0) {
+    table.add_row(
+        {"Deadline drops", std::to_string(stats.deadline_dropped)});
+  }
   table.add_row({"Wall time", format_time_ms(stats.wall_ms)});
   table.add_row({"Throughput", format_fixed(stats.throughput_fps, 1) + " fps"});
   table.add_row({"Latency p50", format_time_ms(stats.latency_p50_ms)});
@@ -368,7 +395,9 @@ std::string service_stats_json(const ServiceStats& stats) {
   std::ostringstream os;
   os << "{\"submitted\":" << stats.submitted
      << ",\"completed\":" << stats.completed
-     << ",\"rejected\":" << stats.rejected << ",\"wall_ms\":" << stats.wall_ms
+     << ",\"rejected\":" << stats.rejected
+     << ",\"deadline_dropped\":" << stats.deadline_dropped
+     << ",\"wall_ms\":" << stats.wall_ms
      << ",\"throughput_fps\":" << stats.throughput_fps
      << ",\"latency_mean_ms\":" << stats.latency_mean_ms
      << ",\"latency_p50_ms\":" << stats.latency_p50_ms

@@ -86,6 +86,10 @@ struct ServiceStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
   std::uint64_t rejected = 0;  ///< try_submit refusals (queue full)
+  /// Accepted jobs whose deadline passed in the queue: shed by the worker
+  /// before rendering (monolithic executor). Not counted in `completed` —
+  /// the latency/throughput figures describe rendered frames only.
+  std::uint64_t deadline_dropped = 0;
 
   double wall_ms = 0.0;  ///< first submit -> last completion (or now)
   double throughput_fps = 0.0;
@@ -183,6 +187,7 @@ class RenderService {
   void note_rejected(std::size_t queue_depth) GAURAST_EXCLUDES(stats_mutex_);
   void record_completion(const JobResult& result)
       GAURAST_EXCLUDES(stats_mutex_);
+  void record_deadline_drop() GAURAST_EXCLUDES(stats_mutex_);
 
   ServiceConfig config_;
   std::shared_ptr<const engine::RenderBackend> backend_;
@@ -206,6 +211,7 @@ class RenderService {
   std::uint64_t submitted_ GAURAST_GUARDED_BY(stats_mutex_) = 0;
   std::uint64_t completed_ GAURAST_GUARDED_BY(stats_mutex_) = 0;
   std::uint64_t rejected_ GAURAST_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t deadline_dropped_ GAURAST_GUARDED_BY(stats_mutex_) = 0;
   std::uint64_t cache_hits_ GAURAST_GUARDED_BY(stats_mutex_) = 0;
   std::uint64_t cache_misses_ GAURAST_GUARDED_BY(stats_mutex_) = 0;
   double queue_depth_sum_ GAURAST_GUARDED_BY(stats_mutex_) = 0.0;

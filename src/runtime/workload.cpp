@@ -128,14 +128,24 @@ WorkloadRunResult run_workload(RenderService& service,
           start + std::chrono::duration_cast<Clock::duration>(
                       std::chrono::duration<double, std::milli>(
                           req.arrival_offset_ms)));
-      if (auto future = service.try_submit({shared, req.camera})) {
+      RenderRequest request{shared, req.camera};
+      if (config.deadline_ms > 0) {
+        request.deadline =
+            Clock::now() + std::chrono::milliseconds(config.deadline_ms);
+      }
+      if (auto future = service.try_submit(std::move(request))) {
         futures.push_back(std::move(*future));
         ++result.accepted;
       } else {
         ++result.rejected;
       }
     } else {
-      futures.push_back(service.submit({shared, req.camera}));
+      RenderRequest request{shared, req.camera};
+      if (config.deadline_ms > 0) {
+        request.deadline =
+            Clock::now() + std::chrono::milliseconds(config.deadline_ms);
+      }
+      futures.push_back(service.submit(std::move(request)));
       ++result.accepted;
     }
   }

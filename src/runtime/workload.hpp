@@ -43,6 +43,10 @@ struct WorkloadConfig {
   /// Gaussian counts of the scene classes traffic is drawn from; requests
   /// pick one uniformly, so repeated picks exercise the per-scene cache.
   std::vector<std::uint64_t> scene_sizes = {2000, 8000, 20000};
+  /// Per-request deadline budget (ms), pinned at submit time; the worker
+  /// sheds jobs whose budget expires in the queue (counted in
+  /// ServiceStats::deadline_dropped). 0 = no deadline.
+  int deadline_ms = 0;
 };
 
 /// One generated request, before scene resolution against a service.

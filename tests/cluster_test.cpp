@@ -1,15 +1,18 @@
 // Tests for the gaurast::cluster subsystem: shard-spec parsing, the
-// alive/suspect/dead health state machine, rendezvous-hash determinism and
-// remap-on-death/recovery, the fleet-stats merge, and the Router end to
-// end — routed-vs-direct bit-identity on the canonical 20k/320x240 frame,
-// failover while a shard is killed under load, OVERLOADED passthrough,
-// the explicit FLEET_UNAVAILABLE answer when every shard is down (never a
-// hang), and the merged stats endpoints.
+// alive/suspect/dead health state machine, the per-shard circuit breaker
+// (trip, cooldown, half-open recovery), rendezvous-hash determinism and
+// remap-on-death/recovery, the RetryPolicy budget/backoff contract, the
+// Spawner's RestartBackoff schedule, the fleet-stats merge, and the Router
+// end to end — routed-vs-direct bit-identity on the canonical 20k/320x240
+// frame, failover while a shard is killed under load, OVERLOADED
+// passthrough, the explicit FLEET_UNAVAILABLE answer when every shard is
+// down (never a hang), and the merged stats endpoints.
 
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstring>
@@ -23,7 +26,9 @@
 
 #include "cluster/fleet_stats.hpp"
 #include "cluster/host_db.hpp"
+#include "cluster/retry_policy.hpp"
 #include "cluster/router.hpp"
+#include "cluster/spawner.hpp"
 #include "common/error.hpp"
 #include "engine/backends.hpp"
 #include "net/client.hpp"
@@ -154,6 +159,171 @@ TEST(HostDb, RouteRemapsOnDeathAndRecovery) {
             std::nullopt);
 }
 
+TEST(HostDb, BreakerTripsCoolsDownAndRecovers) {
+  HostDbConfig config;
+  config.breaker_trip_failures = 3;
+  config.breaker_open_ms = 50;
+  HostDb db(make_shards(3), config);
+  const std::string key = "synthetic-20000-s42";
+  const std::vector<std::size_t> order = db.hrw_order(key);
+  const std::size_t owner = order[0];
+
+  // Failures below the threshold leave the breaker closed.
+  db.report_failure(owner);
+  db.report_failure(owner);
+  EXPECT_FALSE(db.breaker_open(owner));
+  db.report_failure(owner);
+  EXPECT_TRUE(db.breaker_open(owner));
+  EXPECT_EQ(db.snapshot()[owner].breaker_trips, 1u);
+  EXPECT_EQ(db.route(key), order[1]) << "open breaker must exclude the shard";
+
+  // A success during the cooldown resurrects health (alive again) but is
+  // ignored by the breaker — a flapping shard cannot thrash the routing
+  // map once per flap.
+  db.report_success(owner);
+  EXPECT_EQ(db.state(owner), ShardState::kAlive);
+  EXPECT_TRUE(db.breaker_open(owner));
+  EXPECT_EQ(db.route(key), order[1]);
+  // Later failures do not re-stamp the trip time: the cooldown still ends
+  // breaker_open_ms after the original trip.
+  db.report_failure(owner);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  // First post-cooldown success (in production: the prober's half-open
+  // probe) closes the breaker and re-admits the shard.
+  db.report_success(owner);
+  EXPECT_FALSE(db.breaker_open(owner));
+  EXPECT_EQ(db.route(key), owner);
+  EXPECT_EQ(db.snapshot()[owner].breaker_trips, 1u);
+}
+
+TEST(HostDb, BreakerDisabledByDefault) {
+  HostDb db(make_shards(2));
+  for (int i = 0; i < 10; ++i) db.report_failure(0);
+  EXPECT_FALSE(db.breaker_open(0));
+  EXPECT_EQ(db.snapshot()[0].breaker_trips, 0u);
+  // Dead from failures, routable again on the first success — no cooldown.
+  db.report_success(0);
+  EXPECT_EQ(db.state(0), ShardState::kAlive);
+}
+
+// ---------------------------------------------------------------------------
+// RetryPolicy
+// ---------------------------------------------------------------------------
+
+TEST(RetryPolicy, BudgetKindsAndJitterBounds) {
+  const RetryPolicy policy;  // max_attempts=3, base=10ms, cap=250ms
+  // Connect failures fail over immediately: retry with zero backoff.
+  const RetryDecision connect = policy.on_failure(7, 1, FailureKind::kConnect);
+  EXPECT_TRUE(connect.retry);
+  EXPECT_EQ(connect.backoff_ms, 0);
+
+  // Timeout/overload back off: jitter keeps the delay in [base/2, base]
+  // for the first retry and doubles the base per further failure.
+  const RetryDecision t1 = policy.on_failure(7, 1, FailureKind::kTimeout);
+  EXPECT_TRUE(t1.retry);
+  EXPECT_GE(t1.backoff_ms, 5);
+  EXPECT_LE(t1.backoff_ms, 10);
+  const RetryDecision t2 = policy.on_failure(7, 2, FailureKind::kOverloaded);
+  EXPECT_TRUE(t2.retry);
+  EXPECT_GE(t2.backoff_ms, 10);
+  EXPECT_LE(t2.backoff_ms, 20);
+
+  // The budget counts attempts, not kinds: the max_attempts-th failure is
+  // terminal for every kind.
+  for (const FailureKind kind :
+       {FailureKind::kConnect, FailureKind::kTimeout,
+        FailureKind::kOverloaded}) {
+    EXPECT_FALSE(policy.on_failure(7, 3, kind).retry) << to_string(kind);
+    EXPECT_FALSE(policy.on_failure(7, 4, kind).retry) << to_string(kind);
+  }
+}
+
+TEST(RetryPolicy, BackoffCapsAndIsDeterministic) {
+  RetryPolicyConfig config;
+  config.max_attempts = 10;
+  config.base_backoff_ms = 100;
+  config.max_backoff_ms = 150;
+  const RetryPolicy policy(config);
+  // By failure 5 the doubled backoff is far past the cap; jitter keeps it
+  // in [cap/2, cap].
+  const RetryDecision capped = policy.on_failure(3, 5, FailureKind::kTimeout);
+  EXPECT_GE(capped.backoff_ms, 75);
+  EXPECT_LE(capped.backoff_ms, 150);
+
+  // Pure function of (seed, request_id, failures): an independent policy
+  // with the same config agrees delay for delay, and the policy itself
+  // repeats (no hidden stream state).
+  const RetryPolicy twin(config);
+  for (std::uint64_t id : {1ull, 42ull, 9000ull}) {
+    for (int failures = 1; failures <= 4; ++failures) {
+      const int delay =
+          policy.on_failure(id, failures, FailureKind::kTimeout).backoff_ms;
+      EXPECT_EQ(delay,
+                twin.on_failure(id, failures, FailureKind::kTimeout)
+                    .backoff_ms);
+      EXPECT_EQ(delay,
+                policy.on_failure(id, failures, FailureKind::kTimeout)
+                    .backoff_ms);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RestartBackoff
+// ---------------------------------------------------------------------------
+
+TEST(RestartBackoff, StreakDoublesCapsAndJittersInBounds) {
+  RestartBackoffConfig config;
+  config.base_ms = 100;
+  config.max_ms = 400;
+  RestartBackoff backoff(config);
+  // Crash streak (uptime 0): 100 -> 200 -> 400 -> 400 (capped), each
+  // jittered by ±25%.
+  int expected = 100;
+  for (int crash = 1; crash <= 4; ++crash) {
+    const int delay = backoff.on_exit(0);
+    EXPECT_EQ(backoff.streak(), crash);
+    EXPECT_GE(delay, expected * 3 / 4) << "crash " << crash;
+    EXPECT_LE(delay, expected * 5 / 4) << "crash " << crash;
+    expected = std::min(expected * 2, config.max_ms);
+  }
+}
+
+TEST(RestartBackoff, HealthyUptimeForgivesTheStreak) {
+  RestartBackoffConfig config;
+  config.base_ms = 100;
+  config.max_ms = 30000;
+  config.healthy_reset_ms = 5000;
+  RestartBackoff backoff(config);
+  for (int i = 0; i < 5; ++i) backoff.on_exit(0);
+  EXPECT_EQ(backoff.streak(), 5);
+  // A run past healthy_reset_ms restarts the schedule from the base: a
+  // deploy-then-crash a day later must not inherit last week's cap.
+  const int delay = backoff.on_exit(config.healthy_reset_ms);
+  EXPECT_EQ(backoff.streak(), 1);
+  EXPECT_GE(delay, 75);
+  EXPECT_LE(delay, 125);
+  // Just short of healthy keeps the streak.
+  backoff.on_exit(config.healthy_reset_ms - 1);
+  EXPECT_EQ(backoff.streak(), 2);
+}
+
+TEST(RestartBackoff, SeedDeterminesTheDelaySequence) {
+  RestartBackoffConfig config;
+  config.seed = 99;
+  RestartBackoff a(config), b(config);
+  config.seed = 100;
+  RestartBackoff c(config);
+  bool any_difference = false;
+  for (int i = 0; i < 8; ++i) {
+    const int delay = a.on_exit(0);
+    EXPECT_EQ(delay, b.on_exit(0));
+    any_difference |= (delay != c.on_exit(0));
+  }
+  EXPECT_TRUE(any_difference) << "different seeds produced identical jitter";
+}
+
 // ---------------------------------------------------------------------------
 // Fleet-stats merge
 // ---------------------------------------------------------------------------
@@ -200,7 +370,9 @@ TEST(FleetStats, MergeSumsTotalsAndKeepsPerShardDetail) {
   EXPECT_NE(json.find("\"latency_mean_ms\":15"), std::string::npos) << json;
   EXPECT_NE(json.find("\"route_overhead_mean_ms\":2"), std::string::npos)
       << json;
-  EXPECT_NE(json.find("\"state\":\"dead\",\"stats\":null"), std::string::npos)
+  EXPECT_NE(json.find("\"state\":\"dead\",\"breaker_open\":false,"
+                      "\"breaker_trips\":0,\"stats\":null"),
+            std::string::npos)
       << json;
   // Per-shard serve stats are embedded verbatim, not averaged away.
   EXPECT_NE(json.find("\"submitted\":5"), std::string::npos) << json;

@@ -1,10 +1,12 @@
 // Tests for the gaurast::net subsystem: wire-protocol round-trips and
 // malformed-frame rejection (truncated / oversized / bad-magic / wrong
-// version / trailing bytes), the server bridge onto RenderService
-// (accept -> render -> respond bit-identity against a direct submit, in
-// both execution modes), admission control (a full queue yields an
-// explicit OVERLOADED wire response), idle-timeout closes, the HTTP
-// stats/health endpoints, and graceful shutdown draining in-flight work.
+// version / trailing bytes), the v1/v2 version matrix for the appended
+// deadline_ms field, the server bridge onto RenderService (accept ->
+// render -> respond bit-identity against a direct submit, in both
+// execution modes), admission control (a full queue yields an explicit
+// OVERLOADED wire response), the TimeoutError/ConnectionError client
+// failure taxonomy, idle-timeout closes, the HTTP stats/health endpoints,
+// and graceful shutdown draining in-flight work.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -109,7 +111,26 @@ class RawConn {
     }
   }
 
+  /// Reads exactly one protocol frame (header + payload) off the wire.
+  std::vector<std::uint8_t> read_frame() {
+    std::vector<std::uint8_t> out(kHeaderBytes);
+    read_exact(out.data(), kHeaderBytes);
+    const FrameHeader header = decode_header(out.data());
+    out.resize(kHeaderBytes + header.payload_size);
+    read_exact(out.data() + kHeaderBytes, header.payload_size);
+    return out;
+  }
+
  private:
+  void read_exact(std::uint8_t* buf, std::size_t size) {
+    std::size_t got = 0;
+    while (got < size) {
+      const ssize_t n = ::recv(fd_, buf + got, size - got, 0);
+      ASSERT_GT(n, 0) << "peer closed or timed out mid-frame";
+      got += static_cast<std::size_t>(n);
+    }
+  }
+
   int fd_ = -1;
 };
 
@@ -271,6 +292,38 @@ TEST(Protocol, TruncatedAndTrailingPayloadsRejected) {
                ProtocolError);
   // Declared string length pointing past the payload end.
   EXPECT_THROW(deserialize_stats_response(frame.data() + kHeaderBytes, 2),
+               ProtocolError);
+}
+
+TEST(Protocol, DeadlineFieldVersionMatrix) {
+  RenderRequest req = sample_request();
+  req.deadline_ms = 250;
+  const auto frame = serialize(req);
+  const FrameHeader header = decode_header(frame.data());
+  ASSERT_EQ(header.version, kProtocolVersion);
+
+  // v2 round-trips the appended deadline field.
+  EXPECT_EQ(deserialize_render_request(frame.data() + kHeaderBytes,
+                                       header.payload_size, header.version)
+                .deadline_ms,
+            250u);
+
+  // A v1 payload ends at `kernel`: the same bytes minus the trailing u32,
+  // decoded as version 1, take the zero default — an old peer's frames
+  // keep decoding, it just cannot set a deadline.
+  const RenderRequest v1 = deserialize_render_request(
+      frame.data() + kHeaderBytes, header.payload_size - 4, 1);
+  EXPECT_EQ(v1.deadline_ms, 0u);
+  EXPECT_EQ(v1.request_id, req.request_id);
+  EXPECT_EQ(v1.kernel, req.kernel);
+
+  // A v2 payload truncated before the appended field is rejected loudly,
+  // as is a v1 payload carrying trailing deadline bytes.
+  EXPECT_THROW(deserialize_render_request(frame.data() + kHeaderBytes,
+                                          header.payload_size - 4, 2),
+               ProtocolError);
+  EXPECT_THROW(deserialize_render_request(frame.data() + kHeaderBytes,
+                                          header.payload_size, 1),
                ProtocolError);
 }
 
@@ -486,6 +539,56 @@ TEST(Server, MalformedFrameGetsErrorFrameAndClose) {
   });
 }
 
+TEST(Server, VersionOneRequestStillServed) {
+  runtime::ServiceConfig config;
+  config.backend = "sw";
+  with_server(config, {}, [](runtime::RenderService&, Server& server) {
+    // A v1 peer's render request: today's frame minus the v2 deadline_ms
+    // tail, with the version byte and payload size rewound. The server
+    // must serve it like any other request (deadline defaults to none).
+    RenderRequest req = default_render_request(600, 7, 64, 48);
+    req.request_id = 31;
+    std::vector<std::uint8_t> frame = serialize(req);
+    frame.resize(frame.size() - 4);
+    frame[4] = 1;  // version byte
+    const std::uint32_t payload_size =
+        static_cast<std::uint32_t>(frame.size() - kHeaderBytes);
+    std::memcpy(frame.data() + 8, &payload_size, 4);
+
+    RawConn conn(server.port(), /*timeout_ms=*/30000);
+    conn.send_bytes(frame);
+    const std::vector<std::uint8_t> reply = conn.read_frame();
+    const FrameHeader header = decode_header(reply.data());
+    ASSERT_EQ(header.type, MessageType::kRenderResponse);
+    const RenderResponse resp = deserialize_render_response(
+        reply.data() + kHeaderBytes, header.payload_size);
+    EXPECT_EQ(resp.status, RenderStatus::kOk) << resp.message;
+    EXPECT_EQ(resp.request_id, 31u);
+  });
+}
+
+TEST(Server, TruncatedVersionTwoDeadlineRejectedLoudly) {
+  runtime::ServiceConfig config;
+  config.backend = "sw";
+  with_server(config, {}, [](runtime::RenderService&, Server& server) {
+    // Same truncation, but still claiming version 2: a new-version frame
+    // cut before an appended field is a protocol error — kError frame and
+    // close, never a silent zero-default.
+    std::vector<std::uint8_t> frame =
+        serialize(default_render_request(600, 7, 64, 48));
+    frame.resize(frame.size() - 4);
+    const std::uint32_t payload_size =
+        static_cast<std::uint32_t>(frame.size() - kHeaderBytes);
+    std::memcpy(frame.data() + 8, &payload_size, 4);
+
+    RawConn conn(server.port());
+    conn.send_bytes(frame);
+    const std::vector<std::uint8_t> reply = conn.read_until_close();
+    ASSERT_GE(reply.size(), kHeaderBytes);
+    EXPECT_EQ(decode_header(reply.data()).type, MessageType::kError);
+  });
+}
+
 TEST(Server, NonEmptyStatsRequestPayloadIsAProtocolError) {
   runtime::ServiceConfig config;
   config.backend = "sw";
@@ -673,6 +776,45 @@ TEST(Client, TransportFailureMarksConnectionBroken) {
   server.stop();
 }
 
+TEST(Client, DistinguishesTimeoutFromConnectionFailure) {
+  // Refusal: the transport failed before the peer did any work.
+  // ConnectionError — a retry policy may fail over immediately.
+  int refused_port = 0;
+  {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+    socklen_t len = sizeof addr;
+    ASSERT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+    refused_port = ntohs(addr.sin_port);
+    ::close(fd);
+  }
+  EXPECT_THROW(Client("127.0.0.1", refused_port), ConnectionError);
+
+  // A wedged render: the peer is alive but slow, and the recv budget ran
+  // out. TimeoutError — budget-consuming, so a retry policy backs off —
+  // and the half-finished exchange marks the connection broken.
+  std::promise<void> gate;
+  runtime::ServiceConfig config;
+  config.workers = 1;
+  config.backend_instance =
+      std::make_shared<GatedBackend>(gate.get_future().share());
+  runtime::RenderService service(config);
+  Server server(service, {});
+  server.start();
+  {
+    Client client("127.0.0.1", server.port(), /*timeout_ms=*/300);
+    const RenderRequest wire = default_render_request(600, 7, 64, 48);
+    EXPECT_THROW(client.render(wire), TimeoutError);
+    EXPECT_FALSE(client.is_alive());
+  }
+  gate.set_value();
+  server.stop();
+}
+
 TEST(Client, ConnectTimeoutFailsFastNotForever) {
   // A black-holed peer, built on loopback: a listener whose accept queue is
   // deliberately saturated drops further SYNs on the floor, so a connect
@@ -704,7 +846,7 @@ TEST(Client, ConnectTimeoutFailsFastNotForever) {
   const auto t0 = std::chrono::steady_clock::now();
   EXPECT_THROW(Client("127.0.0.1", ntohs(addr.sin_port),
                       /*timeout_ms=*/30000, /*connect_timeout_ms=*/300),
-               Error);
+               TimeoutError);
   const auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                               std::chrono::steady_clock::now() - t0)
                               .count();

@@ -15,12 +15,13 @@ is the report's *shape*:
   * identical top-level schema tag (schema drift must bump the committed
     baseline in the same PR),
   * every aggregated section the baseline has (micro / service / pipeline /
-    wire / fleet) present with its expected per-section schema tag,
+    wire / fleet / faults) present with its expected per-section schema tag,
   * every micro benchmark name in the baseline still reported (a silently
     dropped benchmark is how perf trajectories rot),
   * the derived headline metrics still computed (raster_fast_speedup,
     pipelined_speedup, wire_relative_throughput,
-    routed_relative_throughput).
+    routed_relative_throughput, faulted_relative_throughput,
+    faulted_deadline_hit_rate, faulted_p99_ms).
 
 It also writes an informational current/baseline ratio table (markdown) to
 --summary, or to $GITHUB_STEP_SUMMARY when set, or stdout — so every CI run
@@ -37,19 +38,21 @@ import sys
 # Every schema tag this gate understands. A report (baseline or current)
 # carrying any other tag is rejected outright — one rule for the top level
 # and every section, so new reports must be registered here to pass.
-SECTIONS = ("micro", "service", "pipeline", "wire", "fleet")
+SECTIONS = ("micro", "service", "pipeline", "wire", "fleet", "faults")
 
 KNOWN_SCHEMAS = {
     "": {
         "gaurast-bench-pipeline/v2",
         "gaurast-bench-pipeline/v3",
         "gaurast-bench-pipeline/v4",
+        "gaurast-bench-pipeline/v5",
     },
     "micro": {"gaurast-bench-micro/v1"},
     "service": {"gaurast-bench-service/v1"},
     "pipeline": {"gaurast-bench-service-pipeline/v1"},
     "wire": {"gaurast-bench-service-wire/v1"},
     "fleet": {"gaurast-bench-service-fleet/v1"},
+    "faults": {"gaurast-bench-service-faults/v1"},
 }
 
 
@@ -133,6 +136,9 @@ def check_shape(baseline, current):
         ("pipeline", "pipelined_speedup"),
         ("wire", "wire_relative_throughput"),
         ("fleet", "routed_relative_throughput"),
+        ("faults", "faulted_relative_throughput"),
+        ("faults", "faulted_deadline_hit_rate"),
+        ("faults", "faulted_p99_ms"),
     )
     for section, key in derived_expectations:
         if section not in baseline:
@@ -178,6 +184,7 @@ def ratio_table(baseline, current):
         ("pipeline", "pipelined_speedup"),
         ("wire", "wire_relative_throughput"),
         ("fleet", "routed_relative_throughput"),
+        ("faults", "faulted_relative_throughput"),
     ):
         base_val = baseline.get(section, {}).get("derived", {}).get(key)
         cur_val = current.get(section, {}).get("derived", {}).get(key)

@@ -1,14 +1,15 @@
 #!/usr/bin/env bash
 # bench_pipeline.sh — runs the canonical pipeline benchmark configurations
 # and aggregates their machine-readable reports into one
-# BENCH_pipeline.json (schema gaurast-bench-pipeline/v4):
+# BENCH_pipeline.json (schema gaurast-bench-pipeline/v5):
 #
-#   {"schema":"gaurast-bench-pipeline/v4","quick":<bool>,
+#   {"schema":"gaurast-bench-pipeline/v5","quick":<bool>,
 #    "micro":    <gaurast-bench-micro/v1 report>,
 #    "service":  <gaurast-bench-service/v1 report>,
 #    "pipeline": <gaurast-bench-service-pipeline/v1 report>,
 #    "wire":     <gaurast-bench-service-wire/v1 report>,
-#    "fleet":    <gaurast-bench-service-fleet/v1 report>}
+#    "fleet":    <gaurast-bench-service-fleet/v1 report>,
+#    "faults":   <gaurast-bench-service-faults/v1 report>}
 #
 # The canonical (non-quick) configuration is bench_micro's flag defaults
 # (20000 Gaussians at 320x240, warmup 2, repeat 5 — the config the recorded
@@ -19,7 +20,10 @@
 # comparison (net::Server / net::Client over a real TCP socket, image
 # payloads included), plus the direct-vs-routed sharded-fleet comparison
 # (cluster::Router fronting loopback shards; reports the routed/direct
-# throughput ratio and per-frame route overhead). --quick shrinks
+# throughput ratio and per-frame route overhead), plus the clean-vs-faulted
+# comparison (every request deadlined, the faulted pass under a seeded
+# 1%-forward-error / 5%-10ms-delay plan; reports the faulted/clean
+# throughput ratio, faulted p99, and deadline hit rate). --quick shrinks
 # everything to a small scene and a single repeat so CI can exercise the
 # JSON paths, both kernels, and both execution modes on every PR in
 # seconds.
@@ -63,6 +67,7 @@ PIPELINE_FLAGS=(--pipeline --backend sw --kernel fast --stage-workers 1,1,2
                 --queue 4)
 WIRE_FLAGS=(--listen-loopback --backend sw --kernel fast)
 FLEET_FLAGS=(--fleet 2 --backend sw --kernel fast)
+FAULTS_FLAGS=(--faults --backend sw --kernel fast)
 if [[ "$QUICK" == 1 ]]; then
   MICRO_FLAGS+=(--synthetic 4000 --width 160 --height 120 --warmup 1 --repeat 1)
   SERVICE_FLAGS+=(--jobs 6 --width 96 --height 72 --warmup 0 --repeat 1)
@@ -72,6 +77,8 @@ if [[ "$QUICK" == 1 ]]; then
                --workers 1 --clients 2 --warmup 0 --repeat 1)
   FLEET_FLAGS+=(--jobs 4 --width 96 --height 72
                 --workers 1 --clients 2 --warmup 0 --repeat 1)
+  FAULTS_FLAGS+=(--jobs 4 --width 96 --height 72
+                 --workers 1 --clients 2 --warmup 0 --repeat 1)
 else
   # Canonical: bench_micro defaults; a fuller service sweep; the execution
   # -mode comparison on the canonical 20k/320x240 scene. --queue 4 bounds
@@ -86,6 +93,11 @@ else
                --workers 2 --clients 4 --warmup 1 --repeat 3)
   FLEET_FLAGS+=(--jobs 16 --width 320 --height 240
                 --workers 2 --clients 4 --warmup 1 --repeat 3)
+  # Same fleet shape as the routed comparison; the default deadline and
+  # seeded fault plan come from the bench binary's flag defaults so the
+  # tracked configuration lives in one place.
+  FAULTS_FLAGS+=(--jobs 16 --width 320 --height 240
+                 --workers 2 --clients 4 --warmup 1 --repeat 3)
 fi
 
 # ${arr[@]+...} guards: expanding an empty array under `set -u` is an
@@ -101,9 +113,11 @@ echo "== bench_service_throughput ${WIRE_FLAGS[*]}"
 "$SERVICE" "${WIRE_FLAGS[@]}" --json "$TMP/wire.json"
 echo "== bench_service_throughput ${FLEET_FLAGS[*]}"
 "$SERVICE" "${FLEET_FLAGS[@]}" --json "$TMP/fleet.json"
+echo "== bench_service_throughput ${FAULTS_FLAGS[*]}"
+"$SERVICE" "${FAULTS_FLAGS[@]}" --json "$TMP/faults.json"
 
 {
-  printf '{"schema":"gaurast-bench-pipeline/v4","quick":%s,"micro":' \
+  printf '{"schema":"gaurast-bench-pipeline/v5","quick":%s,"micro":' \
          "$([[ "$QUICK" == 1 ]] && echo true || echo false)"
   tr -d '\n' < "$TMP/micro.json"
   printf ',"service":'
@@ -114,6 +128,8 @@ echo "== bench_service_throughput ${FLEET_FLAGS[*]}"
   tr -d '\n' < "$TMP/wire.json"
   printf ',"fleet":'
   tr -d '\n' < "$TMP/fleet.json"
+  printf ',"faults":'
+  tr -d '\n' < "$TMP/faults.json"
   printf '}\n'
 } > "$OUT"
 
@@ -121,7 +137,9 @@ SPEEDUP=$(sed -n 's/.*"raster_fast_speedup":\([0-9.]*\).*/\1/p' "$OUT")
 PIPE_SPEEDUP=$(sed -n 's/.*"pipelined_speedup":\([0-9.]*\).*/\1/p' "$OUT")
 WIRE_REL=$(sed -n 's/.*"wire_relative_throughput":\([0-9.]*\).*/\1/p' "$OUT")
 FLEET_REL=$(sed -n 's/.*"routed_relative_throughput":\([0-9.]*\).*/\1/p' "$OUT")
+FAULT_REL=$(sed -n 's/.*"faulted_relative_throughput":\([0-9.]*\).*/\1/p' "$OUT")
 echo "Wrote $OUT (raster fast-vs-reference speedup: ${SPEEDUP:-n/a}x," \
      "pipelined-vs-monolithic serve: ${PIPE_SPEEDUP:-n/a}x," \
      "wire-vs-in-process serve: ${WIRE_REL:-n/a}x," \
-     "routed-vs-direct fleet: ${FLEET_REL:-n/a}x)"
+     "routed-vs-direct fleet: ${FLEET_REL:-n/a}x," \
+     "faulted-vs-clean fleet: ${FAULT_REL:-n/a}x)"

@@ -13,14 +13,17 @@
 //                        [--kernel reference|fast] [--seed S]
 //                        [--pipeline] [--stage-workers P,S,R]
 //                        [--listen PORT] [--json out.json]
+//                        [--deadline-ms MS] [--fault-plan PLAN]
 //   gaurast_cli request  --port P [--host H] [--synthetic N] [--seed S]
 //                        [--width W] [--height H] [--out img.ppm]
 //                        [--backend NAME] [--kernel reference|fast]
-//                        [--stats]
+//                        [--stats] [--deadline-ms MS]
 //   gaurast_cli route    [--listen PORT] --shard H:P [--shard H:P ...]
 //   gaurast_cli route    [--listen PORT] --spawn N [--workers W] [--queue Q]
 //                        [--backend NAME] [--kernel reference|fast]
 //                        [--threads T] [--json out.json]
+//                        [--deadline-ms MS] [--fault-plan PLAN]
+//                        [--breaker-failures N]
 //   gaurast_cli backends [--json out.json|-]
 //   gaurast_cli report
 //
@@ -64,6 +67,7 @@
 #include "cluster/router.hpp"
 #include "cluster/spawner.hpp"
 #include "common/cli.hpp"
+#include "common/fault.hpp"
 #include "common/table.hpp"
 #include "core/config_io.hpp"
 #include "core/profile_sim.hpp"
@@ -109,6 +113,28 @@ core::RasterizerConfig config_from_flag(const CliParser& cli) {
 bool flag_was_set(const CliParser& cli, const std::string& name) {
   const std::vector<std::string> set = cli.set_flags();
   return std::find(set.begin(), set.end(), name) != set.end();
+}
+
+// A non-negative millisecond budget flag (0 = disabled).
+int deadline_flag(const CliParser& cli) {
+  const int deadline_ms = cli.get_int("deadline-ms");
+  if (deadline_ms < 0) {
+    throw CliParseError("--deadline-ms must be >= 0 (0 = no deadline)");
+  }
+  return deadline_ms;
+}
+
+// Arms --fault-plan (chaos/testing traffic only; see common/fault.hpp for
+// the plan syntax). Parse errors surface as flag diagnostics.
+void arm_fault_plan_flag(const CliParser& cli) {
+  const std::string spec = cli.get_string("fault-plan");
+  if (spec.empty()) return;
+  try {
+    fault::arm(fault::parse_plan(spec));
+  } catch (const Error& e) {
+    throw CliParseError(std::string("--fault-plan: ") + e.what());
+  }
+  std::cout << "Fault plan armed: " << spec << '\n';
 }
 
 // The one capability-driven flag check shared by `render` and `serve`: a
@@ -442,6 +468,7 @@ int cmd_serve_listen(const CliParser& cli,
   runtime::RenderService service(service_config);
   net::ServerConfig server_config;
   server_config.port = listen_port;
+  server_config.default_deadline_ms = deadline_flag(cli);
   net::Server server(service, server_config);
   server.start();
   std::cout << "Listening on " << server_config.host << ":" << server.port()
@@ -484,6 +511,7 @@ int cmd_request(const CliParser& cli) {
     std::cout << client.stats().json << '\n';
     return 0;
   }
+  const int deadline_ms = deadline_flag(cli);
 
   const int width = cli.get_positive_int("width");
   const int height = cli.get_positive_int("height");
@@ -499,6 +527,7 @@ int cmd_request(const CliParser& cli) {
   // explicit server-side refusal, not a silent substitution).
   if (flag_was_set(cli, "backend")) wire.backend = cli.get_string("backend");
   if (flag_was_set(cli, "kernel")) wire.kernel = cli.get_string("kernel");
+  wire.deadline_ms = static_cast<std::uint32_t>(deadline_ms);
   if (!out.empty()) wire.flags |= net::kWantImage;
 
   const net::RenderResponse resp = client.render(wire);
@@ -570,8 +599,14 @@ int cmd_route(const CliParser& cli) {
                           "configuration)");
     }
   }
+  const int breaker_failures = cli.get_int("breaker-failures");
+  if (breaker_failures < 0) {
+    throw CliParseError(
+        "--breaker-failures must be >= 0 (0 = breaker disabled)");
+  }
   const std::string json_path = cli.get_string("json");
   OutputFileProbe json_probe(json_path, "json");
+  arm_fault_plan_flag(cli);
 
   std::unique_ptr<cluster::Spawner> spawner;
   std::vector<cluster::ShardId> shards;
@@ -598,9 +633,12 @@ int cmd_route(const CliParser& cli) {
     }
   }
 
-  cluster::HostDb db(shards);
+  cluster::HostDbConfig db_config;
+  db_config.breaker_trip_failures = breaker_failures;
+  cluster::HostDb db(shards, db_config);
   cluster::RouterConfig router_config;
   router_config.port = listen_port;
+  router_config.default_deadline_ms = deadline_flag(cli);
   cluster::Router router(db, router_config);
   router.start();
   std::cout << "Routing across " << db.size() << " shard"
@@ -639,6 +677,7 @@ int cmd_route(const CliParser& cli) {
 }
 
 int cmd_serve(const CliParser& cli) {
+  arm_fault_plan_flag(cli);
   runtime::ServiceConfig service_config;
   const bool pipelined = cli.get_bool("pipeline");
   if (pipelined) {
@@ -686,6 +725,7 @@ int cmd_serve(const CliParser& cli) {
 
   runtime::WorkloadConfig workload;
   workload.seed = cli.get_uint64("seed");
+  workload.deadline_ms = deadline_flag(cli);
   workload.jobs = cli.get_positive_int("jobs");
   workload.width = cli.get_positive_int("width");
   workload.height = cli.get_positive_int("height");
@@ -779,13 +819,14 @@ const std::vector<std::string>& command_flags(const std::string& command) {
       {"serve",
        {"jobs", "workers", "queue", "arrival", "rate", "backend", "config",
         "threads", "kernel", "seed", "width", "height", "pipeline",
-        "stage-workers", "listen", "json"}},
+        "stage-workers", "listen", "json", "deadline-ms", "fault-plan"}},
       {"request",
        {"host", "port", "synthetic", "seed", "width", "height", "out",
-        "backend", "kernel", "stats"}},
+        "backend", "kernel", "stats", "deadline-ms"}},
       {"route",
        {"listen", "shard", "spawn", "workers", "queue", "backend", "kernel",
-        "threads", "json"}},
+        "threads", "json", "deadline-ms", "fault-plan",
+        "breaker-failures"}},
       {"backends", {"json"}},
       {"report", {}},
   };
@@ -831,6 +872,10 @@ void print_top_usage(std::ostream& os) {
 
 int main(int argc, char** argv) {
   using namespace gaurast;
+  // GAURAST_FAULT_PLAN arms a fault plan for the whole process — the env
+  // hook chaos tests use to fault freshly spawned fleet workers, which
+  // inherit the supervisor's environment (no flag can reach them).
+  fault::arm_from_env();
   if (argc < 2) {
     print_top_usage(std::cerr);
     return 1;
@@ -902,6 +947,17 @@ int main(int argc, char** argv) {
   cli.add_flag("json", "",
                "serve/route/backends: also write a machine-readable JSON "
                "report ('-' for stdout with 'backends')");
+  cli.add_flag("deadline-ms", "0",
+               "serve/route: default per-request deadline budget in ms for "
+               "requests that carry none; request: the request's own budget "
+               "(0 = no deadline)");
+  cli.add_flag("fault-plan", "",
+               "serve/route: arm a deterministic fault-injection plan "
+               "(chaos testing; syntax [seed=N;]point:action[=arg]:trigger, "
+               "see src/common/fault.hpp)");
+  cli.add_flag("breaker-failures", "0",
+               "route: consecutive forward/probe failures that trip a "
+               "shard's circuit breaker open (0 = breaker disabled)");
   try {
     if (!cli.parse(argc - 1, argv + 1)) return 0;
     if (!cli.positional().empty()) {

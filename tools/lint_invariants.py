@@ -40,6 +40,15 @@ Rules (see --list-rules):
                        Everything else must not fork: a stray fork in
                        library code duplicates threads, locks, and fds in
                        states the rest of the stack never reasons about.
+  fault-points         Fault-plan arming (fault::arm, fault::disarm,
+                       fault::arm_from_env, fault::parse_plan) and
+                       GAURAST_FAULT_PLAN env reads are confined to
+                       src/common/fault.cpp within src/. Production code
+                       marks its seams with GAURAST_FAULT_POINT /
+                       fault::evaluate only; a library path that arms a
+                       plan could inject faults into a production
+                       process. Tests and tools/ arm plans freely (they
+                       are outside the scanned tree).
 
 A finding can be waived for one line with a trailing comment:
 
@@ -70,6 +79,10 @@ RAW_SOCKETS_EXEMPT_DIRS = ("src/net",)
 
 # The one module allowed to fork/exec/reap worker processes.
 PROCESS_SPAWN_EXEMPT_DIRS = ("src/cluster",)
+
+# The one file allowed to arm/parse fault plans: the fault module itself
+# (fault::arm_from_env is the sanctioned GAURAST_FAULT_PLAN reader).
+FAULT_POINTS_EXEMPT_FILES = ("src/common/fault.cpp",)
 
 # The single sanctioned construction site for engine backends.
 REGISTRY_SOURCE = "src/engine/registry.cpp"
@@ -161,6 +174,20 @@ PROCESS_SPAWN_FUNCTIONS = (
 PROCESS_SPAWN_RE = re.compile(
     r"(?<![\w.:>])(?:::\s*)?(?:" + "|".join(PROCESS_SPAWN_FUNCTIONS) + r")\s*\("
 )
+
+# Plan arming/parsing entry points, always spelled fault::-qualified by
+# callers (the fault module itself, where they are unqualified, is exempt).
+# evaluate()/armed()/inject()/GAURAST_FAULT_POINT are deliberately NOT here:
+# marking a seam is exactly what production code is supposed to do.
+FAULT_ARMING_RE = re.compile(
+    r"\b(?:gaurast\s*::\s*)?fault\s*::\s*"
+    r"(arm_from_env|arm|disarm|parse_plan)\s*\("
+)
+
+# getenv in any spelling; each match is then checked against the *raw* text
+# (string literals are blanked in the scrubbed view) for GAURAST_FAULT_PLAN,
+# so reads of unrelated environment variables stay out of scope.
+FAULT_GETENV_RE = re.compile(r"(?<![\w.:>])(?:std\s*::\s*|::\s*)?getenv\s*\(")
 
 WAIVER_RE = re.compile(r"//\s*lint-invariants:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 
@@ -347,6 +374,44 @@ def check_process_spawn(src: SourceFile, _all: list[SourceFile]) -> list[Finding
 
 
 # --------------------------------------------------------------------------
+# Rule: fault-points
+# --------------------------------------------------------------------------
+
+
+def check_fault_points(src: SourceFile, _all: list[SourceFile]) -> list[Finding]:
+    if not src.rel.startswith("src/") or src.rel in FAULT_POINTS_EXEMPT_FILES:
+        return []
+    findings = []
+    for m in FAULT_ARMING_RE.finditer(src.scrubbed):
+        findings.append(
+            Finding(
+                src.path,
+                line_of(src.scrubbed, m.start()),
+                "fault-points",
+                f"fault-plan arming call fault::{m.group(1)}() outside "
+                "src/common/fault.cpp; production code marks seams with "
+                "GAURAST_FAULT_POINT / fault::evaluate only — arming "
+                "belongs to the fault module and test code",
+            )
+        )
+    for m in FAULT_GETENV_RE.finditer(src.scrubbed):
+        # The scrubbed match proves this is code (not a comment/string);
+        # the raw window recovers the blanked literal argument.
+        if "GAURAST_FAULT_PLAN" not in src.text[m.start() : m.start() + 200]:
+            continue
+        findings.append(
+            Finding(
+                src.path,
+                line_of(src.scrubbed, m.start()),
+                "fault-points",
+                "GAURAST_FAULT_PLAN env read outside src/common/fault.cpp; "
+                "the one sanctioned reader is fault::arm_from_env()",
+            )
+        )
+    return findings
+
+
+# --------------------------------------------------------------------------
 # Rule: check-in-kernel-loop
 # --------------------------------------------------------------------------
 
@@ -496,6 +561,10 @@ RULES: dict[str, tuple[str, RuleFn]] = {
     "process-spawn": (
         "fork/exec*/wait* process syscalls outside src/cluster/",
         check_process_spawn,
+    ),
+    "fault-points": (
+        "fault-plan arming / GAURAST_FAULT_PLAN reads outside src/common/fault.cpp",
+        check_fault_points,
     ),
     "check-in-kernel-loop": (
         "GAURAST_CHECK inside loop bodies in src/pipeline//src/gsmath/",

@@ -257,6 +257,88 @@ class ProcessSpawnTest(unittest.TestCase):
         self.assertEqual(run({"src/runtime/legacy.cpp": body}), [])
 
 
+class FaultPointsTest(unittest.TestCase):
+    def test_seeded_arm_caught(self) -> None:
+        body = (
+            '#include "common/fault.hpp"\n'
+            'void f() { fault::arm("cluster.forward:error:p=0.5"); }\n'
+        )
+        findings = run({"src/runtime/service.cpp": body})
+        self.assertEqual(rules_of(findings), ["fault-points"])
+        self.assertEqual(findings[0].line, 2)
+        self.assertIn("fault::arm()", findings[0].message)
+
+    def test_all_arming_spellings_caught(self) -> None:
+        body = (
+            "void f(const std::string& spec) {\n"
+            "  gaurast::fault::arm_from_env();\n"
+            "  auto plan = fault::parse_plan(spec);\n"
+            "  ::gaurast::fault::disarm();\n"
+            "}\n"
+        )
+        findings = run({"src/engine/escape.cpp": body})
+        self.assertEqual(rules_of(findings), ["fault-points"] * 3)
+        self.assertIn("fault::arm_from_env()", findings[0].message)
+        self.assertIn("fault::parse_plan()", findings[1].message)
+        self.assertIn("fault::disarm()", findings[2].message)
+
+    def test_env_read_caught(self) -> None:
+        body = (
+            "#include <cstdlib>\n"
+            'bool armed() { return std::getenv("GAURAST_FAULT_PLAN"); }\n'
+        )
+        findings = run({"src/net/server.cpp": body})
+        self.assertEqual(rules_of(findings), ["fault-points"])
+        self.assertEqual(findings[0].line, 2)
+        self.assertIn("arm_from_env", findings[0].message)
+
+    def test_other_env_reads_ignored(self) -> None:
+        body = (
+            'const char* home = std::getenv("HOME");\n'
+            'const char* path = ::getenv("GAURAST_SCENE_DIR");\n'
+        )
+        self.assertEqual(run({"src/scene/io.cpp": body}), [])
+
+    def test_fault_module_exempt(self) -> None:
+        body = (
+            "bool arm_from_env() {\n"
+            '  const char* spec = std::getenv("GAURAST_FAULT_PLAN");\n'
+            "  if (spec == nullptr) return false;\n"
+            "  arm(parse_plan(spec));\n"
+            "  return true;\n"
+            "}\n"
+        )
+        self.assertEqual(run({"src/common/fault.cpp": body}), [])
+
+    def test_seam_marking_allowed(self) -> None:
+        # evaluate()/armed()/the macro are the production-facing half of the
+        # fault API; only arming is confined.
+        body = (
+            "void respond() {\n"
+            "  if (fault::armed()) {\n"
+            '    auto hit = fault::evaluate("net.server.respond");\n'
+            "    (void)hit;\n"
+            "  }\n"
+            '  GAURAST_FAULT_POINT("net.server.respond");\n'
+            "}\n"
+        )
+        self.assertEqual(run({"src/net/frame_server.cpp": body}), [])
+
+    def test_comment_and_string_ignored(self) -> None:
+        body = (
+            "// callers must never fault::arm() here\n"
+            'auto doc = "set GAURAST_FAULT_PLAN before getenv runs";\n'
+        )
+        self.assertEqual(run({"src/scene/doc.cpp": body}), [])
+
+    def test_waiver_suppresses(self) -> None:
+        body = (
+            "void f() { fault::disarm(); }"
+            "  // lint-invariants: allow(fault-points)\n"
+        )
+        self.assertEqual(run({"src/runtime/legacy.cpp": body}), [])
+
+
 class KernelLoopTest(unittest.TestCase):
     def test_seeded_violation_caught(self) -> None:
         body = (
