@@ -40,6 +40,16 @@
 // deadline shedding under a known fault rate is a tracked number instead
 // of folklore. The plan is seeded, so injections are reproducible.
 //
+// --scene-sweep measures what a scene-store byte budget costs: a widened
+// mix of scene classes runs once against an unbounded store and once
+// against a --scene-budget-mb budget small enough that the working set
+// does not fit (default: half the unbounded pass's peak resident bytes),
+// so the budgeted pass pays real LRU evictions and re-admissions. The
+// report carries both passes' throughput and tails plus the budgeted
+// pass's hit rate, eviction count, and resident/peak byte high-water
+// marks, so the price of bounding scene memory is a tracked number
+// instead of folklore.
+//
 // Each measured point runs `--warmup` unmeasured full workload passes
 // followed by `--repeat` measured passes (every pass on a fresh,
 // scene-prewarmed service, so pass timing measures serving, not scene
@@ -84,6 +94,22 @@
 //                "derived":{"faulted_relative_throughput":...,
 //                           "faulted_deadline_hit_rate":...,
 //                           "faulted_p99_ms":...}}
+//   --scene-sweep:
+//               {"schema":"gaurast-bench-service-scenes/v1",
+//                ...same config fields...,"workers":W,
+//                "scene_classes":N,"budget_bytes":B,
+//                "modes":[{"mode":"unbounded",...},
+//                         {"mode":"budgeted",...}],
+//                "derived":{"budgeted_relative_throughput":...,
+//                           "budgeted_hit_rate":...,
+//                           "budgeted_evictions":...,
+//                           "budgeted_peak_resident_bytes":...,
+//                           "budgeted_resident_bytes":...,
+//                           "budgeted_resident_under_budget":true|false}}
+//
+// Peak resident bytes may transiently exceed the budget: eviction never
+// frees a scene that queued or in-flight renders still pin. The enforced
+// number is the post-drain residency (budgeted_resident_under_budget).
 //
 //   bench_service_throughput [--jobs N] [--backend NAME]
 //                            [--kernel reference|fast]
@@ -94,6 +120,7 @@
 //                            [--listen-loopback] [--clients C] [--workers W]
 //                            [--fleet N]
 //                            [--faults] [--deadline-ms D] [--fault-plan SPEC]
+//                            [--scene-sweep] [--scene-budget-mb M]
 //                            [--json out.json]
 //
 // --backend takes any name in the engine registry (`gaurast_cli backends`);
@@ -126,6 +153,7 @@
 #include "runtime/service.hpp"
 #include "runtime/workload.hpp"
 #include "scene/generator.hpp"
+#include "scene/store.hpp"
 
 namespace {
 
@@ -201,6 +229,14 @@ int main(int argc, char** argv) {
                "GAURAST_FAULT_PLAN spec armed during the faulted pass "
                "(with --faults); keep it to router-internal points like "
                "cluster.forward or the bench's own clients misbehave");
+  cli.add_flag("scene-sweep", "false",
+               "compare an unbounded scene store vs a --scene-budget-mb "
+               "byte budget over a widened scene-class mix that does not "
+               "fit under the budget");
+  cli.add_flag("scene-budget-mb", "0",
+               "scene-store byte budget in MiB for the budgeted "
+               "--scene-sweep pass (0 = half the unbounded pass's peak "
+               "resident bytes)");
   cli.add_flag("json", "", "write machine-readable results to this path");
   try {
     if (!cli.parse(argc, argv)) return 0;
@@ -230,12 +266,15 @@ int main(int argc, char** argv) {
     const int fleet_shards = cli.get_int("fleet");
     if (fleet_shards < 0) throw CliParseError("--fleet must be >= 0");
     const bool run_faults = cli.get_bool("faults");
+    const bool scene_sweep = cli.get_bool("scene-sweep");
     if ((listen_loopback ? 1 : 0) + (compare_pipeline ? 1 : 0) +
-            (fleet_shards > 0 ? 1 : 0) + (run_faults ? 1 : 0) >
+            (fleet_shards > 0 ? 1 : 0) + (run_faults ? 1 : 0) +
+            (scene_sweep ? 1 : 0) >
         1) {
       throw CliParseError(
-          "--listen-loopback, --pipeline, --fleet, and --faults are "
-          "separate comparisons; run them as separate invocations");
+          "--listen-loopback, --pipeline, --fleet, --faults, and "
+          "--scene-sweep are separate comparisons; run them as separate "
+          "invocations");
     }
     const runtime::StageWorkers stage_workers =
         runtime::stage_workers_from_string(cli.get_string("stage-workers"));
@@ -261,6 +300,10 @@ int main(int argc, char** argv) {
     workload.arrival = runtime::ArrivalModel::kClosedLoop;
     if (scene_size > 0) {
       workload.scene_sizes = {static_cast<std::uint64_t>(scene_size)};
+    } else if (scene_sweep) {
+      // Widen the class mix so the budgeted pass genuinely cannot hold
+      // every scene at once and must evict.
+      workload.scene_sizes = {2000, 4000, 8000, 12000, 16000, 20000};
     }
 
     // Generate each scene class once up front; per-pass services get their
@@ -276,12 +319,23 @@ int main(int argc, char** argv) {
       master_scenes.emplace(req.scene_key,
                             gaurast::scene::generate_scene(params));
     }
+    // Every service in this bench resolves scenes through the shared
+    // master map: a cache miss copies the pregenerated scene instead of
+    // regenerating it, so pass timing measures serving (and, under a
+    // store budget, re-admission), never scene synthesis.
+    const auto master_source = std::make_shared<const scene::FunctionSource>(
+        [&master_scenes](const std::string& key) {
+          return master_scenes.at(key);
+        });
 
     // One full workload pass over a fresh, scene-prewarmed service.
     const auto run_pass = [&](const runtime::ServiceConfig& base_config) {
-      runtime::RenderService service(base_config);
+      runtime::ServiceConfig pass_config = base_config;
+      pass_config.scene_source = master_source;
+      runtime::RenderService service(pass_config);
       for (const auto& [key, master] : master_scenes) {
-        service.scene(key, [&master = master] { return master; });
+        (void)master;
+        service.scene(key);
       }
       return run_workload(service, workload).stats;
     };
@@ -328,6 +382,7 @@ int main(int argc, char** argv) {
       config.renderer.kernel = kernel;
       config.queue_capacity =
           static_cast<std::size_t>(cli.get_positive_int("queue"));
+      config.scene_source = master_source;
 
       // One request list shared by both sides: the wire pass sends these
       // frames verbatim; the in-process pass submits their exact
@@ -347,7 +402,8 @@ int main(int argc, char** argv) {
 
       const auto prewarm = [&](runtime::RenderService& service) {
         for (const auto& [key, master] : master_scenes) {
-          service.scene(key, [&master = master] { return master; });
+          (void)master;
+          service.scene(key);
         }
       };
 
@@ -362,9 +418,7 @@ int main(int argc, char** argv) {
             for (std::size_t i = static_cast<std::size_t>(t);
                  i < requests.size(); i += static_cast<std::size_t>(clients)) {
               const net::RenderRequest& wire = requests[i];
-              runtime::ScenePtr scene = service.scene(
-                  wire.scene_key(),
-                  [&] { return master_scenes.at(wire.scene_key()); });
+              runtime::ScenePtr scene = service.scene(wire.scene_key());
               service.submit({std::move(scene), wire.camera()}).get();
             }
           });
@@ -518,6 +572,7 @@ int main(int argc, char** argv) {
       config.renderer.kernel = kernel;
       config.queue_capacity =
           static_cast<std::size_t>(cli.get_positive_int("queue"));
+      config.scene_source = master_source;
 
       // One request list shared by both sides, full image payloads: the
       // routed pass pays the real forwarding cost, pixels included.
@@ -550,7 +605,8 @@ int main(int argc, char** argv) {
         for (int s = 0; s < fleet_shards; ++s) {
           services.push_back(std::make_unique<runtime::RenderService>(config));
           for (const auto& [key, master] : master_scenes) {
-            services.back()->scene(key, [&master = master] { return master; });
+            (void)master;
+            services.back()->scene(key);
           }
           servers.push_back(std::make_unique<net::Server>(
               *services.back(), net::ServerConfig{}));
@@ -741,6 +797,7 @@ int main(int argc, char** argv) {
       config.renderer.kernel = kernel;
       config.queue_capacity =
           static_cast<std::size_t>(cli.get_positive_int("queue"));
+      config.scene_source = master_source;
 
       // One request list shared by both passes, every request carrying the
       // same deadline budget, full image payloads: the faulted pass pays
@@ -777,7 +834,8 @@ int main(int argc, char** argv) {
         for (int s = 0; s < kShards; ++s) {
           services.push_back(std::make_unique<runtime::RenderService>(config));
           for (const auto& [key, master] : master_scenes) {
-            services.back()->scene(key, [&master = master] { return master; });
+            (void)master;
+            services.back()->scene(key);
           }
           servers.push_back(std::make_unique<net::Server>(
               *services.back(), net::ServerConfig{}));
@@ -1042,6 +1100,113 @@ int main(int argc, char** argv) {
            << mode_json("pipelined", pipe_point) << "]"
            << ",\"derived\":{\"pipelined_speedup\":"
            << format_fixed(speedup, 4) << "}}";
+    } else if (scene_sweep) {
+      const int workers = cli.get_positive_int("workers");
+      const std::int64_t budget_flag_mb =
+          static_cast<std::int64_t>(cli.get_int("scene-budget-mb"));
+      if (budget_flag_mb < 0) {
+        throw CliParseError("--scene-budget-mb must be >= 0");
+      }
+      runtime::ServiceConfig config;
+      config.workers = workers;
+      config.backend = backend;
+      config.renderer.kernel = kernel;
+      config.queue_capacity =
+          static_cast<std::size_t>(cli.get_positive_int("queue"));
+
+      print_banner(std::cout,
+                   "Scene-store budget, backend " + backend + ", kernel " +
+                       pipeline::to_string(kernel) + ", " +
+                       std::to_string(workload.scene_sizes.size()) +
+                       " scene classes, " + std::to_string(workload.jobs) +
+                       " jobs x " + std::to_string(repeat) + " passes");
+
+      // Unbounded baseline first: its peak resident bytes is both a
+      // reported number and, when --scene-budget-mb is 0, the yardstick
+      // the budgeted pass is squeezed against (half of it, so roughly
+      // half the working set must be evicted at any moment).
+      const MeasuredPoint unbounded_point = measure(config);
+      const std::uint64_t budget_bytes =
+          budget_flag_mb > 0
+              ? static_cast<std::uint64_t>(budget_flag_mb) * 1024u * 1024u
+              : unbounded_point.best_stats.scene_peak_resident_bytes / 2;
+      runtime::ServiceConfig budgeted_config = config;
+      budgeted_config.scene_budget_bytes = budget_bytes;
+      const MeasuredPoint budgeted_point = measure(budgeted_config);
+
+      const auto hit_rate = [](const runtime::ServiceStats& stats) {
+        const double total = static_cast<double>(stats.scene_cache_hits +
+                                                 stats.scene_cache_misses);
+        return total > 0.0
+                   ? static_cast<double>(stats.scene_cache_hits) / total
+                   : 0.0;
+      };
+      const double budgeted_relative =
+          unbounded_point.fps_mean > 0.0
+              ? budgeted_point.fps_mean / unbounded_point.fps_mean
+              : 0.0;
+      // Peak residency may legitimately overshoot the budget while every
+      // scene is pinned by queued renders; the enforced number is the
+      // post-drain residency, which the store trims once pins release.
+      const bool resident_under_budget =
+          budgeted_point.best_stats.scene_resident_bytes <= budget_bytes;
+
+      TablePrinter table({"Store", "Throughput", "Hit rate", "Evictions",
+                          "Peak resident", "End resident", "p99"});
+      const auto sweep_row = [&](const std::string& name,
+                                 const MeasuredPoint& point) {
+        table.add_row({name, format_fixed(point.fps_mean, 1) + " fps",
+                       format_percent(hit_rate(point.best_stats)),
+                       std::to_string(point.best_stats.scene_evictions),
+                       std::to_string(
+                           point.best_stats.scene_peak_resident_bytes) +
+                           " B",
+                       std::to_string(point.best_stats.scene_resident_bytes) +
+                           " B",
+                       format_time_ms(point.best_stats.latency_p99_ms)});
+      };
+      sweep_row("unbounded", unbounded_point);
+      sweep_row("budgeted", budgeted_point);
+      table.print(std::cout);
+      std::cout << "Budget: " << budget_bytes << " B ("
+                << (budget_flag_mb > 0 ? "--scene-budget-mb"
+                                       : "half of unbounded peak")
+                << "); budgeted/unbounded throughput: "
+                << format_ratio(budgeted_relative, 3)
+                << "; post-drain residency "
+                << (resident_under_budget ? "held under" : "EXCEEDED")
+                << " the budget\n";
+
+      const auto sweep_json = [](const std::string& name,
+                                 const MeasuredPoint& point) {
+        return "{\"mode\":\"" + name + "\",\"throughput_mean_fps\":" +
+               format_fixed(point.fps_mean, 4) + ",\"throughput_best_fps\":" +
+               format_fixed(point.fps_best, 4) + ",\"stats\":" +
+               runtime::service_stats_json(point.best_stats) + "}";
+      };
+      json << "{\"schema\":\"gaurast-bench-service-scenes/v1\","
+           << "\"backend\":\"" << backend << "\",\"kernel\":\""
+           << pipeline::to_string(kernel) << "\",\"jobs\":" << workload.jobs
+           << ",\"width\":" << workload.width
+           << ",\"height\":" << workload.height
+           << ",\"seed\":" << workload.seed << ",\"warmup\":" << warmup
+           << ",\"repeat\":" << repeat << ",\"workers\":" << workers
+           << ",\"scene_classes\":" << workload.scene_sizes.size()
+           << ",\"budget_bytes\":" << budget_bytes
+           << ",\"modes\":[" << sweep_json("unbounded", unbounded_point)
+           << "," << sweep_json("budgeted", budgeted_point) << "]"
+           << ",\"derived\":{\"budgeted_relative_throughput\":"
+           << format_fixed(budgeted_relative, 4)
+           << ",\"budgeted_hit_rate\":"
+           << format_fixed(hit_rate(budgeted_point.best_stats), 6)
+           << ",\"budgeted_evictions\":"
+           << budgeted_point.best_stats.scene_evictions
+           << ",\"budgeted_peak_resident_bytes\":"
+           << budgeted_point.best_stats.scene_peak_resident_bytes
+           << ",\"budgeted_resident_bytes\":"
+           << budgeted_point.best_stats.scene_resident_bytes
+           << ",\"budgeted_resident_under_budget\":"
+           << (resident_under_budget ? "true" : "false") << "}}";
     } else {
       print_banner(std::cout,
                    "Service throughput, backend " + backend + " (" +

@@ -54,6 +54,8 @@ std::string merge_fleet_stats(const std::vector<ShardStatsEntry>& shards,
   // the merged totals are a floor, and its "stats":null entry says why.
   double submitted = 0, completed = 0, rejected = 0;
   double cache_hits = 0, cache_misses = 0;
+  double scene_evictions = 0, scene_rejected = 0;
+  double scene_resident_bytes = 0, scene_resident_count = 0;
   std::size_t alive = 0;
   for (const ShardStatsEntry& entry : shards) {
     if (entry.shard.state != ShardState::kDead) ++alive;
@@ -65,6 +67,14 @@ std::string merge_fleet_stats(const std::vector<ShardStatsEntry>& shards,
     cache_hits += extract_json_number(json, "scene_cache_hits").value_or(0.0);
     cache_misses +=
         extract_json_number(json, "scene_cache_misses").value_or(0.0);
+    scene_evictions +=
+        extract_json_number(json, "scene_evictions").value_or(0.0);
+    scene_rejected +=
+        extract_json_number(json, "scene_rejected").value_or(0.0);
+    scene_resident_bytes +=
+        extract_json_number(json, "scene_resident_bytes").value_or(0.0);
+    scene_resident_count +=
+        extract_json_number(json, "scene_resident_count").value_or(0.0);
   }
 
   std::ostringstream os;
@@ -73,7 +83,11 @@ std::string merge_fleet_stats(const std::vector<ShardStatsEntry>& shards,
      << ",\"fleet\":{\"submitted\":" << submitted
      << ",\"completed\":" << completed << ",\"rejected\":" << rejected
      << ",\"scene_cache_hits\":" << cache_hits
-     << ",\"scene_cache_misses\":" << cache_misses << "}"
+     << ",\"scene_cache_misses\":" << cache_misses
+     << ",\"scene_evictions\":" << scene_evictions
+     << ",\"scene_rejected\":" << scene_rejected
+     << ",\"scene_resident_bytes\":" << scene_resident_bytes
+     << ",\"scene_resident_count\":" << scene_resident_count << "}"
      << ",\"router\":{\"routed_ok\":" << router.routed_ok
      << ",\"overloaded\":" << router.overloaded
      << ",\"server_errors\":" << router.server_errors

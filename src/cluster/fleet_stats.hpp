@@ -1,4 +1,4 @@
-// cluster fleet stats — merging per-shard `gaurast-serve-stats/v1` reports
+// cluster fleet stats — merging per-shard `gaurast-serve-stats/v2` reports
 // into one `gaurast-fleet-stats/v1` document, the stats encoding the router
 // serves on both the wire (kStatsResponse) and HTTP (/stats).
 //
@@ -7,7 +7,9 @@
 //   {"schema":"gaurast-fleet-stats/v1",
 //    "shards_total":N,"shards_alive":A,
 //    "fleet":{submitted, completed, rejected, scene_cache_hits,
-//             scene_cache_misses},                    <- summed over shards
+//             scene_cache_misses, scene_evictions, scene_rejected,
+//             scene_resident_bytes, scene_resident_count},
+//                                                     <- summed over shards
 //    "router":{routed_ok, overloaded, server_errors, shed, failovers,
 //              fleet_unavailable, deadline_exceeded, retries,
 //              latency_* (router-observed, ms),
@@ -17,7 +19,7 @@
 //               "stats":<shard JSON or null>}, ...]}
 //
 // Latency is deliberately reported per shard (each entry embeds the
-// shard's own gaurast-serve-stats/v1 snapshot verbatim) rather than
+// shard's own gaurast-serve-stats snapshot verbatim) rather than
 // averaged across the fleet: shard queue depths differ and a fleet-wide
 // mean would hide the straggler. The one fleet-wide latency figure that is
 // meaningful is the route overhead the router itself adds, measured per

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "scene/generator.hpp"
+#include "scene/store.hpp"
 
 namespace gaurast::net {
 
@@ -174,8 +175,8 @@ const char* to_string(RenderStatus status) {
 }
 
 std::string RenderRequest::scene_key() const {
-  return "synthetic-" + std::to_string(gaussian_count) + "-s" +
-         std::to_string(scene_seed);
+  if (!scene.empty()) return scene;
+  return scene::synthetic_scene_key(gaussian_count, scene_seed);
 }
 
 RenderRequest default_render_request(std::uint64_t gaussian_count,
@@ -259,6 +260,7 @@ std::vector<std::uint8_t> serialize(const RenderRequest& msg) {
   put_string(payload, msg.backend);
   put_string(payload, msg.kernel);
   put_u32(payload, msg.deadline_ms);  // v2+
+  put_string(payload, msg.scene);     // v3+
   return frame(MessageType::kRenderRequest, std::move(payload));
 }
 
@@ -279,16 +281,22 @@ RenderRequest deserialize_render_request(const std::uint8_t* data,
   msg.flags = r.u32();
   msg.backend = r.string();
   msg.kernel = r.string();
-  // v1 payloads end at kernel (deadline_ms keeps its zero default); a v2
-  // payload must carry the field — truncation is a loud ProtocolError.
+  // Fields appended by later versions: a v1 payload ends at kernel, a v2
+  // one adds deadline_ms, a v3 one adds the scene key. A payload truncated
+  // before a field its version promises is a loud ProtocolError.
   if (version >= 2) {
     msg.deadline_ms = r.u32();
+  }
+  if (version >= 3) {
+    msg.scene = r.string();
   }
   r.finish();
   if (msg.width <= 0 || msg.height <= 0) {
     throw ProtocolError("render-request image dimensions must be positive");
   }
-  if (msg.gaussian_count == 0) {
+  // An explicit v3 scene key carries the scene identity itself;
+  // gaussian_count is only load-bearing for the derived v1/v2 addressing.
+  if (msg.scene.empty() && msg.gaussian_count == 0) {
     throw ProtocolError("render-request gaussian_count must be positive");
   }
   return msg;

@@ -34,7 +34,14 @@
 //                    width u32, height u32, fov_y f32, eye f32[3],
 //                    target f32[3], up f32[3], flags u32 (bit 0 =
 //                    kWantImage), backend string, kernel string,
-//                    deadline_ms u32 (version >= 2 only; 0 = no deadline).
+//                    deadline_ms u32 (version >= 2 only; 0 = no deadline),
+//                    scene string (version >= 3 only) — a canonical scene
+//                    key ("synthetic:<count>[@<seed>]" or
+//                    "ply:<path-or-name>", see scene/store.hpp). Empty
+//                    scene means the key is derived from
+//                    gaussian_count/scene_seed (the v1/v2 addressing);
+//                    when scene is set, gaussian_count/scene_seed are
+//                    advisory and may be zero.
 //                    Empty backend/kernel mean "whatever the server is
 //                    configured with"; a non-empty value that differs from
 //                    the serving configuration yields a kServerError
@@ -84,8 +91,10 @@ inline constexpr std::uint32_t kFrameMagic = 0x52554147u;
 /// must also raise kMinProtocolVersion.
 ///
 /// v1: initial protocol. v2: RenderRequest gains trailing deadline_ms u32;
-/// RenderStatus gains kDeadlineExceeded.
-inline constexpr std::uint8_t kProtocolVersion = 2;
+/// RenderStatus gains kDeadlineExceeded. v3: RenderRequest gains a trailing
+/// canonical scene-key string (empty = derive from gaussian_count/seed);
+/// the stats schema moves to gaurast-serve-stats/v2 (scene-store counters).
+inline constexpr std::uint8_t kProtocolVersion = 3;
 
 /// Oldest version byte still accepted. Frames outside
 /// [kMinProtocolVersion, kProtocolVersion] are protocol errors.
@@ -101,7 +110,10 @@ inline constexpr std::uint32_t kMaxPayloadBytes = 64u * 1024u * 1024u;
 
 /// Schema tag stamped on every ServiceStats JSON report a server emits
 /// (the stats endpoint, `serve --json`, and kStatsResponse payloads).
-inline constexpr const char* kServeStatsSchema = "gaurast-serve-stats/v1";
+/// v2 adds the scene-store counters (scene_evictions, scene_rejected,
+/// scene_resident_bytes, scene_peak_resident_bytes, scene_resident_count)
+/// to the flat per-shard object and to the fleet-merged sums.
+inline constexpr const char* kServeStatsSchema = "gaurast-serve-stats/v2";
 
 /// RenderRequest::flags bits.
 inline constexpr std::uint32_t kWantImage = 1u << 0;
@@ -145,9 +157,10 @@ class ProtocolError : public Error {
   explicit ProtocolError(const std::string& what) : Error(what) {}
 };
 
-/// One frame request as it travels the wire. The scene is named by its
-/// synthetic generator spec (count + seed) — the same key space the
-/// RenderService scene cache uses — and the camera by its constructor
+/// One frame request as it travels the wire. The scene is named by a
+/// canonical scene-store key (v3) or its synthetic generator spec
+/// (count + seed, the v1/v2 encoding) — either way the same key space the
+/// RenderService scene store uses — and the camera by its constructor
 /// inputs, so the server can rebuild an identical scene::Camera and the
 /// rendered image is bit-identical to an in-process submission.
 struct RenderRequest {
@@ -167,9 +180,14 @@ struct RenderRequest {
   /// receiver reads the frame; 0 = no deadline. Wire version >= 2 only —
   /// a v1 frame decodes with no deadline.
   std::uint32_t deadline_ms = 0;
+  /// Canonical scene key ("synthetic:<n>[@<seed>]" / "ply:<name>"); empty =
+  /// derive from gaussian_count/scene_seed. Wire version >= 3 only — a
+  /// v1/v2 frame decodes with an empty scene.
+  std::string scene;
 
-  /// The scene-cache key this request resolves to (matches the workload
-  /// generator's "synthetic-<count>-s<seed>" keys).
+  /// The scene-store key this request resolves to: `scene` when set, else
+  /// scene::synthetic_scene_key(gaussian_count, scene_seed) — the same keys
+  /// the workload generator emits.
   std::string scene_key() const;
   /// Rebuilds the camera from the serialized constructor inputs.
   scene::Camera camera() const;
@@ -231,7 +249,8 @@ std::vector<std::uint8_t> serialize_error(const std::string& message);
 ///
 /// deserialize_render_request takes the frame's version byte (from
 /// FrameHeader::version): a v1 payload ends at `kernel` and decodes with
-/// deadline_ms = 0; a v2 payload must carry the trailing deadline_ms u32.
+/// deadline_ms = 0; a v2 payload must carry the trailing deadline_ms u32;
+/// a v3 payload must additionally carry the trailing scene string.
 RenderRequest deserialize_render_request(const std::uint8_t* data,
                                          std::size_t size,
                                          std::uint8_t version =

@@ -5,7 +5,6 @@
 #include <utility>
 
 #include "common/error.hpp"
-#include "scene/generator.hpp"
 
 namespace gaurast::net {
 
@@ -139,15 +138,12 @@ void Server::handle_render(std::uint64_t conn_id, RenderRequest wire) {
   std::optional<scene::Camera> camera;
   try {
     camera.emplace(wire.camera());
-    scene = service_.scene(wire.scene_key(), [&wire] {
-      scene::GeneratorParams params;
-      params.gaussian_count = wire.gaussian_count;
-      params.seed = wire.scene_seed;
-      return scene::generate_scene(params);
-    });
+    scene = service_.scene(wire.scene_key());
   } catch (const std::exception& e) {
-    // Scene generation / camera contract failures are request problems,
-    // not reactor problems — refuse and keep serving.
+    // Scene resolution failures — an unparseable key, a missing PLY, or a
+    // scene-store admission rejection (over max_scene_bytes) — and camera
+    // contract failures are request problems, not reactor problems: refuse
+    // and keep serving.
     refuse(e.what());
     return;
   }

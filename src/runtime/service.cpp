@@ -44,6 +44,23 @@ engine::FrameOptions frame_options_for(const ServiceConfig& cfg) {
   return options;
 }
 
+scene::SceneStoreConfig store_config_for(const ServiceConfig& cfg) {
+  scene::SceneStoreConfig store;
+  store.max_bytes = cfg.scene_budget_bytes;
+  store.max_scene_bytes = cfg.max_scene_bytes;
+  store.source = cfg.scene_source
+                     ? cfg.scene_source
+                     : std::make_shared<const scene::SyntheticSource>();
+  return store;
+}
+
+/// Accounted bytes of a precompute attachment (its two per-Gaussian
+/// arrays; the struct header is noise next to them).
+std::size_t precompute_bytes(const pipeline::ScenePrecompute& p) {
+  return p.cov3d.size() * sizeof(Mat3f) +
+         p.raster_cutoff.size() * sizeof(float);
+}
+
 }  // namespace
 
 ExecutionMode execution_mode_from_string(const std::string& name) {
@@ -64,7 +81,8 @@ const char* to_string(ExecutionMode mode) {
 RenderService::RenderService(ServiceConfig config)
     : config_(std::move(config)),
       backend_(resolve_backend(config_)),
-      frame_options_(frame_options_for(config_)) {
+      frame_options_(frame_options_for(config_)),
+      store_(store_config_for(config_)) {
   if (config_.mode == ExecutionMode::kPipelined) {
     if (!backend_->capabilities().supports_stage_pipeline) {
       const std::vector<std::string> accepting =
@@ -92,45 +110,75 @@ int RenderService::worker_count() const {
   return pool_ ? pool_->worker_count() : pipeline_->worker_count();
 }
 
-ScenePtr RenderService::scene(
-    const std::string& key,
-    const std::function<scene::GaussianScene()>& loader) {
-  common::MutexLock lock(scene_mutex_);
-  const auto it = scene_cache_.find(key);
-  if (it != scene_cache_.end()) {
-    common::MutexLock stats_lock(stats_mutex_);
-    ++cache_hits_;
-    return it->second;
-  }
-  ScenePtr loaded = std::make_shared<const scene::GaussianScene>(loader());
-  scene_cache_.emplace(key, loaded);
-  common::MutexLock stats_lock(stats_mutex_);
-  ++cache_misses_;
-  return loaded;
+ScenePtr RenderService::scene(const std::string& key) {
+  return store_.acquire(key);
 }
 
 std::size_t RenderService::cached_scene_count() const {
-  common::MutexLock lock(scene_mutex_);
-  return scene_cache_.size();
+  return store_.resident_scenes();
 }
 
 std::shared_ptr<const pipeline::ScenePrecompute> RenderService::precompute_for(
     const ScenePtr& scene) {
+  // Store-resident scenes carry their precompute as an accounted
+  // attachment: it is charged against the byte budget, evicted with its
+  // entry, and reused across demote/re-dequantize cycles (valid because
+  // dequantization is bit-stable).
+  const float alpha_min = config_.renderer.blend.alpha_min;
+  const auto build = [&scene, alpha_min](std::size_t& bytes) {
+    auto built = std::make_shared<const pipeline::ScenePrecompute>(
+        pipeline::precompute_scene(*scene, alpha_min));
+    bytes = precompute_bytes(*built);
+    return std::shared_ptr<const void>(built);
+  };
+  if (auto attached = store_.attachment(scene.get(), build)) {
+    return std::static_pointer_cast<const pipeline::ScenePrecompute>(
+        attached);
+  }
+
+  // Directly-injected scene (never acquired from the store): the fallback
+  // cache. The weak key pins nothing, so a dropped scene's entry expires
+  // — and an entry is only trusted if its weak pointer still resolves to
+  // this exact scene, which makes address reuse after a reload a miss
+  // instead of a stale precompute (the old cached_scene_count() /
+  // precompute disagreement).
   common::MutexLock lock(precompute_mutex_);
   const auto it = precompute_cache_.find(scene.get());
-  if (it != precompute_cache_.end()) return it->second.second;
+  if (it != precompute_cache_.end()) {
+    if (const auto live = it->second.first.lock(); live.get() == scene.get()) {
+      return it->second.second;
+    }
+    precompute_cache_.erase(it);
+  }
+  // Sweep entries whose scene died so reload-heavy serving cannot grow
+  // the map without bound.
+  for (auto sweep = precompute_cache_.begin();
+       sweep != precompute_cache_.end();) {
+    if (sweep->second.first.expired()) {
+      sweep = precompute_cache_.erase(sweep);
+    } else {
+      ++sweep;
+    }
+  }
   // Computed under the lock, like scene loads: first-touch work is rare and
   // front-loaded, and duplicating it for concurrent first requests would
   // cost more than making the second requester wait.
   auto precompute = std::make_shared<const pipeline::ScenePrecompute>(
-      pipeline::precompute_scene(*scene, config_.renderer.blend.alpha_min));
-  precompute_cache_.emplace(scene.get(), std::make_pair(scene, precompute));
+      pipeline::precompute_scene(*scene, alpha_min));
+  precompute_cache_.emplace(
+      scene.get(),
+      std::make_pair(std::weak_ptr<const scene::GaussianScene>(scene),
+                     precompute));
   return precompute;
 }
 
 std::size_t RenderService::cached_precompute_count() const {
+  std::size_t count = store_.attachment_count();
   common::MutexLock lock(precompute_mutex_);
-  return precompute_cache_.size();
+  for (const auto& [addr, entry] : precompute_cache_) {
+    if (!entry.first.expired()) ++count;
+  }
+  return count;
 }
 
 JobResult RenderService::execute(RenderRequest request,
@@ -283,6 +331,9 @@ void RenderService::drain() {
   } else {
     pool_->wait_idle();
   }
+  // Render pins released with the drained jobs; re-fit the scene budget so
+  // an idle service is not left holding a transient overshoot.
+  store_.trim();
 }
 
 void RenderService::shutdown() {
@@ -305,8 +356,6 @@ ServiceStats RenderService::stats() const {
     s.completed = completed_;
     s.rejected = rejected_;
     s.deadline_dropped = deadline_dropped_;
-    s.scene_cache_hits = cache_hits_;
-    s.scene_cache_misses = cache_misses_;
     latencies = latencies_ms_;
     if (first_submit_) {
       window_begin = *first_submit_;
@@ -322,6 +371,14 @@ ServiceStats RenderService::stats() const {
       s.service_mean_ms = service_sum_ms_ / static_cast<double>(completed_);
     }
   }
+  const scene::SceneStoreStats store_stats = store_.stats();
+  s.scene_cache_hits = store_stats.hits;
+  s.scene_cache_misses = store_stats.misses;
+  s.scene_evictions = store_stats.evictions;
+  s.scene_rejected = store_stats.rejected;
+  s.scene_resident_bytes = store_stats.resident_bytes;
+  s.scene_peak_resident_bytes = store_stats.peak_resident_bytes;
+  s.scene_resident_count = store_stats.resident_scenes;
   if (have_window) s.wall_ms = to_ms(window_end - window_begin);
   if (s.wall_ms > 0.0) {
     s.throughput_fps = static_cast<double>(s.completed) * 1000.0 / s.wall_ms;
@@ -388,6 +445,12 @@ void print_service_stats(std::ostream& os, const ServiceStats& stats) {
   table.add_row({"Scene cache",
                  std::to_string(stats.scene_cache_hits) + " hits / " +
                      std::to_string(stats.scene_cache_misses) + " misses"});
+  table.add_row({"Scene store",
+                 std::to_string(stats.scene_resident_count) + " resident (" +
+                     std::to_string(stats.scene_resident_bytes) + " B, peak " +
+                     std::to_string(stats.scene_peak_resident_bytes) + " B), " +
+                     std::to_string(stats.scene_evictions) + " evicted, " +
+                     std::to_string(stats.scene_rejected) + " rejected"});
   table.print(os);
 }
 
@@ -410,6 +473,11 @@ std::string service_stats_json(const ServiceStats& stats) {
      << ",\"worker_utilization\":" << stats.worker_utilization
      << ",\"scene_cache_hits\":" << stats.scene_cache_hits
      << ",\"scene_cache_misses\":" << stats.scene_cache_misses
+     << ",\"scene_evictions\":" << stats.scene_evictions
+     << ",\"scene_rejected\":" << stats.scene_rejected
+     << ",\"scene_resident_bytes\":" << stats.scene_resident_bytes
+     << ",\"scene_peak_resident_bytes\":" << stats.scene_peak_resident_bytes
+     << ",\"scene_resident_count\":" << stats.scene_resident_count
      << ",\"stages\":[";
   for (std::size_t i = 0; i < stats.stages.size(); ++i) {
     const StageSnapshot& stage = stats.stages[i];

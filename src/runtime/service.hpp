@@ -31,6 +31,7 @@
 #include "runtime/job.hpp"
 #include "runtime/stage_pipeline.hpp"
 #include "runtime/thread_pool.hpp"
+#include "scene/store.hpp"
 
 namespace gaurast::runtime {
 
@@ -79,6 +80,17 @@ struct ServiceConfig {
   /// registry — for injecting a caller-constructed (e.g. test-double)
   /// backend.
   std::shared_ptr<const engine::RenderBackend> backend_instance;
+  /// Resolves canonical scene keys for scene(); nullptr = a default
+  /// scene::SyntheticSource (so "synthetic:<n>@<seed>" always serves).
+  /// Inject a PlyDirectorySource, FunctionSource, or test double here.
+  std::shared_ptr<const scene::SceneSource> scene_source;
+  /// Scene-store accounted-byte budget (quantized payloads + precompute);
+  /// 0 = unbounded. Over-budget residency triggers strict LRU eviction of
+  /// unpinned scenes.
+  std::size_t scene_budget_bytes = 0;
+  /// Per-scene quantized-payload admission cap; 0 = none. Scenes over it
+  /// are rejected with gaurast::Error, never materialized.
+  std::size_t max_scene_bytes = 0;
 };
 
 /// Aggregated snapshot; all latencies in milliseconds.
@@ -105,8 +117,15 @@ struct ServiceStats {
   double mean_queue_depth = 0.0;   ///< sampled at each submit
   double worker_utilization = 0.0; ///< busy time / (workers * wall)
 
+  // Scene-store counters (scene::SceneStoreStats, surfaced per shard and
+  // summed fleet-wide). hits/misses keep their historical names.
   std::uint64_t scene_cache_hits = 0;
   std::uint64_t scene_cache_misses = 0;
+  std::uint64_t scene_evictions = 0;
+  std::uint64_t scene_rejected = 0;
+  std::uint64_t scene_resident_bytes = 0;
+  std::uint64_t scene_peak_resident_bytes = 0;
+  std::uint64_t scene_resident_count = 0;
 
   /// Per-stage breakdown (latency, queue depth, utilization) in stage
   /// order; empty under ExecutionMode::kMonolithic.
@@ -136,12 +155,18 @@ class RenderService {
   /// config().backend unless an instance was injected).
   const engine::RenderBackend& backend() const { return *backend_; }
 
-  /// Returns the cached scene for `key`, invoking `loader` only on the
-  /// first request for that key. Loading holds the cache lock, so identical
-  /// concurrent requests load once (and other keys wait; scene loads are
-  /// rare and front-loaded in practice).
-  ScenePtr scene(const std::string& key,
-                 const std::function<scene::GaussianScene()>& loader);
+  /// Resolves `key` through the scene store: a canonical scene key
+  /// ("synthetic:<n>@<seed>", "ply:<path>", or whatever the injected
+  /// SceneSource accepts), loaded single-flight on first request and
+  /// served from the byte-budgeted cache afterwards. The returned pointer
+  /// pins the scene against eviction for its lifetime. Throws
+  /// gaurast::Error on resolution failure or admission rejection.
+  ScenePtr scene(const std::string& key);
+
+  /// The store every scene() call resolves through.
+  const scene::SceneStore& scene_store() const { return store_; }
+
+  /// Scenes currently resident in the store (eviction shrinks this).
   std::size_t cached_scene_count() const;
 
   /// Scenes whose camera-independent precompute the pipelined executor has
@@ -192,18 +217,22 @@ class RenderService {
   ServiceConfig config_;
   std::shared_ptr<const engine::RenderBackend> backend_;
   engine::FrameOptions frame_options_;
+  /// The byte-budgeted scene cache behind scene(); owns the hit/miss/
+  /// eviction/residency counters surfaced in ServiceStats.
+  scene::SceneStore store_;
   /// Exactly one executor exists, per config_.mode.
   std::unique_ptr<ThreadPool> pool_;          ///< monolithic
   std::unique_ptr<StagePipeline> pipeline_;   ///< pipelined
 
-  mutable common::Mutex scene_mutex_;
-  std::map<std::string, ScenePtr> scene_cache_ GAURAST_GUARDED_BY(scene_mutex_);
-
   mutable common::Mutex precompute_mutex_;
-  /// Keyed by scene address; the held ScenePtr pins the scene so a key can
-  /// never be reused by a different scene's allocation.
+  /// Fallback precompute cache for scenes submitted directly (never
+  /// resolved through the store — store scenes carry their precompute as
+  /// an accounted attachment instead). Keyed by scene address; the weak
+  /// pointer detects both expiry and address reuse, so a reloaded scene
+  /// at a recycled address can never see a stale entry.
   std::map<const scene::GaussianScene*,
-           std::pair<ScenePtr, std::shared_ptr<const pipeline::ScenePrecompute>>>
+           std::pair<std::weak_ptr<const scene::GaussianScene>,
+                     std::shared_ptr<const pipeline::ScenePrecompute>>>
       precompute_cache_ GAURAST_GUARDED_BY(precompute_mutex_);
 
   mutable common::Mutex stats_mutex_;
@@ -212,8 +241,6 @@ class RenderService {
   std::uint64_t completed_ GAURAST_GUARDED_BY(stats_mutex_) = 0;
   std::uint64_t rejected_ GAURAST_GUARDED_BY(stats_mutex_) = 0;
   std::uint64_t deadline_dropped_ GAURAST_GUARDED_BY(stats_mutex_) = 0;
-  std::uint64_t cache_hits_ GAURAST_GUARDED_BY(stats_mutex_) = 0;
-  std::uint64_t cache_misses_ GAURAST_GUARDED_BY(stats_mutex_) = 0;
   double queue_depth_sum_ GAURAST_GUARDED_BY(stats_mutex_) = 0.0;
   double queue_wait_sum_ms_ GAURAST_GUARDED_BY(stats_mutex_) = 0.0;
   double service_sum_ms_ GAURAST_GUARDED_BY(stats_mutex_) = 0.0;

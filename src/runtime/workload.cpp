@@ -8,7 +8,7 @@
 
 #include "common/error.hpp"
 #include "common/prng.hpp"
-#include "scene/generator.hpp"
+#include "scene/store.hpp"
 
 namespace gaurast::runtime {
 
@@ -84,8 +84,7 @@ std::vector<WorkloadRequest> generate_workload(const WorkloadConfig& config) {
       arrival_ms += rng.exponential(config.rate_hz) * 1000.0;
     }
     requests.push_back(WorkloadRequest{
-        "synthetic-" + std::to_string(size) + "-s" +
-            std::to_string(scene_seed),
+        scene::synthetic_scene_key(size, scene_seed),
         size,
         scene_seed,
         orbit ? CameraPathKind::kOrbit : CameraPathKind::kDolly,
@@ -102,19 +101,14 @@ WorkloadRunResult run_workload(RenderService& service,
   const std::vector<WorkloadRequest> requests = generate_workload(config);
 
   WorkloadRunResult result;
-  // Resolve (and on first touch, generate) every scene before the arrival
-  // clock starts: a client's scene upload is session setup, not part of the
-  // per-frame traffic, and generating a heavy scene inside the timed loop
-  // would push every pending Poisson arrival past its offset.
-  std::vector<ScenePtr> scenes;
-  scenes.reserve(requests.size());
+  // Touch every scene class before the arrival clock starts: the first
+  // load is session setup (a client's scene upload), not per-frame
+  // traffic. The warmed pointers are dropped immediately rather than held
+  // for the pass — holding them would pin every class at once and a
+  // byte-budgeted scene store could never evict. Each request then
+  // resolves through the store exactly like a served request does.
   for (const WorkloadRequest& req : requests) {
-    scenes.push_back(service.scene(req.scene_key, [&req] {
-      scene::GeneratorParams params;
-      params.gaussian_count = req.gaussian_count;
-      params.seed = req.scene_seed;
-      return scene::generate_scene(params);
-    }));
+    (void)service.scene(req.scene_key);
   }
 
   std::vector<std::future<JobResult>> futures;
@@ -122,7 +116,7 @@ WorkloadRunResult run_workload(RenderService& service,
   const Clock::time_point start = Clock::now();
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const WorkloadRequest& req = requests[i];
-    const ScenePtr& shared = scenes[i];
+    const ScenePtr shared = service.scene(req.scene_key);
     if (config.arrival == ArrivalModel::kPoisson) {
       std::this_thread::sleep_until(
           start + std::chrono::duration_cast<Clock::duration>(

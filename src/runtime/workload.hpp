@@ -51,7 +51,7 @@ struct WorkloadConfig {
 
 /// One generated request, before scene resolution against a service.
 struct WorkloadRequest {
-  std::string scene_key;          ///< cache key ("synthetic-<n>-s<seed>")
+  std::string scene_key;          ///< canonical key ("synthetic:<n>@<seed>")
   std::uint64_t gaussian_count = 0;
   std::uint64_t scene_seed = 0;   ///< generator seed for this scene class
   CameraPathKind path = CameraPathKind::kOrbit;

@@ -7,12 +7,17 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "scene/quantized.hpp"
 
 namespace gaurast::scene {
 
 namespace {
 
 constexpr int kRestCoeffs = 45;  // (16 - 1 DC) * 3 channels
+
+/// Rows per streaming-ingest chunk: bounds the float staging buffer to a
+/// few hundred KB regardless of checkpoint size.
+constexpr std::size_t kChunkRows = 4096;
 
 /// Property order of the reference checkpoint layout.
 std::vector<std::string> reference_properties() {
@@ -25,6 +30,101 @@ std::vector<std::string> reference_properties() {
   for (int i = 0; i < 3; ++i) props.push_back("scale_" + std::to_string(i));
   for (int i = 0; i < 4; ++i) props.push_back("rot_" + std::to_string(i));
   return props;
+}
+
+/// Parsed header plus the property indices one vertex decode needs.
+struct PlyLayout {
+  std::size_t vertex_count = 0;
+  std::size_t property_count = 0;
+  bool has_rest = false;
+  std::size_t ix = 0, iy = 0, iz = 0;
+  std::size_t idc0 = 0, iop = 0, isc0 = 0, irot0 = 0, irest0 = 0;
+};
+
+/// Consumes the PLY header from `is` (leaving it at the payload) and
+/// validates the format and required properties.
+PlyLayout parse_ply_header(std::istream& is, const std::string& path) {
+  std::string line;
+  std::getline(is, line);
+  GAURAST_CHECK_MSG(line == "ply", "not a PLY file: " << path);
+
+  std::size_t vertex_count = 0;
+  std::vector<std::string> properties;
+  bool binary_le = false;
+  while (std::getline(is, line)) {
+    std::istringstream ls(line);
+    std::string token;
+    ls >> token;
+    if (token == "format") {
+      std::string fmt;
+      ls >> fmt;
+      binary_le = (fmt == "binary_little_endian");
+      GAURAST_CHECK_MSG(binary_le, "unsupported PLY format: " << fmt);
+    } else if (token == "element") {
+      std::string what;
+      ls >> what >> vertex_count;
+      GAURAST_CHECK_MSG(what == "vertex", "unexpected PLY element " << what);
+    } else if (token == "property") {
+      std::string type, name;
+      ls >> type >> name;
+      GAURAST_CHECK_MSG(type == "float", "unsupported property type " << type);
+      properties.push_back(name);
+    } else if (token == "end_header") {
+      break;
+    } else if (token == "comment") {
+      continue;
+    }
+  }
+  GAURAST_CHECK_MSG(vertex_count > 0, "PLY has no vertices");
+
+  // Index the properties we need; tolerate extra/unused ones.
+  auto index_of = [&properties](const std::string& name) {
+    const auto it = std::find(properties.begin(), properties.end(), name);
+    GAURAST_CHECK_MSG(it != properties.end(), "PLY missing property " << name);
+    return static_cast<std::size_t>(it - properties.begin());
+  };
+  PlyLayout layout;
+  layout.vertex_count = vertex_count;
+  layout.property_count = properties.size();
+  layout.ix = index_of("x");
+  layout.iy = index_of("y");
+  layout.iz = index_of("z");
+  layout.idc0 = index_of("f_dc_0");
+  layout.iop = index_of("opacity");
+  layout.isc0 = index_of("scale_0");
+  layout.irot0 = index_of("rot_0");
+  layout.has_rest =
+      std::find(properties.begin(), properties.end(), "f_rest_0") !=
+      properties.end();
+  layout.irest0 = layout.has_rest ? index_of("f_rest_0") : 0;
+  return layout;
+}
+
+/// Decodes one vertex row (checkpoint domain) into a Gaussian3D.
+Gaussian3D decode_row(const float* row, const PlyLayout& l) {
+  Gaussian3D g;
+  g.position = {row[l.ix], row[l.iy], row[l.iz]};
+  g.sh[0] = {row[l.idc0], row[l.idc0 + 1], row[l.idc0 + 2]};
+  if (l.has_rest) {
+    for (int ch = 0; ch < 3; ++ch) {
+      for (std::size_t band = 1; band < kMaxShBasis; ++band) {
+        const float val =
+            row[l.irest0 + static_cast<std::size_t>(ch) * (kMaxShBasis - 1) +
+                band - 1];
+        if (ch == 0) g.sh[band].x = val;
+        else if (ch == 1) g.sh[band].y = val;
+        else g.sh[band].z = val;
+      }
+    }
+  }
+  g.opacity = std::clamp(ply_sigmoid(row[l.iop]), 0.0f, 1.0f);
+  g.scale = {std::exp(row[l.isc0]), std::exp(row[l.isc0 + 1]),
+             std::exp(row[l.isc0 + 2])};
+  g.rotation =
+      Quatf{row[l.irot0], row[l.irot0 + 1], row[l.irot0 + 2],
+            row[l.irot0 + 3]}
+          .normalized();
+  return g;
 }
 
 }  // namespace
@@ -89,87 +189,59 @@ void save_ply(const GaussianScene& scene, const std::string& path) {
 GaussianScene load_ply(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   GAURAST_CHECK_MSG(is.is_open(), "cannot open " << path);
+  const PlyLayout layout = parse_ply_header(is, path);
 
-  std::string line;
-  std::getline(is, line);
-  GAURAST_CHECK_MSG(line == "ply", "not a PLY file: " << path);
-
-  std::size_t vertex_count = 0;
-  std::vector<std::string> properties;
-  bool binary_le = false;
-  while (std::getline(is, line)) {
-    std::istringstream ls(line);
-    std::string token;
-    ls >> token;
-    if (token == "format") {
-      std::string fmt;
-      ls >> fmt;
-      binary_le = (fmt == "binary_little_endian");
-      GAURAST_CHECK_MSG(binary_le, "unsupported PLY format: " << fmt);
-    } else if (token == "element") {
-      std::string what;
-      ls >> what >> vertex_count;
-      GAURAST_CHECK_MSG(what == "vertex", "unexpected PLY element " << what);
-    } else if (token == "property") {
-      std::string type, name;
-      ls >> type >> name;
-      GAURAST_CHECK_MSG(type == "float", "unsupported property type " << type);
-      properties.push_back(name);
-    } else if (token == "end_header") {
-      break;
-    } else if (token == "comment") {
-      continue;
-    }
-  }
-  GAURAST_CHECK_MSG(vertex_count > 0, "PLY has no vertices");
-
-  // Index the properties we need; tolerate extra/unused ones.
-  auto index_of = [&properties](const std::string& name) {
-    const auto it = std::find(properties.begin(), properties.end(), name);
-    GAURAST_CHECK_MSG(it != properties.end(), "PLY missing property " << name);
-    return static_cast<std::size_t>(it - properties.begin());
-  };
-  const std::size_t ix = index_of("x"), iy = index_of("y"), iz = index_of("z");
-  const std::size_t idc0 = index_of("f_dc_0");
-  const std::size_t iop = index_of("opacity");
-  const std::size_t isc0 = index_of("scale_0");
-  const std::size_t irot0 = index_of("rot_0");
-  const bool has_rest =
-      std::find(properties.begin(), properties.end(), "f_rest_0") !=
-      properties.end();
-  const std::size_t irest0 = has_rest ? index_of("f_rest_0") : 0;
-
-  GaussianScene scene(has_rest ? 3 : 0);
-  scene.reserve(vertex_count);
-  std::vector<float> row(properties.size());
-  for (std::size_t v = 0; v < vertex_count; ++v) {
+  GaussianScene scene(layout.has_rest ? 3 : 0);
+  scene.reserve(layout.vertex_count);
+  std::vector<float> row(layout.property_count);
+  for (std::size_t v = 0; v < layout.vertex_count; ++v) {
     is.read(reinterpret_cast<char*>(row.data()),
             static_cast<std::streamsize>(row.size() * sizeof(float)));
     GAURAST_CHECK_MSG(is.good(), "truncated PLY payload at vertex " << v);
-    Gaussian3D g;
-    g.position = {row[ix], row[iy], row[iz]};
-    g.sh[0] = {row[idc0], row[idc0 + 1], row[idc0 + 2]};
-    if (has_rest) {
-      for (int ch = 0; ch < 3; ++ch) {
-        for (std::size_t band = 1; band < kMaxShBasis; ++band) {
-          const float val =
-              row[irest0 + static_cast<std::size_t>(ch) * (kMaxShBasis - 1) +
-                  band - 1];
-          if (ch == 0) g.sh[band].x = val;
-          else if (ch == 1) g.sh[band].y = val;
-          else g.sh[band].z = val;
-        }
-      }
-    }
-    g.opacity = std::clamp(ply_sigmoid(row[iop]), 0.0f, 1.0f);
-    g.scale = {std::exp(row[isc0]), std::exp(row[isc0 + 1]),
-               std::exp(row[isc0 + 2])};
-    g.rotation =
-        Quatf{row[irot0], row[irot0 + 1], row[irot0 + 2], row[irot0 + 3]}
-            .normalized();
-    scene.add(g);
+    scene.add(decode_row(row.data(), layout));
   }
   return scene;
+}
+
+QuantizedScene load_ply_quantized(const std::string& path,
+                                  std::size_t max_bytes) {
+  std::ifstream is(path, std::ios::binary);
+  GAURAST_CHECK_MSG(is.is_open(), "cannot open " << path);
+  const PlyLayout layout = parse_ply_header(is, path);
+  const int sh_degree = layout.has_rest ? 3 : 0;
+
+  // Admission happens here, off the header's vertex count, before a single
+  // payload byte is read — an over-budget checkpoint costs a refusal, not
+  // a resident allocation.
+  const std::size_t quantized_bytes =
+      quantized_bytes_per_splat(sh_degree) * layout.vertex_count;
+  if (max_bytes > 0 && quantized_bytes > max_bytes) {
+    throw SceneOverBudgetError(
+        "PLY '" + path + "' needs " + std::to_string(quantized_bytes) +
+        " quantized bytes (" + std::to_string(layout.vertex_count) +
+        " vertices), over the " + std::to_string(max_bytes) +
+        "-byte admission limit");
+  }
+
+  QuantizedSceneBuilder builder(sh_degree);
+  builder.reserve(layout.vertex_count);
+  // Stream the payload in bounded chunks straight into quantized form:
+  // peak float staging is kChunkRows rows, not the whole checkpoint.
+  std::vector<float> chunk(layout.property_count * kChunkRows);
+  std::size_t done = 0;
+  while (done < layout.vertex_count) {
+    const std::size_t rows = std::min(kChunkRows, layout.vertex_count - done);
+    is.read(reinterpret_cast<char*>(chunk.data()),
+            static_cast<std::streamsize>(rows * layout.property_count *
+                                         sizeof(float)));
+    GAURAST_CHECK_MSG(is.good(), "truncated PLY payload at vertex " << done);
+    for (std::size_t r = 0; r < rows; ++r) {
+      builder.add(decode_row(chunk.data() + r * layout.property_count,
+                             layout));
+    }
+    done += rows;
+  }
+  return builder.take();
 }
 
 }  // namespace gaurast::scene

@@ -11,9 +11,11 @@
 // 3DGS viewers.
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 #include "scene/gaussian.hpp"
+#include "scene/quantized.hpp"
 
 namespace gaurast::scene {
 
@@ -26,6 +28,14 @@ void save_ply(const GaussianScene& scene, const std::string& path);
 /// scales; normalizes quaternions. Throws gaurast::Error on malformed
 /// headers, unsupported formats (ASCII payload, big-endian) or truncation.
 GaussianScene load_ply(const std::string& path);
+
+/// Streaming quantized ingest: parses the header, then reads vertices in
+/// bounded chunks (a few thousand rows of float staging, independent of
+/// checkpoint size) straight into quantized form. `max_bytes` > 0 is an
+/// admission limit checked against the header's vertex count before any
+/// payload is read; an over-budget checkpoint throws SceneOverBudgetError.
+QuantizedScene load_ply_quantized(const std::string& path,
+                                  std::size_t max_bytes = 0);
 
 /// Applies the checkpoint-domain transforms used by load_ply; exposed for
 /// tests. sigmoid(x) = 1 / (1 + exp(-x)).

@@ -361,7 +361,7 @@ else
     FAILURES=$((FAILURES + 1))
   fi
   run 0 request --port "$LISTEN_PORT" --stats || true
-  expect_contains "$STDOUT" '"schema":"gaurast-serve-stats/v1"' "stats frame is schema-stamped"
+  expect_contains "$STDOUT" '"schema":"gaurast-serve-stats/v2"' "stats frame is schema-stamped"
   expect_contains "$STDOUT" '"completed"' "stats frame reports completions"
   # An option the server cannot honor is an explicit wire refusal, exit 1.
   run 1 request --port "$LISTEN_PORT" --synthetic 100 --kernel fast || true
@@ -433,7 +433,7 @@ else
   # The stats endpoint through the router is the merged fleet document.
   run 0 request --port "$ROUTE_PORT" --stats || true
   expect_contains "$STDOUT" '"schema":"gaurast-fleet-stats/v1"' "routed stats is the fleet document"
-  expect_contains "$STDOUT" '"gaurast-serve-stats/v1"' "fleet document embeds per-shard stats"
+  expect_contains "$STDOUT" '"gaurast-serve-stats/v2"' "fleet document embeds per-shard stats"
   # Kill one worker -9: the fleet keeps serving (failover) and the
   # supervisor restarts the corpse on its original port.
   WORKER_PID=$(sed -n 's/^\[spawner\] worker \([0-9]*\) listening on.*/\1/p' "$ROUTE_LOG" | head -1)

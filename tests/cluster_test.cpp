@@ -619,12 +619,7 @@ TEST(Router, PassesThroughShardOverload) {
   Fleet fleet(1, service_config);
 
   runtime::RenderService& service = fleet.service(0);
-  const runtime::ScenePtr scene = service.scene("wedge", [] {
-    scene::GeneratorParams params;
-    params.gaussian_count = 600;
-    params.seed = 7;
-    return scene::generate_scene(params);
-  });
+  const runtime::ScenePtr scene = service.scene("synthetic:600@7");
   const scene::Camera camera = scene::default_camera({}, 64, 48);
   std::vector<std::future<runtime::JobResult>> futures;
   futures.push_back(service.submit({scene, camera}));
@@ -713,7 +708,7 @@ TEST(Router, StatsEndpointsServeMergedFleetDocument) {
   EXPECT_EQ(json.find("{\"schema\":\"gaurast-fleet-stats/v1\""), 0u);
   EXPECT_NE(json.find("\"shards_total\":2"), std::string::npos) << json;
   EXPECT_NE(json.find("\"routed_ok\":1"), std::string::npos) << json;
-  EXPECT_NE(json.find("gaurast-serve-stats/v1"), std::string::npos)
+  EXPECT_NE(json.find("gaurast-serve-stats/v2"), std::string::npos)
       << "per-shard stats must be embedded: " << json;
 
   // HTTP: /stats serves the same document; /healthz stays local and cheap.

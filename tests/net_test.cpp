@@ -200,7 +200,7 @@ TEST(Protocol, RenderRequestRoundTrip) {
   EXPECT_EQ(back.flags, req.flags);
   EXPECT_EQ(back.backend, req.backend);
   EXPECT_EQ(back.kernel, req.kernel);
-  EXPECT_EQ(back.scene_key(), "synthetic-1234-s99");
+  EXPECT_EQ(back.scene_key(), "synthetic:1234@99");
 }
 
 TEST(Protocol, RenderResponseRoundTripBitExactPixels) {
@@ -302,25 +302,36 @@ TEST(Protocol, DeadlineFieldVersionMatrix) {
   const FrameHeader header = decode_header(frame.data());
   ASSERT_EQ(header.version, kProtocolVersion);
 
-  // v2 round-trips the appended deadline field.
+  // v3 round-trips the appended deadline field (and the empty scene key:
+  // sample_request addresses its scene via gaussian_count/seed).
   EXPECT_EQ(deserialize_render_request(frame.data() + kHeaderBytes,
                                        header.payload_size, header.version)
                 .deadline_ms,
             250u);
 
-  // A v1 payload ends at `kernel`: the same bytes minus the trailing u32,
-  // decoded as version 1, take the zero default — an old peer's frames
-  // keep decoding, it just cannot set a deadline.
+  // A v2 payload ends at `deadline_ms`: the same bytes minus the trailing
+  // scene string (4-byte length prefix, empty here), decoded as version 2.
+  const RenderRequest v2 = deserialize_render_request(
+      frame.data() + kHeaderBytes, header.payload_size - 4, 2);
+  EXPECT_EQ(v2.deadline_ms, 250u);
+  EXPECT_TRUE(v2.scene.empty());
+
+  // A v1 payload ends at `kernel`: minus the scene string and the
+  // deadline u32, decoded as version 1, the deadline takes the zero
+  // default — an old peer's frames keep decoding, it just cannot set one.
   const RenderRequest v1 = deserialize_render_request(
-      frame.data() + kHeaderBytes, header.payload_size - 4, 1);
+      frame.data() + kHeaderBytes, header.payload_size - 8, 1);
   EXPECT_EQ(v1.deadline_ms, 0u);
   EXPECT_EQ(v1.request_id, req.request_id);
   EXPECT_EQ(v1.kernel, req.kernel);
 
-  // A v2 payload truncated before the appended field is rejected loudly,
-  // as is a v1 payload carrying trailing deadline bytes.
+  // A payload truncated before a field its version promises is rejected
+  // loudly, as is an old-version payload carrying trailing bytes.
   EXPECT_THROW(deserialize_render_request(frame.data() + kHeaderBytes,
-                                          header.payload_size - 4, 2),
+                                          header.payload_size - 8, 2),
+               ProtocolError);
+  EXPECT_THROW(deserialize_render_request(frame.data() + kHeaderBytes,
+                                          header.payload_size - 4, 3),
                ProtocolError);
   EXPECT_THROW(deserialize_render_request(frame.data() + kHeaderBytes,
                                           header.payload_size, 1),
@@ -394,12 +405,7 @@ TEST(Server, RenderMatchesDirectSubmitBitIdentical) {
     EXPECT_EQ(resp.request_id, 3u);
     EXPECT_GT(resp.latency_ms, 0.0);
 
-    const runtime::ScenePtr scene = service.scene(wire.scene_key(), [] {
-      scene::GeneratorParams params;
-      params.gaussian_count = 20000;
-      params.seed = 42;
-      return scene::generate_scene(params);
-    });
+    const runtime::ScenePtr scene = service.scene(wire.scene_key());
     const Image direct =
         service.submit({scene, scene::default_camera({}, 320, 240)})
             .get()
@@ -428,9 +434,7 @@ TEST(Server, RenderBitIdentityUnderPipelinedExecution) {
     const RenderResponse resp = client.render(wire);
     ASSERT_EQ(resp.status, RenderStatus::kOk) << resp.message;
 
-    const runtime::ScenePtr scene = service.scene(wire.scene_key(), [] {
-      return small_scene(5000, 42);
-    });
+    const runtime::ScenePtr scene = service.scene(wire.scene_key());
     const Image direct =
         service.submit({scene, scene::default_camera({}, 160, 120)})
             .get()
@@ -455,8 +459,7 @@ TEST(Server, FullQueueYieldsOverloadedResponse) {
   Server server(service, {});
   server.start();
   {
-    const runtime::ScenePtr scene =
-        service.scene("s", [] { return small_scene(); });
+    const runtime::ScenePtr scene = service.scene("synthetic:600@7");
     const scene::Camera camera = scene::default_camera({}, 64, 48);
 
     // Fill the service: one job parks the worker on the gate, then one
@@ -544,12 +547,14 @@ TEST(Server, VersionOneRequestStillServed) {
   config.backend = "sw";
   with_server(config, {}, [](runtime::RenderService&, Server& server) {
     // A v1 peer's render request: today's frame minus the v2 deadline_ms
-    // tail, with the version byte and payload size rewound. The server
-    // must serve it like any other request (deadline defaults to none).
+    // tail and the v3 scene string (empty, so just its 4-byte length
+    // prefix), with the version byte and payload size rewound. The server
+    // must serve it like any other request (deadline defaults to none,
+    // the scene key derives from gaussian_count/seed).
     RenderRequest req = default_render_request(600, 7, 64, 48);
     req.request_id = 31;
     std::vector<std::uint8_t> frame = serialize(req);
-    frame.resize(frame.size() - 4);
+    frame.resize(frame.size() - 8);
     frame[4] = 1;  // version byte
     const std::uint32_t payload_size =
         static_cast<std::uint32_t>(frame.size() - kHeaderBytes);
@@ -644,7 +649,7 @@ TEST(Server, StatsFramesAreSchemaStamped) {
   with_server(config, {}, [](runtime::RenderService&, Server& server) {
     Client client("127.0.0.1", server.port());
     const std::string json = client.stats().json;
-    EXPECT_EQ(json.find("{\"schema\":\"gaurast-serve-stats/v1\""), 0u);
+    EXPECT_EQ(json.find("{\"schema\":\"gaurast-serve-stats/v2\""), 0u);
     EXPECT_NE(json.find("\"submitted\""), std::string::npos);
   });
 }
@@ -709,7 +714,7 @@ TEST(Server, FrameThenImmediateResetKeepsServing) {
     }
     // The server must still be serving after the abuse.
     Client client("127.0.0.1", server.port());
-    EXPECT_EQ(client.stats().json.find("{\"schema\":\"gaurast-serve-stats/v1\""),
+    EXPECT_EQ(client.stats().json.find("{\"schema\":\"gaurast-serve-stats/v2\""),
               0u);
   });
 }

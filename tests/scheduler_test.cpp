@@ -43,12 +43,23 @@ std::vector<scene::Camera> test_cameras(int count, int width = 64,
                            2.4f, count);
 }
 
+
+/// Injects a key->scene callable as the service's SceneSource — the
+/// test-double path every scene() call resolves through.
+ServiceConfig with_scenes(ServiceConfig config,
+                          scene::FunctionSource::Fn fn) {
+  config.scene_source =
+      std::make_shared<const scene::FunctionSource>(std::move(fn));
+  return config;
+}
+
 /// Renders `cameras` through a fresh service and returns the images in
 /// submission order.
 std::vector<Image> serve_images(const ServiceConfig& config,
                                 const std::vector<scene::Camera>& cameras) {
-  RenderService service(config);
-  const ScenePtr scene = service.scene("s", [] { return small_scene(); });
+  RenderService service(
+      with_scenes(config, [](const std::string&) { return small_scene(); }));
+  const ScenePtr scene = service.scene("s");
   std::vector<std::future<JobResult>> futures;
   futures.reserve(cameras.size());
   for (const scene::Camera& camera : cameras) {
@@ -175,8 +186,9 @@ TEST(StagePipelineService, HardwareModelJobsCarryModeledMetrics) {
   config.mode = ExecutionMode::kPipelined;
   config.stage_workers = {1, 1, 1};
   config.backend = "gaurast";
-  RenderService service(config);
-  const ScenePtr scene = service.scene("s", [] { return small_scene(300); });
+  RenderService service(with_scenes(
+      config, [](const std::string&) { return small_scene(300); }));
+  const ScenePtr scene = service.scene("s");
   const JobResult result = service.submit({scene, test_cameras(1)[0]}).get();
   EXPECT_GT(result.frame.image.mean_luminance(), 0.0);
   EXPECT_GT(result.raster_model_ms, 0.0)
@@ -188,9 +200,10 @@ TEST(StagePipelineService, StatsExposePerStageBreakdown) {
   config.mode = ExecutionMode::kPipelined;
   config.stage_workers = {1, 2, 1};
   config.backend = "sw";
-  RenderService service(config);
+  RenderService service(with_scenes(
+      config, [](const std::string&) { return small_scene(400); }));
   EXPECT_EQ(service.worker_count(), 4);
-  const ScenePtr scene = service.scene("s", [] { return small_scene(400); });
+  const ScenePtr scene = service.scene("s");
   std::vector<std::future<JobResult>> futures;
   for (const scene::Camera& camera : test_cameras(5)) {
     futures.push_back(service.submit({scene, camera}));
@@ -224,8 +237,9 @@ TEST(StagePipelineService, MonolithicStatsHaveNoStages) {
   ServiceConfig config;
   config.workers = 1;
   config.backend = "sw";
-  RenderService service(config);
-  const ScenePtr scene = service.scene("s", [] { return small_scene(200); });
+  RenderService service(with_scenes(
+      config, [](const std::string&) { return small_scene(200); }));
+  const ScenePtr scene = service.scene("s");
   service.submit({scene, test_cameras(1)[0]}).get();
   EXPECT_TRUE(service.stats().stages.empty());
   EXPECT_EQ(service.cached_precompute_count(), 0u);
@@ -238,9 +252,11 @@ TEST(StagePipelineService, PrecomputeBuiltOncePerSceneAndReused) {
   config.mode = ExecutionMode::kPipelined;
   config.stage_workers = {1, 1, 1};
   config.backend = "sw";
-  RenderService service(config);
-  const ScenePtr a = service.scene("a", [] { return small_scene(300, 1); });
-  const ScenePtr b = service.scene("b", [] { return small_scene(300, 2); });
+  RenderService service(with_scenes(config, [](const std::string& key) {
+    return small_scene(300, key == "a" ? 1 : 2);
+  }));
+  const ScenePtr a = service.scene("a");
+  const ScenePtr b = service.scene("b");
   std::vector<std::future<JobResult>> futures;
   for (const scene::Camera& camera : test_cameras(3)) {
     futures.push_back(service.submit({a, camera}));
@@ -314,8 +330,9 @@ TEST(StagePipelineService, TrySubmitShedsWhenEntryQueueFull) {
   config.queue_capacity = 1;
   config.backend_instance = std::make_shared<const GatedStageBackend>(
       gate.get_future().share(), /*gated_stage=*/0);
-  RenderService service(config);
-  const ScenePtr scene = service.scene("s", [] { return small_scene(100); });
+  RenderService service(with_scenes(
+      config, [](const std::string&) { return small_scene(100); }));
+  const ScenePtr scene = service.scene("s");
   const scene::Camera camera = test_cameras(1)[0];
 
   std::vector<std::future<JobResult>> futures;
@@ -350,8 +367,9 @@ TEST(StagePipelineService, ShutdownWhileStagesFullDrainsEveryAcceptedJob) {
   config.queue_capacity = 1;
   config.backend_instance = std::make_shared<const GatedStageBackend>(
       gate.get_future().share(), /*gated_stage=*/2);
-  RenderService service(config);
-  const ScenePtr scene = service.scene("s", [] { return small_scene(150); });
+  RenderService service(with_scenes(
+      config, [](const std::string&) { return small_scene(150); }));
+  const ScenePtr scene = service.scene("s");
   const scene::Camera camera = test_cameras(1)[0];
 
   constexpr int kJobs = 6;  // > workers + queue slots: every stage fills
@@ -390,8 +408,9 @@ TEST(StagePipelineService, DrainWaitsForAllStages) {
   config.mode = ExecutionMode::kPipelined;
   config.stage_workers = {1, 1, 2};
   config.backend = "sw";
-  RenderService service(config);
-  const ScenePtr scene = service.scene("s", [] { return small_scene(400); });
+  RenderService service(with_scenes(
+      config, [](const std::string&) { return small_scene(400); }));
+  const ScenePtr scene = service.scene("s");
   for (const scene::Camera& camera : test_cameras(6)) {
     service.submit({scene, camera});
   }

@@ -21,7 +21,9 @@ is the report's *shape*:
   * the derived headline metrics still computed (raster_fast_speedup,
     pipelined_speedup, wire_relative_throughput,
     routed_relative_throughput, faulted_relative_throughput,
-    faulted_deadline_hit_rate, faulted_p99_ms).
+    faulted_deadline_hit_rate, faulted_p99_ms,
+    budgeted_relative_throughput, budgeted_hit_rate,
+    budgeted_resident_under_budget).
 
 It also writes an informational current/baseline ratio table (markdown) to
 --summary, or to $GITHUB_STEP_SUMMARY when set, or stdout — so every CI run
@@ -38,7 +40,15 @@ import sys
 # Every schema tag this gate understands. A report (baseline or current)
 # carrying any other tag is rejected outright — one rule for the top level
 # and every section, so new reports must be registered here to pass.
-SECTIONS = ("micro", "service", "pipeline", "wire", "fleet", "faults")
+SECTIONS = (
+    "micro",
+    "service",
+    "pipeline",
+    "wire",
+    "fleet",
+    "faults",
+    "scene_store",
+)
 
 KNOWN_SCHEMAS = {
     "": {
@@ -46,6 +56,7 @@ KNOWN_SCHEMAS = {
         "gaurast-bench-pipeline/v3",
         "gaurast-bench-pipeline/v4",
         "gaurast-bench-pipeline/v5",
+        "gaurast-bench-pipeline/v6",
     },
     "micro": {"gaurast-bench-micro/v1"},
     "service": {"gaurast-bench-service/v1"},
@@ -53,6 +64,7 @@ KNOWN_SCHEMAS = {
     "wire": {"gaurast-bench-service-wire/v1"},
     "fleet": {"gaurast-bench-service-fleet/v1"},
     "faults": {"gaurast-bench-service-faults/v1"},
+    "scene_store": {"gaurast-bench-service-scenes/v1"},
 }
 
 
@@ -139,6 +151,9 @@ def check_shape(baseline, current):
         ("faults", "faulted_relative_throughput"),
         ("faults", "faulted_deadline_hit_rate"),
         ("faults", "faulted_p99_ms"),
+        ("scene_store", "budgeted_relative_throughput"),
+        ("scene_store", "budgeted_hit_rate"),
+        ("scene_store", "budgeted_resident_under_budget"),
     )
     for section, key in derived_expectations:
         if section not in baseline:
@@ -185,6 +200,8 @@ def ratio_table(baseline, current):
         ("wire", "wire_relative_throughput"),
         ("fleet", "routed_relative_throughput"),
         ("faults", "faulted_relative_throughput"),
+        ("scene_store", "budgeted_relative_throughput"),
+        ("scene_store", "budgeted_hit_rate"),
     ):
         base_val = baseline.get(section, {}).get("derived", {}).get(key)
         cur_val = current.get(section, {}).get("derived", {}).get(key)

@@ -1,15 +1,16 @@
 #!/usr/bin/env bash
 # bench_pipeline.sh — runs the canonical pipeline benchmark configurations
 # and aggregates their machine-readable reports into one
-# BENCH_pipeline.json (schema gaurast-bench-pipeline/v5):
+# BENCH_pipeline.json (schema gaurast-bench-pipeline/v6):
 #
-#   {"schema":"gaurast-bench-pipeline/v5","quick":<bool>,
-#    "micro":    <gaurast-bench-micro/v1 report>,
-#    "service":  <gaurast-bench-service/v1 report>,
-#    "pipeline": <gaurast-bench-service-pipeline/v1 report>,
-#    "wire":     <gaurast-bench-service-wire/v1 report>,
-#    "fleet":    <gaurast-bench-service-fleet/v1 report>,
-#    "faults":   <gaurast-bench-service-faults/v1 report>}
+#   {"schema":"gaurast-bench-pipeline/v6","quick":<bool>,
+#    "micro":      <gaurast-bench-micro/v1 report>,
+#    "service":    <gaurast-bench-service/v1 report>,
+#    "pipeline":   <gaurast-bench-service-pipeline/v1 report>,
+#    "wire":       <gaurast-bench-service-wire/v1 report>,
+#    "fleet":      <gaurast-bench-service-fleet/v1 report>,
+#    "faults":     <gaurast-bench-service-faults/v1 report>,
+#    "scene_store":<gaurast-bench-service-scenes/v1 report>}
 #
 # The canonical (non-quick) configuration is bench_micro's flag defaults
 # (20000 Gaussians at 320x240, warmup 2, repeat 5 — the config the recorded
@@ -23,7 +24,11 @@
 # throughput ratio and per-frame route overhead), plus the clean-vs-faulted
 # comparison (every request deadlined, the faulted pass under a seeded
 # 1%-forward-error / 5%-10ms-delay plan; reports the faulted/clean
-# throughput ratio, faulted p99, and deadline hit rate). --quick shrinks
+# throughput ratio, faulted p99, and deadline hit rate), plus the
+# unbounded-vs-budgeted scene-store comparison (the budgeted pass evicts
+# against half the unbounded pass's peak resident bytes; reports the
+# budgeted/unbounded throughput ratio, hit rate, evictions, and whether
+# post-drain residency held under the budget). --quick shrinks
 # everything to a small scene and a single repeat so CI can exercise the
 # JSON paths, both kernels, and both execution modes on every PR in
 # seconds.
@@ -68,6 +73,7 @@ PIPELINE_FLAGS=(--pipeline --backend sw --kernel fast --stage-workers 1,1,2
 WIRE_FLAGS=(--listen-loopback --backend sw --kernel fast)
 FLEET_FLAGS=(--fleet 2 --backend sw --kernel fast)
 FAULTS_FLAGS=(--faults --backend sw --kernel fast)
+SCENES_FLAGS=(--scene-sweep --backend sw --kernel fast)
 if [[ "$QUICK" == 1 ]]; then
   MICRO_FLAGS+=(--synthetic 4000 --width 160 --height 120 --warmup 1 --repeat 1)
   SERVICE_FLAGS+=(--jobs 6 --width 96 --height 72 --warmup 0 --repeat 1)
@@ -79,6 +85,8 @@ if [[ "$QUICK" == 1 ]]; then
                 --workers 1 --clients 2 --warmup 0 --repeat 1)
   FAULTS_FLAGS+=(--jobs 4 --width 96 --height 72
                  --workers 1 --clients 2 --warmup 0 --repeat 1)
+  SCENES_FLAGS+=(--jobs 8 --width 96 --height 72
+                 --workers 1 --warmup 0 --repeat 1)
 else
   # Canonical: bench_micro defaults; a fuller service sweep; the execution
   # -mode comparison on the canonical 20k/320x240 scene. --queue 4 bounds
@@ -98,6 +106,11 @@ else
   # tracked configuration lives in one place.
   FAULTS_FLAGS+=(--jobs 16 --width 320 --height 240
                  --workers 2 --clients 4 --warmup 1 --repeat 3)
+  # Scene-store comparison: the widened scene-size mix is the bench
+  # binary's --scene-sweep default; the budget defaults to half the
+  # unbounded pass's peak resident bytes.
+  SCENES_FLAGS+=(--jobs 24 --width 320 --height 240
+                 --workers 2 --warmup 1 --repeat 3)
 fi
 
 # ${arr[@]+...} guards: expanding an empty array under `set -u` is an
@@ -115,9 +128,11 @@ echo "== bench_service_throughput ${FLEET_FLAGS[*]}"
 "$SERVICE" "${FLEET_FLAGS[@]}" --json "$TMP/fleet.json"
 echo "== bench_service_throughput ${FAULTS_FLAGS[*]}"
 "$SERVICE" "${FAULTS_FLAGS[@]}" --json "$TMP/faults.json"
+echo "== bench_service_throughput ${SCENES_FLAGS[*]}"
+"$SERVICE" "${SCENES_FLAGS[@]}" --json "$TMP/scene_store.json"
 
 {
-  printf '{"schema":"gaurast-bench-pipeline/v5","quick":%s,"micro":' \
+  printf '{"schema":"gaurast-bench-pipeline/v6","quick":%s,"micro":' \
          "$([[ "$QUICK" == 1 ]] && echo true || echo false)"
   tr -d '\n' < "$TMP/micro.json"
   printf ',"service":'
@@ -130,6 +145,8 @@ echo "== bench_service_throughput ${FAULTS_FLAGS[*]}"
   tr -d '\n' < "$TMP/fleet.json"
   printf ',"faults":'
   tr -d '\n' < "$TMP/faults.json"
+  printf ',"scene_store":'
+  tr -d '\n' < "$TMP/scene_store.json"
   printf '}\n'
 } > "$OUT"
 
@@ -138,8 +155,10 @@ PIPE_SPEEDUP=$(sed -n 's/.*"pipelined_speedup":\([0-9.]*\).*/\1/p' "$OUT")
 WIRE_REL=$(sed -n 's/.*"wire_relative_throughput":\([0-9.]*\).*/\1/p' "$OUT")
 FLEET_REL=$(sed -n 's/.*"routed_relative_throughput":\([0-9.]*\).*/\1/p' "$OUT")
 FAULT_REL=$(sed -n 's/.*"faulted_relative_throughput":\([0-9.]*\).*/\1/p' "$OUT")
+STORE_REL=$(sed -n 's/.*"budgeted_relative_throughput":\([0-9.]*\).*/\1/p' "$OUT")
 echo "Wrote $OUT (raster fast-vs-reference speedup: ${SPEEDUP:-n/a}x," \
      "pipelined-vs-monolithic serve: ${PIPE_SPEEDUP:-n/a}x," \
      "wire-vs-in-process serve: ${WIRE_REL:-n/a}x," \
      "routed-vs-direct fleet: ${FLEET_REL:-n/a}x," \
-     "faulted-vs-clean fleet: ${FAULT_REL:-n/a}x)"
+     "faulted-vs-clean fleet: ${FAULT_REL:-n/a}x," \
+     "budgeted-vs-unbounded scene store: ${STORE_REL:-n/a}x)"

@@ -83,6 +83,7 @@
 #include "runtime/workload.hpp"
 #include "scene/generator.hpp"
 #include "scene/ply_io.hpp"
+#include "scene/store.hpp"
 
 namespace {
 
@@ -266,6 +267,21 @@ int cmd_render(const CliParser& cli) {
   // --out probe so a rejected run cannot leave a stray empty output file.
   const int width = cli.get_positive_int("width");
   const int height = cli.get_positive_int("height");
+  // Scene selection: --scene takes a canonical scene key and subsumes the
+  // older spellings; mixing them would leave one silently ignored.
+  const bool scene_key_set = flag_was_set(cli, "scene");
+  if (scene_key_set &&
+      (flag_was_set(cli, "ply") || flag_was_set(cli, "synthetic") ||
+       flag_was_set(cli, "seed"))) {
+    throw CliParseError(
+        "--scene names the scene by canonical key; it does not combine with "
+        "--ply/--synthetic/--seed");
+  }
+  const std::string scene_key =
+      scene_key_set ? cli.get_string("scene") : std::string();
+  if (scene_key_set) {
+    flag_value("scene", [&] { return scene::parse_scene_key(scene_key); });
+  }
   const std::string ply = readable_file_flag(cli, "ply");
   scene::GeneratorParams generator_params;
   generator_params.gaussian_count =
@@ -279,9 +295,11 @@ int cmd_render(const CliParser& cli) {
 
   const std::string out = cli.get_string("out");
   OutputFileProbe out_probe(out, "out");
-  scene::GaussianScene gscene = ply.empty() ? scene::generate_scene(
-                                                  generator_params)
-                                            : scene::load_ply(ply);
+  scene::GaussianScene gscene =
+      scene_key_set
+          ? scene::PlyDirectorySource("").resolve(scene_key)
+          : ply.empty() ? scene::generate_scene(generator_params)
+                        : scene::load_ply(ply);
   const scene::Camera camera = scene::default_camera({}, width, height);
 
   const auto start = std::chrono::steady_clock::now();
@@ -495,7 +513,9 @@ int cmd_serve_listen(const CliParser& cli,
        << "\",\"workers\":" << service.worker_count()
        << ",\"listen\":" << server.port() << ",\"backend\":\""
        << service_config.backend
-       << "\",\"stats\":" << runtime::service_stats_json(stats) << "}\n";
+       << "\",\"scene_budget_bytes\":" << service_config.scene_budget_bytes
+       << ",\"max_scene_bytes\":" << service_config.max_scene_bytes
+       << ",\"stats\":" << runtime::service_stats_json(stats) << "}\n";
     json_probe.disarm();
     std::cout << "Wrote " << json_path << '\n';
   }
@@ -521,6 +541,16 @@ int cmd_request(const CliParser& cli) {
   net::RenderRequest wire = net::default_render_request(
       static_cast<std::uint64_t>(cli.get_positive_int("synthetic")),
       cli.get_uint64("seed"), width, height);
+  // --scene rides the v3 wire field as a canonical key, overriding the
+  // derived synthetic addressing; mixing the spellings is a user error.
+  if (flag_was_set(cli, "scene")) {
+    if (flag_was_set(cli, "synthetic") || flag_was_set(cli, "seed")) {
+      throw CliParseError(
+          "--scene names the scene by canonical key; it does not combine "
+          "with --synthetic/--seed");
+    }
+    wire.scene = cli.get_string("scene");
+  }
   wire.request_id = 1;
   // Empty backend/kernel mean "whatever the server serves"; only express a
   // preference when the user actually set the flag (a mismatch is then an
@@ -590,8 +620,8 @@ int cmd_route(const CliParser& cli) {
         "--shard host:port (repeatable) or fork local workers with "
         "--spawn N, not both and not neither");
   }
-  for (const char* flag : {"workers", "queue", "backend", "kernel",
-                           "threads"}) {
+  for (const char* flag : {"workers", "queue", "backend", "kernel", "threads",
+                           "scene-budget-mb", "max-scene-mb", "scene-dir"}) {
     if (spawn_count == 0 && flag_was_set(cli, flag)) {
       throw CliParseError(std::string("--") + flag +
                           " configures spawned workers and requires --spawn "
@@ -615,8 +645,8 @@ int cmd_route(const CliParser& cli) {
     spawner_config.exe = self_exe_path();
     // Worker configuration passes through verbatim; a bad value surfaces as
     // the worker's own CLI diagnostic on the supervisor's stdout.
-    for (const char* flag : {"workers", "queue", "backend", "kernel",
-                             "threads"}) {
+    for (const char* flag : {"workers", "queue", "backend", "kernel", "threads",
+                             "scene-budget-mb", "max-scene-mb", "scene-dir"}) {
       if (flag_was_set(cli, flag)) {
         spawner_config.serve_args.push_back(std::string("--") + flag);
         spawner_config.serve_args.push_back(cli.get_string(flag));
@@ -721,6 +751,23 @@ int cmd_serve(const CliParser& cli) {
     service_config.backend_instance = std::move(backend);
   }
 
+  // Scene-store sizing: budgets arrive in MiB, the store accounts bytes.
+  const int budget_mb = cli.get_int("scene-budget-mb");
+  const int max_scene_mb = cli.get_int("max-scene-mb");
+  if (budget_mb < 0 || max_scene_mb < 0) {
+    throw CliParseError(
+        "--scene-budget-mb / --max-scene-mb must be >= 0 (0 = unlimited)");
+  }
+  service_config.scene_budget_bytes =
+      static_cast<std::size_t>(budget_mb) * 1024u * 1024u;
+  service_config.max_scene_bytes =
+      static_cast<std::size_t>(max_scene_mb) * 1024u * 1024u;
+  const std::string scene_dir = cli.get_string("scene-dir");
+  if (!scene_dir.empty()) {
+    service_config.scene_source =
+        std::make_shared<const scene::PlyDirectorySource>(scene_dir);
+  }
+
   if (flag_was_set(cli, "listen")) return cmd_serve_listen(cli, service_config);
 
   runtime::WorkloadConfig workload;
@@ -769,6 +816,8 @@ int cmd_serve(const CliParser& cli) {
        << to_string(workload.arrival) << "\",\"jobs\":" << workload.jobs
        << ",\"seed\":" << workload.seed
        << ",\"threads\":" << service_config.renderer.num_threads
+       << ",\"scene_budget_bytes\":" << service_config.scene_budget_bytes
+       << ",\"max_scene_bytes\":" << service_config.max_scene_bytes
        << ",\"stats\":" << runtime::service_stats_json(run.stats) << "}\n";
     json_probe.disarm();
     std::cout << "Wrote " << json_path << '\n';
@@ -812,21 +861,22 @@ constexpr std::array<std::string_view, 8> kCommands = {
 const std::vector<std::string>& command_flags(const std::string& command) {
   static const std::map<std::string, std::vector<std::string>> kByCommand = {
       {"render",
-       {"ply", "synthetic", "width", "height", "out", "config", "threads",
-        "kernel", "seed", "backend"}},
+       {"ply", "synthetic", "scene", "width", "height", "out", "config",
+        "threads", "kernel", "seed", "backend"}},
       {"simulate", {"scene", "variant", "config"}},
       {"replay", {"trace", "config"}},
       {"serve",
        {"jobs", "workers", "queue", "arrival", "rate", "backend", "config",
         "threads", "kernel", "seed", "width", "height", "pipeline",
-        "stage-workers", "listen", "json", "deadline-ms", "fault-plan"}},
+        "stage-workers", "listen", "json", "deadline-ms", "fault-plan",
+        "scene-budget-mb", "max-scene-mb", "scene-dir"}},
       {"request",
-       {"host", "port", "synthetic", "seed", "width", "height", "out",
-        "backend", "kernel", "stats", "deadline-ms"}},
+       {"host", "port", "synthetic", "scene", "seed", "width", "height",
+        "out", "backend", "kernel", "stats", "deadline-ms"}},
       {"route",
        {"listen", "shard", "spawn", "workers", "queue", "backend", "kernel",
-        "threads", "json", "deadline-ms", "fault-plan",
-        "breaker-failures"}},
+        "threads", "json", "deadline-ms", "fault-plan", "breaker-failures",
+        "scene-budget-mb", "max-scene-mb", "scene-dir"}},
       {"backends", {"json"}},
       {"report", {}},
   };
@@ -900,7 +950,19 @@ int main(int argc, char** argv) {
   cli.add_flag("height", "240", "render height");
   cli.add_flag("out", "", "output PPM path");
   cli.add_flag("config", "", "rasterizer config file (core/config_io format)");
-  cli.add_flag("scene", "bicycle", "NeRF-360 scene profile name");
+  cli.add_flag("scene", "bicycle",
+               "simulate: NeRF-360 scene profile name; render/request: "
+               "canonical scene key (synthetic:<count>[@<seed>] or "
+               "ply:<path-or-name>)");
+  cli.add_flag("scene-budget-mb", "0",
+               "serve/route: scene-store byte budget in MiB — quantized "
+               "payloads plus precompute; LRU eviction above it "
+               "(0 = unbounded)");
+  cli.add_flag("max-scene-mb", "0",
+               "serve/route: per-scene quantized-size admission cap in MiB; "
+               "larger scenes are refused, never materialized (0 = none)");
+  cli.add_flag("scene-dir", "",
+               "serve/route: directory ply:<name> scene keys resolve in");
   cli.add_flag("variant", "original", "pipeline variant: original or mini");
   cli.add_flag("trace", "", "tile-load trace (.gtr) to replay");
   cli.add_flag("threads", "1", "per-frame Step-3 raster threads (render/serve)");

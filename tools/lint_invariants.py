@@ -49,6 +49,14 @@ Rules (see --list-rules):
                        plan could inject faults into a production
                        process. Tests and tools/ arm plans freely (they
                        are outside the scanned tree).
+  half-confinement     The raw fp16 bit conversions (float_to_half_bits,
+                       half_bits_to_float) are confined within src/ to
+                       src/common/half.hpp, src/common/half.cpp, and
+                       src/scene/quantized.cpp (the one production
+                       consumer that stores raw bit patterns). Everything
+                       else uses common::Half / common::round_to_half, so
+                       rounding mode and NaN/Inf handling stay in one
+                       reviewed place.
 
 A finding can be waived for one line with a trailing comment:
 
@@ -83,6 +91,17 @@ PROCESS_SPAWN_EXEMPT_DIRS = ("src/cluster",)
 # The one file allowed to arm/parse fault plans: the fault module itself
 # (fault::arm_from_env is the sanctioned GAURAST_FAULT_PLAN reader).
 FAULT_POINTS_EXEMPT_FILES = ("src/common/fault.cpp",)
+
+# The files allowed to call the raw fp16 bit conversions: the half module
+# itself (common::Half and round_to_half wrap them) and the scene quantizer,
+# the one production consumer that stores raw fp16 bit patterns. Everything
+# else goes through common::Half / round_to_half so rounding mode and
+# NaN/Inf policy stay in one reviewed place.
+HALF_CONFINEMENT_EXEMPT_FILES = (
+    "src/common/half.hpp",
+    "src/common/half.cpp",
+    "src/scene/quantized.cpp",
+)
 
 # The single sanctioned construction site for engine backends.
 REGISTRY_SOURCE = "src/engine/registry.cpp"
@@ -188,6 +207,14 @@ FAULT_ARMING_RE = re.compile(
 # (string literals are blanked in the scrubbed view) for GAURAST_FAULT_PLAN,
 # so reads of unrelated environment variables stay out of scope.
 FAULT_GETENV_RE = re.compile(r"(?<![\w.:>])(?:std\s*::\s*|::\s*)?getenv\s*\(")
+
+# The raw fp16 bit conversions, in bare and namespace-qualified spellings.
+# The lookbehind rejects member calls (`obj.float_to_half_bits(...)` does
+# not exist, but stay consistent with the other free-call rules).
+HALF_BITS_RE = re.compile(
+    r"(?<![\w.:>])(?:::\s*)?(?:(?:gaurast\s*::\s*)?common\s*::\s*)?"
+    r"(float_to_half_bits|half_bits_to_float)\s*\("
+)
 
 WAIVER_RE = re.compile(r"//\s*lint-invariants:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 
@@ -412,6 +439,32 @@ def check_fault_points(src: SourceFile, _all: list[SourceFile]) -> list[Finding]
 
 
 # --------------------------------------------------------------------------
+# Rule: half-confinement
+# --------------------------------------------------------------------------
+
+
+def check_half_confinement(
+    src: SourceFile, _all: list[SourceFile]
+) -> list[Finding]:
+    if not src.rel.startswith("src/") or src.rel in HALF_CONFINEMENT_EXEMPT_FILES:
+        return []
+    findings = []
+    for m in HALF_BITS_RE.finditer(src.scrubbed):
+        findings.append(
+            Finding(
+                src.path,
+                line_of(src.scrubbed, m.start()),
+                "half-confinement",
+                f"raw fp16 bit conversion {m.group(1)}() outside "
+                "src/common/half.{hpp,cpp} and src/scene/quantized.cpp; "
+                "use common::Half / common::round_to_half so rounding and "
+                "NaN/Inf policy stay in the half module",
+            )
+        )
+    return findings
+
+
+# --------------------------------------------------------------------------
 # Rule: check-in-kernel-loop
 # --------------------------------------------------------------------------
 
@@ -565,6 +618,10 @@ RULES: dict[str, tuple[str, RuleFn]] = {
     "fault-points": (
         "fault-plan arming / GAURAST_FAULT_PLAN reads outside src/common/fault.cpp",
         check_fault_points,
+    ),
+    "half-confinement": (
+        "raw fp16 bit conversions outside src/common/half and the quantizer",
+        check_half_confinement,
     ),
     "check-in-kernel-loop": (
         "GAURAST_CHECK inside loop bodies in src/pipeline//src/gsmath/",

@@ -339,6 +339,68 @@ class FaultPointsTest(unittest.TestCase):
         self.assertEqual(run({"src/runtime/legacy.cpp": body}), [])
 
 
+class HalfConfinementTest(unittest.TestCase):
+    def test_seeded_violation_caught(self) -> None:
+        body = (
+            '#include "common/half.hpp"\n'
+            "std::uint16_t pack(float v) { return float_to_half_bits(v); }\n"
+        )
+        findings = run({"src/pipeline/tile_pack.cpp": body})
+        self.assertEqual(rules_of(findings), ["half-confinement"])
+        self.assertEqual(findings[0].line, 2)
+        self.assertIn("float_to_half_bits()", findings[0].message)
+
+    def test_qualified_spellings_caught(self) -> None:
+        body = (
+            "float f(std::uint16_t bits) {\n"
+            "  float a = common::half_bits_to_float(bits);\n"
+            "  float b = gaurast::common::half_bits_to_float(bits);\n"
+            "  return a + b + ::gaurast::common::half_bits_to_float(bits);\n"
+            "}\n"
+        )
+        findings = run({"src/engine/decode.cpp": body})
+        self.assertEqual(rules_of(findings), ["half-confinement"] * 3)
+        self.assertIn("half_bits_to_float()", findings[0].message)
+
+    def test_half_module_and_quantizer_exempt(self) -> None:
+        files = {
+            "src/common/half.hpp": (
+                "std::uint16_t float_to_half_bits(float value);\n"
+                "float half_bits_to_float(std::uint16_t bits);\n"
+            ),
+            "src/common/half.cpp": (
+                "std::uint16_t float_to_half_bits(float value) { return 0; }\n"
+            ),
+            "src/scene/quantized.cpp": (
+                "auto bits = common::float_to_half_bits(g.opacity);\n"
+            ),
+        }
+        self.assertEqual(run(files), [])
+
+    def test_wrapper_usage_allowed(self) -> None:
+        # common::Half and round_to_half are the sanctioned API; only the
+        # raw bit conversions are confined.
+        body = (
+            "common::Half h = common::round_to_half(1.5f);\n"
+            "float back = h.to_float();\n"
+        )
+        self.assertEqual(run({"src/scene/io.cpp": body}), [])
+
+    def test_comment_and_string_ignored(self) -> None:
+        body = (
+            "// never call float_to_half_bits() outside the half module\n"
+            'auto doc = "half_bits_to_float(bits)";\n'
+        )
+        self.assertEqual(run({"src/gsmath/doc.cpp": body}), [])
+
+    def test_waiver_suppresses(self) -> None:
+        body = (
+            "auto b = float_to_half_bits(x);"
+            "  // lint-invariants: allow(half-confinement)\n"
+        )
+        self.assertEqual(run({"src/runtime/legacy.cpp": body}), [])
+
+
 class KernelLoopTest(unittest.TestCase):
     def test_seeded_violation_caught(self) -> None:
         body = (
